@@ -1,0 +1,13 @@
+"""Benchmark: the design-choice ablation sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, show) -> None:
+    result = benchmark(ablations.run)
+    data = result.data
+    assert all(ab["speedup"] > 2.0 for ab in data["temporal"].values())
+    assert data["parvec"][16] < data["parvec"][4]
+    show("ablations", result.render())

@@ -1,0 +1,65 @@
+"""Benchmarks: the application layer and the DSL front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.acoustic import AcousticSolver2D, RickerSource
+from repro.apps.heat import HeatSolver
+from repro.apps.imaging import denoise
+from repro.core import make_grid
+from repro.dsl import Equation, Grid, compile_equation, to_stencil_spec
+
+
+def test_heat_solver_2d(benchmark) -> None:
+    solver = HeatSolver(2, 4, 0.02)
+    grid = make_grid((256, 384), "mixed", seed=1) * 100.0
+    result = benchmark(solver.run, grid, 8)
+    assert result.field.shape == grid.shape
+    benchmark.extra_info["mcells_per_s"] = round(
+        grid.size * 8 / benchmark.stats["mean"] / 1e6, 1
+    )
+
+
+def test_acoustic_solver_steps(benchmark) -> None:
+    def shoot():
+        solver = AcousticSolver2D((96, 144), radius=4, courant=0.45)
+        solver.add_source(RickerSource(position=(48, 40), peak_frequency=0.06))
+        solver.run(60)
+        return solver.wavefield()
+
+    field = benchmark(shoot)
+    assert float(np.abs(field).max()) > 0
+
+
+def test_imaging_denoise(benchmark) -> None:
+    img = make_grid((256, 384), "mixed", seed=2)
+    out = benchmark(denoise, img, 1, 3)
+    assert out.shape == img.shape
+
+
+def test_dsl_lowering(benchmark) -> None:
+    u = Grid("u", dims=2)
+    eq = Equation(
+        u,
+        0.6 * u(0, 0)
+        + 0.1 * u(0, -1) + 0.1 * u(0, 1)
+        + 0.1 * u(-1, 0) + 0.1 * u(1, 0),
+    )
+    spec = benchmark(to_stencil_spec, eq)
+    assert spec.radius == 1
+
+
+def test_dsl_compiled_kernel(benchmark) -> None:
+    u = Grid("u", dims=2)
+    eq = Equation(
+        u,
+        0.6 * u(0, 0)
+        + 0.1 * u(0, -1) + 0.1 * u(0, 1)
+        + 0.1 * u(-1, 0) + 0.1 * u(1, 0),
+    )
+    kernel = compile_equation(eq)
+    grid = make_grid((24, 32), "random", seed=3)
+    dst = np.empty(grid.size, np.float32)
+    benchmark(kernel, grid.ravel().copy(), dst, grid.shape)
+    assert np.isfinite(dst).all()

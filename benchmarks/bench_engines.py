@@ -1,0 +1,103 @@
+"""Raw throughput of the numerical engines (cells updated per second).
+
+These measure the Python substrate itself — useful for sizing how large
+a grid the functional validation can afford — and record an
+``mcells_per_s`` metric alongside the timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.cpu_yask import YASKEngine
+from repro.baselines.vector_folding import fold, folded_step
+from repro.core import BlockingConfig, FPGAAccelerator, StencilSpec, make_grid
+from repro.core.reference import reference_step
+from repro.core.scalar_sim import scalar_run
+from repro.fpga import NALLATECH_385A
+from repro.fpga.cycle_sim import CycleSimulator
+
+SPEC_2D = StencilSpec.star(2, 2)
+SPEC_3D = StencilSpec.star(3, 2)
+GRID_2D = make_grid((768, 1024), "random", seed=0)
+GRID_3D = make_grid((48, 128, 160), "random", seed=0)
+
+
+def _record_rate(benchmark, cells: int, steps: int = 1) -> None:
+    benchmark.extra_info["mcells_per_s"] = round(
+        cells * steps / benchmark.stats["mean"] / 1e6, 1
+    )
+
+
+def test_reference_engine_2d(benchmark) -> None:
+    out = benchmark(reference_step, GRID_2D, SPEC_2D)
+    assert out.shape == GRID_2D.shape
+    _record_rate(benchmark, GRID_2D.size)
+
+
+def test_reference_engine_3d(benchmark) -> None:
+    out = benchmark(reference_step, GRID_3D, SPEC_3D)
+    assert out.shape == GRID_3D.shape
+    _record_rate(benchmark, GRID_3D.size)
+
+
+def test_accelerator_sim_2d(benchmark) -> None:
+    cfg = BlockingConfig(dims=2, radius=2, bsize_x=512, parvec=4, partime=4)
+    acc = FPGAAccelerator(SPEC_2D, cfg)
+    out, stats = benchmark(acc.run, GRID_2D, 4)
+    assert stats.passes == 1
+    _record_rate(benchmark, GRID_2D.size, steps=4)
+
+
+def test_accelerator_sim_3d(benchmark) -> None:
+    cfg = BlockingConfig(
+        dims=3, radius=2, bsize_x=96, bsize_y=64, parvec=4, partime=2
+    )
+    acc = FPGAAccelerator(SPEC_3D, cfg)
+    out, stats = benchmark(acc.run, GRID_3D, 2)
+    assert stats.passes == 1
+    _record_rate(benchmark, GRID_3D.size, steps=2)
+
+
+def test_yask_engine_2d(benchmark) -> None:
+    engine = YASKEngine(SPEC_2D)
+    out = benchmark(engine.run, GRID_2D, 1)
+    assert out.shape == GRID_2D.shape
+    _record_rate(benchmark, GRID_2D.size)
+
+
+def test_folded_step_2d(benchmark) -> None:
+    folded = fold(GRID_2D, (4, 4))
+    out = benchmark(folded_step, folded, SPEC_2D)
+    assert out.shape == folded.shape
+    _record_rate(benchmark, GRID_2D.size)
+
+
+def test_scalar_hw_sim_small(benchmark) -> None:
+    """The loop-faithful simulator (intentionally slow; tiny grid)."""
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=16, parvec=2, partime=2)
+    grid = make_grid((8, 24), "random", seed=1)
+    out = benchmark(scalar_run, grid, spec, cfg, 2)
+    assert out.shape == grid.shape
+    _record_rate(benchmark, grid.size, steps=2)
+
+
+def test_cycle_sim_block(benchmark) -> None:
+    spec = StencilSpec.star(3, 1)
+    cfg = BlockingConfig(
+        dims=3, radius=1, bsize_x=64, bsize_y=32, parvec=16, partime=4
+    )
+    sim = CycleSimulator(spec, cfg, NALLATECH_385A, fmax_mhz=286.61)
+    rep = benchmark(sim.run_block, 5000)
+    assert 0.5 < rep.efficiency < 0.75
+
+
+def test_inplane_gpu_engine_3d(benchmark) -> None:
+    """The functional in-plane (GPU-style) engine's plane-streaming sweep."""
+    from repro.baselines.gpu_inplane_engine import InPlaneEngine
+
+    engine = InPlaneEngine(SPEC_3D, tile=(32, 32))
+    out, stats = benchmark(engine.run, GRID_3D, 1)
+    assert stats.load_redundancy > 1.0
+    _record_rate(benchmark, GRID_3D.size)

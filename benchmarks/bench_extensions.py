@@ -1,0 +1,41 @@
+"""Benchmarks: extension experiments (beyond-radius-4, projection,
+wave-performance, full report)."""
+
+from __future__ import annotations
+
+from repro.analysis.report import generate_report
+from repro.experiments import beyond_radius4, projection, wave_perf
+
+
+def test_beyond_radius4(benchmark, show) -> None:
+    result = benchmark(beyond_radius4.run)
+    assert result.data[2][5]["roofline"] > 2.0
+    show("beyond-radius4", result.text)
+
+
+def test_projection(benchmark, show) -> None:
+    result = benchmark(projection.run)
+    assert result.data[4]["stratix10-hbm-unblocked"] > result.data[4]["arria10-ddr4"]
+    show("projection", result.text)
+
+
+def test_wave_performance(benchmark, show) -> None:
+    result = benchmark(wave_perf.run)
+    for radius in (1, 2, 3, 4):
+        assert result.data[radius]["wave"].gcell_s < result.data[radius]["single"].gcell_s
+    show("wave-performance", result.text)
+
+
+def test_full_report(benchmark) -> None:
+    """Regenerating the entire reproduction report end to end."""
+    report = benchmark.pedantic(generate_report, rounds=2, iterations=1)
+    assert "FAIL" not in report
+    assert report.count("## ") >= 14
+
+
+def test_input_restriction(benchmark, show) -> None:
+    from repro.experiments import input_restriction
+
+    result = benchmark(input_restriction.run)
+    assert result.data[3][4]["restricted"]
+    show("input-restriction", result.text)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 3 (3D GFLOP/s bars, 6 devices x 4 orders)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark, show) -> None:
+    result = benchmark(fig3.run)
+    assert result.data["fpga_gflops_spread"] < 1.5
+    assert result.data["phi_gflops_growth"] > 3.0
+    show("fig3", result.text)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 4 (3D GCell/s bars, 6 devices x 4 orders)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, show) -> None:
+    result = benchmark(fig4.run)
+    assert result.data["phi_gcell_spread"] < 1.1
+    assert 1.0 < result.data["gpu_gcell_ratio_r1_r4"] < 4.0
+    show("fig4", result.text)

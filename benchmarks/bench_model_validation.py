@@ -1,0 +1,13 @@
+"""Benchmark: the model-vs-cycle-simulator validation sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import model_validation
+
+
+def test_model_validation(benchmark, show) -> None:
+    result = benchmark.pedantic(
+        model_validation.run, kwargs={"vectors": 20000}, rounds=3, iterations=1
+    )
+    assert result.data["max_deviation"] < 0.06
+    show("model-validation", result.text)

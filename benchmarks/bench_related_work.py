@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the §VI.C related-FPGA-work comparison."""
+
+from __future__ import annotations
+
+from repro.experiments import related_work
+
+
+def test_related_work(benchmark, show) -> None:
+    result = benchmark(related_work.run)
+    assert result.passed, result.render()
+    assert result.data["speedup_fu"] > 5.0
+    show("related-work", result.render())

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (stencil characteristics)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, show) -> None:
+    result = benchmark(table1.run)
+    assert result.passed, result.render()
+    assert len(result.data["rows"]) == 8
+    show("table1", result.render())

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table II (hardware characteristics)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, show) -> None:
+    result = benchmark(table2.run)
+    assert result.passed, result.render()
+    show("table2", result.render())

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table III (FPGA results, full model chain).
+
+Two variants: the pure model chain (all eight rows), and a single row
+including the scaled-down functional-simulation validation — the
+expensive part that actually computes the stencil.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+
+
+def test_table3_model_chain(benchmark, show) -> None:
+    result = benchmark(table3.run)
+    assert result.passed, result.render()
+    assert len(result.data) == 8
+    show("table3", result.render())
+
+
+def test_table3_functional_validation_2d(benchmark) -> None:
+    row = table3.fpga_row(2, 2)
+    out = benchmark.pedantic(
+        table3.validate_row, args=(row,), rounds=2, iterations=1
+    )
+    assert out["stats"].redundancy_ratio > 1.0
+
+
+def test_table3_functional_validation_3d(benchmark) -> None:
+    row = table3.fpga_row(3, 4)
+    out = benchmark.pedantic(
+        table3.validate_row, args=(row,), rounds=2, iterations=1
+    )
+    assert out["stats"].redundancy_ratio > 1.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table IV (2D cross-hardware comparison)."""
+
+from __future__ import annotations
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, show) -> None:
+    result = benchmark(table4.run)
+    assert result.passed, result.render()
+    win = result.data["winners"]
+    assert win[1]["performance"] == "arria10"
+    assert win[4]["performance"] == "xeon-phi"
+    show("table4", result.render())

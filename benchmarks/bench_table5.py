@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table V (3D comparison incl. GPU extrapolation)."""
+
+from __future__ import annotations
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, show) -> None:
+    result = benchmark(table5.run)
+    assert result.passed, result.render()
+    win = result.data["winners_measured"]
+    assert win[1]["performance"] == "arria10"
+    assert win[2]["performance"] == "xeon-phi"
+    assert result.data["winners_all"][4]["performance"] == "p100"
+    show("table5", result.render())

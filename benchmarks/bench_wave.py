@@ -1,0 +1,32 @@
+"""Benchmark: the leapfrog wave-equation extension engines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BlockingConfig, make_grid
+from repro.core.wave import WaveAccelerator, WaveSpec, wave_reference_run
+
+SPEC = WaveSpec(2, 4, 0.45)
+U1 = make_grid((512, 768), "random", seed=0) * 0.01
+U0 = U1.copy()
+
+
+def test_wave_reference(benchmark) -> None:
+    prev, cur = benchmark(wave_reference_run, U0, U1, SPEC, 2)
+    assert cur.shape == U1.shape
+    benchmark.extra_info["mcells_per_s"] = round(
+        U1.size * 2 / benchmark.stats["mean"] / 1e6, 1
+    )
+
+
+def test_wave_accelerator(benchmark) -> None:
+    cfg = BlockingConfig(dims=2, radius=4, bsize_x=384, parvec=4, partime=2)
+    acc = WaveAccelerator(SPEC, cfg)
+    prev, cur, stats = benchmark(acc.run, U0, U1, 2)
+    assert stats.passes == 1
+    expected = wave_reference_run(U0, U1, SPEC, 2)[1]
+    assert np.array_equal(cur, expected)
+    benchmark.extra_info["mcells_per_s"] = round(
+        U1.size * 2 / benchmark.stats["mean"] / 1e6, 1
+    )

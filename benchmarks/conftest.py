@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Run with:  pytest benchmarks/ --benchmark-only
+
+Every ``bench_table*.py`` / ``bench_fig*.py`` module regenerates one
+table or figure of the paper and asserts that all paper-vs-reproduced
+comparisons pass; the benchmark measures the cost of the full
+regeneration chain.  ``bench_engines.py`` measures the raw throughput of
+the numerical engines themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show(pytestconfig):
+    """Print an artifact once per session (visible with -s)."""
+    printed: set[str] = set()
+
+    def _show(key: str, text: str) -> None:
+        if key not in printed:
+            printed.add(key)
+            print(f"\n{text}\n")
+
+    return _show

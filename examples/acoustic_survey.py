@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""A small seismic survey: one shot, a line of receivers, a seismogram.
+
+Uses :class:`repro.apps.acoustic.AcousticSolver2D` (leapfrog on the
+blocked wave accelerator) with a Ricker source and a receiver line, then
+renders the shot gather (time x offset) as ASCII — the wavefront shows
+up as the expected moveout hyperbola, with later arrivals from the
+reflecting (clamped) domain walls.
+
+Run:  python examples/acoustic_survey.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.acoustic import AcousticSolver2D, RickerSource
+
+GLYPHS = " .:-=+*#%@"
+
+
+def render_gather(traces: np.ndarray, height: int = 28) -> str:
+    """traces: (n_receivers, n_steps) -> ASCII (time down, offset right)."""
+    n_rec, n_steps = traces.shape
+    peak = float(np.abs(traces).max()) or 1.0
+    rows = []
+    step_idx = np.linspace(0, n_steps - 1, height).astype(int)
+    for t in step_idx:
+        cells = []
+        for r in range(n_rec):
+            v = abs(float(traces[r, t])) / peak
+            cells.append(GLYPHS[min(int(v * (len(GLYPHS) - 1) * 3), 9)])
+        rows.append(f"t={t:4d} |" + " ".join(cells) + "|")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    shape = (120, 200)
+    solver = AcousticSolver2D(shape, radius=4, courant=0.45)
+    shot = RickerSource(position=(20, 40), peak_frequency=0.04)
+    solver.add_source(shot)
+
+    receivers = [
+        solver.add_receiver((20, x)) for x in range(60, 200, 8)
+    ]
+    steps = 420
+    solver.run(steps)
+
+    traces = np.stack([r.as_array() for r in receivers])
+    print(f"Shot at (20, 40); {len(receivers)} receivers at depth 20, "
+          f"offsets 20..152 cells; {steps} steps @ courant "
+          f"{solver.spec.courant}")
+    print()
+    print("Shot gather (|amplitude|, time down, offset right):")
+    print(render_gather(traces))
+    print()
+
+    # moveout check: arrival time grows with offset at the medium speed
+    arrivals = [r.first_arrival for r in receivers]
+    offsets = [r.position[1] - 40 for r in receivers]
+    print("first arrivals (step) vs offset (cells):")
+    print("  " + ", ".join(f"{o}:{a}" for o, a in zip(offsets, arrivals)))
+    expected0 = shot.delay + solver.expected_arrival((20, 40), receivers[0].position)
+    assert arrivals[0] is not None
+    assert arrivals[-1] is not None and arrivals[-1] > arrivals[0]
+    print(f"nearest receiver: measured {arrivals[0]}, expected "
+          f"~{expected0:.0f} (source delay {shot.delay} + travel)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Code generation demo: emit the OpenCL kernel for any stencil order.
+
+The paper's §III.B describes a code generator that injects clamp
+boundary-condition code into the parameterized kernel (unrollable
+branches cannot express it in HLS).  This prints the generated OpenCL
+for a chosen order and demonstrates that the generated *Python* variant
+of the same kernel computes exactly what the golden reference computes.
+
+Run:  python examples/codegen_demo.py [radius] [dims] [--full]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import BlockingConfig, StencilSpec, make_grid, reference_run
+from repro.core.codegen import (
+    boundary_condition_lines,
+    compile_python_kernel,
+    generate_opencl_kernel,
+)
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    radius = int(args[0]) if args else 3
+    dims = int(args[1]) if len(args) > 1 else 3
+    spec = StencilSpec.star(dims, radius)
+    config = BlockingConfig(
+        dims=dims,
+        radius=radius,
+        bsize_x=256,
+        bsize_y=128 if dims == 3 else None,
+        parvec=8,
+        partime=4,
+    )
+
+    print(f"// {spec.describe()}")
+    print(f"// generated boundary conditions "
+          f"({len(boundary_condition_lines(spec))} clamped indices):")
+    for line in boundary_condition_lines(spec):
+        print(f"//   {line}")
+    print()
+
+    kernel = generate_opencl_kernel(spec, config)
+    if "--full" in sys.argv:
+        print(kernel)
+    else:
+        lines = kernel.splitlines()
+        print("\n".join(lines[:40]))
+        print(f"... ({len(lines) - 40} more lines; pass --full to see all)")
+    print()
+
+    # prove the generated semantics against the reference
+    shape = (10, 14) if dims == 2 else (6, 8, 10)
+    grid = make_grid(shape, "mixed", seed=1)
+    step = compile_python_kernel(spec)
+    src = grid.ravel().copy()
+    dst = np.empty_like(src)
+    step(src, dst, shape)
+    expected = reference_run(grid, spec, 1)
+    assert np.array_equal(dst, expected.ravel())
+    print("Generated-kernel check: executable Python variant is "
+          "bit-identical to the reference  [OK]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Cross-hardware comparison: regenerate Tables IV/V and Figs. 3-4.
+
+Runs the full comparison chain — FPGA model chain, YASK CPU models,
+in-plane GPU model with extrapolation — and prints the paper's
+comparison tables and bar charts with paper-vs-reproduced checks.
+
+Run:  python examples/compare_hardware.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3, fig4, table4, table5
+
+
+def main() -> None:
+    for module in (table4, table5):
+        result = module.run()
+        print(result.render())
+        print()
+    for module in (fig3, fig4):
+        print(module.run().text)
+        print()
+
+
+if __name__ == "__main__":
+    main()

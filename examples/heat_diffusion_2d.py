@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""2D heat diffusion on the accelerator simulator.
+
+The paper's intro motivates stencils with physical simulation; this
+example solves the 2D heat equation with an explicit (FTCS) scheme,
+expressed as a radius-1 symmetric star stencil, then repeats the exercise
+with a radius-4 high-order discretization of the Laplacian — the class of
+stencils the paper is actually about — and shows both running through the
+FPGA-accelerator functional simulator with temporal blocking.
+
+Clamp boundaries model insulated (zero-flux) edges.
+
+Run:  python examples/heat_diffusion_2d.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BlockingConfig, FPGAAccelerator, StencilSpec
+from repro.core.grid import make_grid
+
+#: Central finite-difference weights for the 1D second derivative:
+#: neighbor weights w_i (distance 1..radius) and the center weight.
+FD_NEIGHBORS = {
+    1: [1.0],
+    4: [8 / 5, -1 / 5, 8 / 315, -1 / 560],
+}
+FD_CENTER = {1: -2.0, 4: -205 / 72}
+
+
+def heat_stencil(radius: int, alpha: float) -> StencilSpec:
+    """FTCS heat update ``u += alpha * lap(u)`` as a :class:`StencilSpec`.
+
+    With 2nd-order (radius 1) or 8th-order (radius 4) discretization of
+    the Laplacian.  The weights sum to zero, so the stencil coefficients
+    sum to one — the scheme preserves constants (insulated equilibrium).
+    """
+    w = np.array(FD_NEIGHBORS[radius], dtype=np.float64)
+    axis = np.tile(alpha * w, (2, 1)).astype(np.float32)
+    center = float(1.0 + 2.0 * alpha * FD_CENTER[radius])
+    return StencilSpec.from_axis_coefficients(2, axis, center=center)
+
+
+def hotspot_grid(shape: tuple[int, int]) -> np.ndarray:
+    """Cold plate with a hot square in the middle."""
+    grid = make_grid(shape, "constant", value=20.0)
+    cy, cx = shape[0] // 2, shape[1] // 2
+    grid[cy - 8 : cy + 8, cx - 8 : cx + 8] = 400.0
+    return grid
+
+
+def simulate(radius: int, alpha: float, steps: int) -> None:
+    spec = heat_stencil(radius, alpha)
+    shape = (240, 320)
+    grid = hotspot_grid(shape)
+    config = BlockingConfig(
+        dims=2, radius=radius, bsize_x=160, parvec=4, partime=3
+    )
+    accelerator = FPGAAccelerator(spec, config)
+    result, stats = accelerator.run(grid, steps)
+
+    peak_before = float(grid.max())
+    peak_after = float(result.max())
+    mean_before = float(grid.mean())
+    mean_after = float(result.mean())
+    print(f"radius {radius} (order-{2 * radius} Laplacian), alpha={alpha}:")
+    print(f"  hot spot: {peak_before:.1f}degC -> {peak_after:.1f}degC "
+          f"after {steps} steps")
+    print(f"  mean temperature: {mean_before:.2f} -> {mean_after:.2f} "
+          f"(insulated edges keep energy nearly conserved)")
+    print(f"  simulator: {stats.passes} passes, redundancy "
+          f"{stats.redundancy_ratio:.3f}x")
+    assert peak_after < peak_before, "diffusion must smooth the hot spot"
+    assert abs(mean_after - mean_before) < 0.5, "energy should be ~conserved"
+    print()
+
+
+def main() -> None:
+    print("2D heat diffusion through the FPGA accelerator simulator\n")
+    simulate(radius=1, alpha=0.2, steps=60)
+    simulate(radius=4, alpha=0.1, steps=60)
+    print("High-order discretizations run through the same parameterized "
+          "kernel — the paper's §III.B claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""High-order 3D stencil on a synthetic seismic volume.
+
+Seismic and wave-propagation codes are the paper's motivating workloads
+for *high-order* stencils (its intro cites the Gordon Bell finalists).
+This example applies a fourth-order (radius-4) 3D star stencil — the
+largest the paper evaluates — as an iterative smoother on a synthetic
+layered-earth velocity volume, using the accelerator simulator with the
+paper's own Table III configuration scaled down, and examines the
+impulse response to show the stencil's reach.
+
+Run:  python examples/seismic_volume_3d.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BlockingConfig, FPGAAccelerator, StencilSpec, reference_run
+from repro.models import PerformanceModel
+from repro.fpga import NALLATECH_385A
+
+
+def layered_volume(shape: tuple[int, int, int], seed: int = 7) -> np.ndarray:
+    """Synthetic velocity volume: depth layers + heterogeneity + a fault."""
+    nz, ny, nx = shape
+    rng = np.random.default_rng(seed)
+    depth = np.linspace(1500.0, 5500.0, nz, dtype=np.float32)  # m/s
+    vol = np.broadcast_to(depth[:, None, None], shape).copy()
+    vol += rng.normal(0.0, 150.0, shape).astype(np.float32)
+    # a dipping fault: shift velocities on one side
+    for z in range(nz):
+        x_fault = int(nx * 0.3) + z
+        if x_fault < nx:
+            vol[z, :, x_fault:] += 300.0
+    return vol
+
+
+def main() -> None:
+    spec = StencilSpec.star(dims=3, radius=4)
+    print(f"Stencil: {spec.describe()}")
+
+    # the paper's 3D rad-4 knobs (Table III) with a scaled-down block
+    config = BlockingConfig(
+        dims=3, radius=4, bsize_x=64, bsize_y=48, parvec=16, partime=3
+    )
+    vol = layered_volume((24, 72, 96))
+    accelerator = FPGAAccelerator(spec, config)
+
+    # -- smooth the volume (e.g. preparing a migration velocity model)
+    steps = 6
+    smoothed, stats = accelerator.run(vol, steps)
+    expected = reference_run(vol, spec, steps)
+    assert np.array_equal(smoothed, expected)
+    rough_before = float(np.std(np.diff(vol, axis=0)))
+    rough_after = float(np.std(np.diff(smoothed, axis=0)))
+    print(f"Volume {vol.shape}: vertical roughness "
+          f"{rough_before:.1f} -> {rough_after:.1f} m/s after {steps} "
+          f"smoothing steps (bit-identical to reference)")
+    print(f"  blocks/pass {stats.blocks_per_pass}, redundancy "
+          f"{stats.redundancy_ratio:.2f}x, shift register "
+          f"{stats.shift_register_words_per_pe} words/PE")
+
+    # -- impulse response: information travels radius cells per step
+    impulse = np.zeros((24, 48, 48), dtype=np.float32)
+    impulse[12, 24, 24] = 1.0
+    response, _ = accelerator.run(impulse, 2)
+    nz = np.argwhere(np.abs(response) > 0)
+    reach = np.max(np.abs(nz - np.array([12, 24, 24])), axis=0)
+    print(f"Impulse response after 2 steps reaches {tuple(int(r) for r in reach)} "
+          f"cells (<= 2 x radius = {2 * spec.radius} per axis)")
+    assert all(r <= 2 * spec.radius for r in reach)
+
+    # -- what the paper's full-scale design would do
+    model = PerformanceModel(NALLATECH_385A)
+    full = BlockingConfig(
+        dims=3, radius=4, bsize_x=256, bsize_y=128, parvec=16, partime=3
+    )
+    meas = model.predict_measured(spec, full, (696, 728, 696), 1000)
+    print(f"Paper-scale prediction (696x728x696, 1000 iters): "
+          f"{meas.gcell_s:.2f} GCell/s, {meas.gflop_s:.0f} GFLOP/s "
+          f"(paper measured 5.588 GCell/s, 273.8 GFLOP/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Seismic-style wave propagation through the blocked accelerator.
+
+The paper motivates high-order stencils with wave-propagation codes;
+those use the *leapfrog* scheme, which reads two time levels.  The
+:class:`repro.core.wave.WaveAccelerator` extension carries both levels
+through the PE chain (two eq.-7 shift registers per PE) with the same
+overlapped spatial/temporal blocking — and stays bit-identical to the
+golden leapfrog reference.
+
+This example fires a point source in a 2D domain with an 8th-order
+(radius-4) Laplacian, renders the expanding wavefront as ASCII frames,
+and reports the blocking statistics.
+
+Run:  python examples/wave_propagation_2d.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BlockingConfig
+from repro.core.wave import WaveAccelerator, WaveSpec, wave_reference_run
+
+GLYPHS = " .:-=+*#%@"
+
+
+def render(field: np.ndarray, step: int, width: int = 64) -> str:
+    """Downsample |field| to an ASCII frame."""
+    h = field.shape[0] * width // field.shape[1] // 2  # terminal aspect
+    ys = np.linspace(0, field.shape[0] - 1, h).astype(int)
+    xs = np.linspace(0, field.shape[1] - 1, width).astype(int)
+    sample = np.abs(field[np.ix_(ys, xs)])
+    peak = max(float(sample.max()), 1e-9)
+    lines = [f"t = {step} steps  (|u| peak {peak:.3f})"]
+    for row in sample:
+        lines.append(
+            "".join(GLYPHS[min(int(v / peak * (len(GLYPHS) - 1)), 9)] for v in row)
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    radius = 4
+    spec = WaveSpec(dims=2, radius=radius, courant=0.45)
+    assert spec.is_stable, "Courant number violates the CFL bound"
+    print(f"Wave equation, order-{2 * radius} Laplacian, "
+          f"courant {spec.courant} (CFL bound "
+          f"{WaveSpec.max_stable_courant(2, radius):.3f})")
+
+    shape = (160, 240)
+    u_prev = np.zeros(shape, dtype=np.float32)
+    u_cur = np.zeros(shape, dtype=np.float32)
+    # a smooth point source (Gaussian) left of center
+    yy, xx = np.mgrid[0 : shape[0], 0 : shape[1]]
+    u_cur += np.exp(-((yy - 80) ** 2 + (xx - 70) ** 2) / 12.0).astype(np.float32)
+    u_prev[:] = u_cur  # zero initial velocity
+
+    config = BlockingConfig(dims=2, radius=radius, bsize_x=120, parvec=4, partime=2)
+    accelerator = WaveAccelerator(spec, config)
+
+    total = 0
+    for chunk in (20, 40, 60):
+        u_prev, u_cur, stats = accelerator.run(u_prev, u_cur, chunk)
+        total += chunk
+        print()
+        print(render(u_cur, total))
+    print()
+    rp, rc = wave_reference_run(
+        *_initial(shape), spec, total
+    )
+    assert np.array_equal(rc, u_cur), "accelerator diverged from reference"
+    print(f"Bit-identical to the golden leapfrog reference after {total} steps  [OK]")
+    print(f"Blocking: {stats.blocks_per_pass} blocks/pass, "
+          f"redundancy {stats.redundancy_ratio:.2f}x, "
+          f"{stats.shift_register_words_per_pe} register words/PE "
+          f"(two time levels)")
+
+
+def _initial(shape: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+    u = np.zeros(shape, dtype=np.float32)
+    yy, xx = np.mgrid[0 : shape[0], 0 : shape[1]]
+    u += np.exp(-((yy - 80) ** 2 + (xx - 70) ** 2) / 12.0).astype(np.float32)
+    return u.copy(), u.copy()
+
+
+if __name__ == "__main__":
+    main()

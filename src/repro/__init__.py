@@ -1,0 +1,47 @@
+"""repro — reproduction of Zohouri et al., *High-Performance High-Order
+Stencil Computation on FPGAs Using OpenCL* (IPDPS 2018).
+
+Public API highlights
+---------------------
+* :class:`repro.core.StencilSpec` — star stencils of arbitrary radius.
+* :class:`repro.core.FPGAAccelerator` — functional simulator of the
+  paper's combined spatial/temporal-blocking OpenCL design.
+* :mod:`repro.models` — DSP/BRAM area model, performance model, tuner.
+* :mod:`repro.baselines` — YASK-like CPU engine and in-plane GPU model.
+* :mod:`repro.experiments` — regenerate every table and figure.
+"""
+
+from repro.core import (
+    BlockingConfig,
+    Direction,
+    FPGAAccelerator,
+    StencilSpec,
+    make_grid,
+    reference_run,
+    reference_step,
+)
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    ResourceExceededError,
+    SimulationError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StencilSpec",
+    "Direction",
+    "BlockingConfig",
+    "FPGAAccelerator",
+    "make_grid",
+    "reference_step",
+    "reference_run",
+    "ReproError",
+    "ConfigurationError",
+    "ResourceExceededError",
+    "SimulationError",
+    "ValidationError",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Analysis utilities: published data, metrics, tables, figures, compare."""
+
+from repro.analysis.metrics import PerfRecord, gcell_to_gflops, gcell_to_gbs
+from repro.analysis.paper_data import (
+    PAPER_TABLE_I,
+    PAPER_TABLE_II,
+    PAPER_TABLE_III,
+    PAPER_TABLE_IV,
+    PAPER_TABLE_V,
+    PAPER_RELATED_WORK,
+)
+from repro.analysis.tables import render_table
+from repro.analysis.figures import bar_chart, stencil_diagram, design_overview
+from repro.analysis.compare import Comparison, compare_values
+
+__all__ = [
+    "PerfRecord",
+    "gcell_to_gflops",
+    "gcell_to_gbs",
+    "PAPER_TABLE_I",
+    "PAPER_TABLE_II",
+    "PAPER_TABLE_III",
+    "PAPER_TABLE_IV",
+    "PAPER_TABLE_V",
+    "PAPER_RELATED_WORK",
+    "render_table",
+    "bar_chart",
+    "stencil_diagram",
+    "design_overview",
+    "Comparison",
+    "compare_values",
+]

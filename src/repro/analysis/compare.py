@@ -1,0 +1,52 @@
+"""Paper-vs-reproduction comparison with a uniform tolerance policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One compared quantity."""
+
+    label: str
+    paper: float
+    reproduced: float
+    tolerance: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper == 0:
+            return 0.0 if self.reproduced == 0 else float("inf")
+        return (self.reproduced - self.paper) / self.paper
+
+    @property
+    def within_tolerance(self) -> bool:
+        return abs(self.relative_error) <= self.tolerance
+
+    def render(self) -> str:
+        flag = "ok" if self.within_tolerance else "DEVIATES"
+        return (
+            f"{self.label}: paper {self.paper:.3f}  reproduced "
+            f"{self.reproduced:.3f}  ({self.relative_error:+.1%}, "
+            f"tol {self.tolerance:.0%}) {flag}"
+        )
+
+
+def compare_values(
+    label: str, paper: float, reproduced: float, tolerance: float = 0.05
+) -> Comparison:
+    """Build a :class:`Comparison`; tolerance is relative (default 5 %)."""
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+    return Comparison(label=label, paper=paper, reproduced=reproduced, tolerance=tolerance)
+
+
+def summarize(comparisons: list[Comparison]) -> str:
+    """Render all comparisons plus a pass/total summary line."""
+    lines = [c.render() for c in comparisons]
+    passed = sum(c.within_tolerance for c in comparisons)
+    lines.append(f"-- {passed}/{len(comparisons)} within tolerance")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Order-of-accuracy verification for the high-order stencils.
+
+*Why* do scientific applications want high-order stencils (the paper's
+whole premise)?  Because a radius-``r`` central-difference Laplacian is
+accurate to order ``2r``: halving the grid spacing divides the truncation
+error by ``2^(2r)``.  This module verifies that property empirically:
+
+* apply the radius-``r`` discrete Laplacian (the weights shared with
+  :mod:`repro.core.wave` and :mod:`repro.apps.heat`) to a smooth analytic
+  field at several resolutions;
+* measure the max interior error against the analytic Laplacian
+  (boundary-affected cells excluded — the clamp condition is first-order
+  and would mask the interior order);
+* fit the observed convergence order by least squares on
+  ``log(error) ~ -p * log(N)``.
+
+Computation is float64 — the quantity under test is the *weights'*
+truncation order, which float32 round-off would floor within two
+refinements for r >= 3.  (Engine semantics are validated elsewhere;
+here we validate the numerics the engines carry.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.wave import LAPLACIAN_WEIGHTS
+from repro.errors import ConfigurationError
+
+
+def discrete_laplacian_1d(values: np.ndarray, radius: int, dx: float) -> np.ndarray:
+    """Radius-``r`` central-difference second derivative (float64).
+
+    Returns the derivative on the interior (the ``radius`` cells at each
+    end are dropped — no boundary condition is applied).
+    """
+    if radius not in LAPLACIAN_WEIGHTS:
+        raise ConfigurationError(
+            f"radius must be in {sorted(LAPLACIAN_WEIGHTS)}, got {radius}"
+        )
+    if values.ndim != 1 or values.size <= 2 * radius:
+        raise ConfigurationError("need a 1D array longer than 2*radius")
+    center_w, weights = LAPLACIAN_WEIGHTS[radius]
+    v = values.astype(np.float64)
+    n = v.size
+    acc = center_w * v[radius : n - radius]
+    for distance, w in enumerate(weights, start=1):
+        acc = acc + w * (
+            v[radius - distance : n - radius - distance]
+            + v[radius + distance : n - radius + distance]
+        )
+    return acc / (dx * dx)
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Observed convergence of one radius."""
+
+    radius: int
+    resolutions: tuple[int, ...]
+    errors: tuple[float, ...]
+    observed_order: float
+
+    @property
+    def theoretical_order(self) -> int:
+        return 2 * self.radius
+
+
+def _fit_order(ns: list[int], errors: list[float]) -> float:
+    """Least-squares slope of log(error) against log(1/N)."""
+    xs = np.log([1.0 / n for n in ns])
+    ys = np.log(errors)
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(slope)
+
+
+def measure_convergence(
+    radius: int,
+    resolutions: tuple[int, ...] = (32, 48, 64, 96),
+    wavenumber: float = 2.0,
+) -> ConvergenceResult:
+    """Convergence study on ``u(x) = sin(k x)`` over ``[0, 2 pi]``.
+
+    The analytic second derivative is ``-k^2 sin(k x)``; the max interior
+    error at each resolution feeds the order fit.
+    """
+    if len(resolutions) < 2:
+        raise ConfigurationError("need at least two resolutions")
+    if any(n <= 4 * radius for n in resolutions):
+        raise ConfigurationError("resolutions too small for the radius")
+    errors: list[float] = []
+    for n in resolutions:
+        x = np.linspace(0.0, 2.0 * math.pi, n, endpoint=False)
+        dx = x[1] - x[0]
+        u = np.sin(wavenumber * x)
+        exact = -(wavenumber**2) * np.sin(wavenumber * x)[radius : n - radius]
+        approx = discrete_laplacian_1d(u, radius, dx)
+        errors.append(float(np.max(np.abs(approx - exact))))
+    order = _fit_order(list(resolutions), errors)
+    return ConvergenceResult(
+        radius=radius,
+        resolutions=tuple(resolutions),
+        errors=tuple(errors),
+        observed_order=order,
+    )
+
+
+def verify_all_orders(
+    radii: tuple[int, ...] = (1, 2, 3, 4),
+    tolerance: float = 0.4,
+) -> dict[int, ConvergenceResult]:
+    """Run the study for every radius; raise if any misses ``2r``.
+
+    ``tolerance`` is the allowed deviation of the fitted order.
+    """
+    out: dict[int, ConvergenceResult] = {}
+    for radius in radii:
+        result = measure_convergence(radius)
+        if abs(result.observed_order - result.theoretical_order) > tolerance:
+            raise ConfigurationError(
+                f"radius {radius}: observed order {result.observed_order:.2f} "
+                f"!= {result.theoretical_order}"
+            )
+        out[radius] = result
+    return out

@@ -1,0 +1,80 @@
+"""ASCII figures: grouped bar charts (Figs. 3-4) and diagrams (Figs. 1-2)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def bar_chart(
+    series: Mapping[str, Sequence[float]],
+    group_labels: Sequence[str],
+    title: str,
+    unit: str,
+    width: int = 50,
+    hatched: Sequence[str] = (),
+) -> str:
+    """Horizontal grouped bar chart (one group per device, one bar per
+    stencil order), mirroring the layout of the paper's Figs. 3-4.
+
+    ``hatched`` marks extrapolated series with ``░`` bars (the paper's
+    hachure convention).
+    """
+    if not series:
+        raise ConfigurationError("no data series")
+    for name, values in series.items():
+        if len(values) != len(group_labels):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} values, "
+                f"expected {len(group_labels)}"
+            )
+    peak = max(max(v) for v in series.values())
+    if peak <= 0:
+        raise ConfigurationError("all values are non-positive")
+    label_w = max(len(l) for l in group_labels) + 2
+    lines = [title, "=" * len(title)]
+    for device, values in series.items():
+        fill = "░" if device in hatched else "█"
+        suffix = "  (extrapolated)" if device in hatched else ""
+        lines.append(f"{device}{suffix}")
+        for label, value in zip(group_labels, values):
+            n = int(round(width * value / peak))
+            bar = fill * max(n, 1 if value > 0 else 0)
+            lines.append(f"  {label.ljust(label_w)}{bar} {value:.1f} {unit}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def stencil_diagram(radius: int) -> str:
+    """ASCII rendering of a 2D slice of a star stencil (Fig. 1 spirit)."""
+    if radius < 1:
+        raise ConfigurationError(f"radius must be >= 1, got {radius}")
+    size = 2 * radius + 1
+    rows = []
+    for y in range(size):
+        cells = []
+        for x in range(size):
+            dy, dx = y - radius, x - radius
+            if dy == 0 and dx == 0:
+                cells.append("C")
+            elif dy == 0 or dx == 0:
+                cells.append("o")
+            else:
+                cells.append(".")
+        rows.append(" ".join(cells))
+    return "\n".join(rows)
+
+
+def design_overview(partime: int) -> str:
+    """ASCII rendering of the accelerator dataflow (Fig. 2)."""
+    if partime < 1:
+        raise ConfigurationError(f"partime must be >= 1, got {partime}")
+    shown = min(partime, 4)
+    pes = " --> ".join(f"PE{i}" for i in range(shown))
+    if partime > shown:
+        pes += f" --> ... --> PE{partime - 1}"
+    return (
+        "DDR ==> [Read] --> " + pes + " --> [Write] ==> DDR\n"
+        f"        ({partime} chained PEs, one time step each; channels between stages)"
+    )

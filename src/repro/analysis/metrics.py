@@ -1,0 +1,65 @@
+"""Metric conversions and the common performance record (paper §IV.C).
+
+The paper's primary metric is updated cells per second (GCell/s, eq. 3);
+GFLOP/s and GB/s derive from it via the stencil's per-cell FLOP and byte
+counts, with redundant computation and accesses *excluded* (§IV.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError
+
+
+def gcell_rate(cells: int, iterations: int, seconds: float) -> float:
+    """Eq. 3: GCell/s = cells x iterations / runtime / 1e9."""
+    if seconds <= 0:
+        raise ConfigurationError(f"runtime must be positive, got {seconds}")
+    if cells < 0 or iterations < 0:
+        raise ConfigurationError("cells and iterations must be non-negative")
+    return cells * iterations / seconds / 1e9
+
+
+def gcell_to_gflops(gcell_s: float, spec: StencilSpec) -> float:
+    """GFLOP/s = GCell/s x FLOP per cell update."""
+    return gcell_s * spec.flops_per_cell
+
+
+def gcell_to_gbs(gcell_s: float, spec: StencilSpec) -> float:
+    """GB/s (effective throughput) = GCell/s x bytes per cell update."""
+    return gcell_s * spec.bytes_per_cell
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """One (device, stencil) performance entry of a comparison table."""
+
+    device: str
+    dims: int
+    radius: int
+    gcell_s: float
+    gflop_s: float
+    power_watts: float
+    roofline_ratio: float
+    extrapolated: bool = False
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """Power efficiency (Tables IV/V column)."""
+        if self.power_watts <= 0:
+            raise ConfigurationError("power must be positive")
+        return self.gflop_s / self.power_watts
+
+    def as_row(self) -> list:
+        """Row for the table renderer."""
+        return [
+            self.device,
+            self.radius,
+            f"{self.gflop_s:.3f}",
+            f"{self.gcell_s:.3f}",
+            f"{self.gflops_per_watt:.3f}",
+            f"{self.roofline_ratio:.2f}",
+            "yes" if self.extrapolated else "",
+        ]

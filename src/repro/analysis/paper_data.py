@@ -1,0 +1,177 @@
+"""Every published number from the paper's evaluation, verbatim.
+
+These constants are the ground truth the experiments compare against.
+They are *never* used inside the models themselves except where DESIGN.md
+documents an explicit fit (fmax, bandwidth-utilization and power
+constants — empirical platform properties the paper itself measures).
+"""
+
+from __future__ import annotations
+
+#: Table I — (dims, radius) -> (FLOP/cell, byte/cell, FLOP/byte).
+PAPER_TABLE_I: dict[tuple[int, int], tuple[int, int, float]] = {
+    (2, 1): (9, 8, 1.125),
+    (2, 2): (17, 8, 2.125),
+    (2, 3): (25, 8, 3.125),
+    (2, 4): (33, 8, 4.125),
+    (3, 1): (13, 8, 1.625),
+    (3, 2): (25, 8, 3.125),
+    (3, 3): (37, 8, 4.625),
+    (3, 4): (49, 8, 6.125),
+}
+
+#: Table II — device key -> (GFLOP/s, GB/s, TDP W, node nm, FLOP/B, year).
+PAPER_TABLE_II: dict[str, tuple[float, float, float, int, float, int]] = {
+    "arria10": (1450, 34.1, 70, 20, 42.522, 2014),
+    "xeon": (700, 76.8, 105, 14, 9.115, 2016),
+    "xeon-phi": (5325, 400, 235, 14, 13.313, 2016),
+    "gtx580": (1580, 192.4, 244, 40, 8.212, 2010),
+    "gtx980ti": (6900, 336.6, 275, 28, 20.499, 2015),
+    "p100": (9300, 720.9, 250, 16, 12.901, 2016),
+}
+
+#: Table III — (dims, radius) -> full FPGA row.
+#: Fields: bsize (y, x) with y=None in 2D, parvec, partime, input shape,
+#: estimated GB/s, measured (GB/s, GFLOP/s, GCell/s), fmax MHz, logic
+#: fraction, memory (bits, blocks) fractions, DSP fraction, power W,
+#: model accuracy.
+PAPER_TABLE_III: dict[tuple[int, int], dict] = {
+    (2, 1): dict(
+        bsize=(None, 4096), parvec=8, partime=36, shape=(16096, 16096),
+        estimated_gbs=780.500, measured=(673.959, 758.204, 84.245),
+        fmax_mhz=343.76, logic=0.55, mem_bits=0.38, mem_blocks=0.83,
+        dsp=0.95, power_w=72.530, accuracy=0.863,
+    ),
+    (2, 2): dict(
+        bsize=(None, 4096), parvec=4, partime=42, shape=(15712, 15712),
+        estimated_gbs=423.173, measured=(359.752, 764.473, 44.969),
+        fmax_mhz=322.47, logic=0.64, mem_bits=0.75, mem_blocks=1.00,
+        dsp=1.00, power_w=69.611, accuracy=0.850,
+    ),
+    (2, 3): dict(
+        bsize=(None, 4096), parvec=4, partime=28, shape=(15712, 15712),
+        estimated_gbs=264.863, measured=(225.215, 703.797, 28.152),
+        fmax_mhz=302.75, logic=0.57, mem_bits=0.75, mem_blocks=1.00,
+        dsp=0.96, power_w=66.139, accuracy=0.850,
+    ),
+    (2, 4): dict(
+        bsize=(None, 4096), parvec=4, partime=22, shape=(15680, 15680),
+        estimated_gbs=206.061, measured=(174.381, 719.322, 21.798),
+        fmax_mhz=301.20, logic=0.60, mem_bits=0.78, mem_blocks=1.00,
+        dsp=0.99, power_w=68.925, accuracy=0.846,
+    ),
+    (3, 1): dict(
+        bsize=(256, 256), parvec=16, partime=12, shape=(696, 696, 696),
+        estimated_gbs=378.345, measured=(230.568, 374.673, 28.821),
+        fmax_mhz=286.61, logic=0.60, mem_bits=0.94, mem_blocks=1.00,
+        dsp=0.89, power_w=71.628, accuracy=0.609,
+    ),
+    (3, 2): dict(
+        bsize=(128, 256), parvec=16, partime=6, shape=(696, 728, 696),
+        estimated_gbs=176.713, measured=(97.035, 303.234, 12.129),
+        fmax_mhz=262.88, logic=0.44, mem_bits=0.73, mem_blocks=0.87,
+        dsp=0.83, power_w=59.664, accuracy=0.549,
+    ),
+    (3, 3): dict(
+        bsize=(128, 256), parvec=16, partime=4, shape=(696, 728, 696),
+        estimated_gbs=114.667, measured=(63.737, 294.784, 7.967),
+        fmax_mhz=255.36, logic=0.44, mem_bits=0.81, mem_blocks=0.99,
+        dsp=0.81, power_w=63.183, accuracy=0.556,
+    ),
+    (3, 4): dict(
+        bsize=(128, 256), parvec=16, partime=3, shape=(696, 728, 696),
+        estimated_gbs=81.597, measured=(44.701, 273.794, 5.588),
+        fmax_mhz=242.77, logic=0.47, mem_bits=0.85, mem_blocks=1.00,
+        dsp=0.80, power_w=58.572, accuracy=0.548,
+    ),
+}
+
+#: Table IV — 2D comparison: device key -> radius ->
+#: (GFLOP/s, GCell/s, GFLOP/s/W, roofline ratio).
+PAPER_TABLE_IV: dict[str, dict[int, tuple[float, float, float, float]]] = {
+    "arria10": {
+        1: (758.204, 84.245, 10.454, 19.76),
+        2: (764.473, 44.969, 10.982, 10.55),
+        3: (703.797, 28.152, 10.641, 6.60),
+        4: (719.322, 21.798, 10.436, 5.11),
+    },
+    "xeon": {
+        1: (45.306, 5.034, 0.521, 0.52),
+        2: (85.255, 5.015, 0.942, 0.52),
+        3: (124.500, 4.980, 1.331, 0.52),
+        4: (165.231, 5.007, 1.737, 0.52),
+    },
+    "xeon-phi": {
+        1: (222.804, 24.756, 1.000, 0.50),
+        2: (398.735, 23.455, 1.774, 0.47),
+        3: (592.250, 23.690, 2.629, 0.47),
+        4: (759.198, 23.006, 3.369, 0.46),
+    },
+}
+
+#: Table V — 3D comparison (extrapolated GPUs flagged).
+PAPER_TABLE_V: dict[str, dict[int, tuple[float, float, float, float]]] = {
+    "arria10": {
+        1: (374.673, 28.821, 5.231, 6.76),
+        2: (303.234, 12.129, 5.082, 2.85),
+        3: (294.784, 7.967, 4.666, 1.87),
+        4: (273.794, 5.588, 4.674, 1.31),
+    },
+    "xeon": {
+        1: (61.282, 4.714, 0.686, 0.49),
+        2: (115.225, 4.609, 1.235, 0.48),
+        3: (151.996, 4.108, 1.617, 0.43),
+        4: (205.751, 4.199, 2.069, 0.44),
+    },
+    "xeon-phi": {
+        1: (288.990, 22.230, 1.279, 0.44),
+        2: (549.300, 21.972, 2.428, 0.44),
+        3: (788.544, 21.312, 3.480, 0.43),
+        4: (1069.278, 21.822, 4.714, 0.44),
+    },
+    "gtx580": {
+        1: (224.822, 17.294, 1.229, 0.72),
+        2: (358.725, 14.349, 1.960, 0.60),
+        3: (404.928, 10.944, 2.213, 0.46),
+        4: (453.446, 9.254, 2.478, 0.38),
+    },
+    "gtx980ti": {
+        1: (393.322, 30.256, 1.907, 0.72),
+        2: (627.582, 25.103, 3.043, 0.60),
+        3: (708.414, 19.146, 3.435, 0.46),
+        4: (793.295, 16.190, 3.846, 0.38),
+    },
+    "p100": {
+        1: (842.381, 64.799, 4.493, 0.72),
+        2: (1344.100, 53.764, 7.169, 0.60),
+        3: (1517.217, 41.006, 8.092, 0.46),
+        4: (1699.008, 34.674, 9.061, 0.38),
+    },
+}
+
+#: Devices whose Table V rows are extrapolated (hachured in the paper).
+EXTRAPOLATED_GPUS = ("gtx980ti", "p100")
+
+#: §VI.C — related FPGA work comparisons (GCell/s).
+PAPER_RELATED_WORK = {
+    "shafiq_4th_order_3d": dict(
+        theirs=2.783, ours=5.588, device="Virtex-4 LX200",
+        note="spatial blocking only; assumes 22.24 GB/s streaming "
+        "bandwidth the system cannot deliver (practical roofline "
+        "0.8 GCell/s)",
+        practical_roofline=0.8,
+    ),
+    "fu_3rd_order_3d": dict(
+        theirs=1.54, ours=7.967, device="2x Virtex-5 LX330",
+        note="combined blocking via MaxCompiler; projected ~5 GCell/s "
+        "on a 4x larger future device",
+        projected_future=5.0,
+    ),
+}
+
+#: Headline claims (abstract / conclusion).
+PAPER_HEADLINES = dict(
+    gflops_2d_min=700.0,  # "over 700 GFLOP/s ... for 2D"
+    gflops_3d_min=270.0,  # "over 270 GFLOP/s ... for 3D"
+    max_radius=4,
+)

@@ -1,0 +1,85 @@
+"""Full-reproduction report generator.
+
+Runs every registered experiment and assembles a single markdown report:
+summary table (pass/fail, worst deviation per artifact), each rendered
+table/figure, and the comparison details.  ``python -m repro.experiments
+all`` prints the same content piecewise; this module gives it to scripts
+as one document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One experiment's contribution to the report."""
+
+    exp_id: str
+    title: str
+    passed: bool
+    worst_deviation: float | None
+    body: str
+
+
+def _worst(comparisons) -> float | None:
+    if not comparisons:
+        return None
+    return max(abs(c.relative_error) for c in comparisons)
+
+
+def build_sections(experiment_ids: list[str] | None = None) -> list[ReportSection]:
+    """Run experiments (all registered by default) and collect sections."""
+    from repro.experiments import EXPERIMENTS
+
+    ids = sorted(EXPERIMENTS) if experiment_ids is None else experiment_ids
+    sections = []
+    for exp_id in ids:
+        result = EXPERIMENTS[exp_id]()
+        sections.append(
+            ReportSection(
+                exp_id=exp_id,
+                title=result.title,
+                passed=result.passed,
+                worst_deviation=_worst(result.comparisons),
+                body=result.render(),
+            )
+        )
+    return sections
+
+
+def generate_report(
+    experiment_ids: list[str] | None = None,
+    sections: list[ReportSection] | None = None,
+) -> str:
+    """The full markdown report (pass ``sections`` to reuse a prior run)."""
+    if sections is None:
+        sections = build_sections(experiment_ids)
+    lines = [
+        "# Reproduction report",
+        "",
+        "Zohouri, Podobas, Matsuoka — *High-Performance High-Order Stencil "
+        "Computation on FPGAs Using OpenCL* (IPDPS 2018).",
+        "",
+        "| Experiment | Title | Checks | Worst deviation |",
+        "|---|---|---|---|",
+    ]
+    for s in sections:
+        status = "pass" if s.passed else "FAIL"
+        worst = "-" if s.worst_deviation is None else f"{s.worst_deviation:.1%}"
+        lines.append(f"| {s.exp_id} | {s.title} | {status} | {worst} |")
+    lines.append("")
+    for s in sections:
+        lines.append(f"## {s.exp_id} — {s.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(s.body)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def all_passed(sections: list[ReportSection]) -> bool:
+    """Whether every section's comparisons passed."""
+    return all(s.passed for s in sections)

@@ -1,0 +1,155 @@
+"""Parameter-sweep utilities producing (x, y) series for analysis.
+
+Backs the ablation experiment and exploratory use: sweep one knob of the
+design while holding the rest, collecting the performance model's
+predictions.  Each sweep returns a :class:`Sweep` with aligned ``x`` and
+``y`` lists and a renderable summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.blocking import BlockingConfig
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError
+from repro.fpga.board import Board
+from repro.models.area import AreaModel
+from repro.models.performance import PerformanceModel
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """One swept series."""
+
+    knob: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+    unit: str
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError("x and y must be the same length")
+        if not self.x:
+            raise ConfigurationError("empty sweep")
+
+    @property
+    def best(self) -> tuple[float, float]:
+        """(x, y) at the maximum y."""
+        i = max(range(len(self.y)), key=lambda j: self.y[j])
+        return self.x[i], self.y[i]
+
+    def render(self, width: int = 40) -> str:
+        peak = max(self.y)
+        lines = [f"{self.knob} sweep ({self.unit}):"]
+        for xv, yv in zip(self.x, self.y):
+            bar = "#" * max(1, int(width * yv / peak)) if peak > 0 else ""
+            lines.append(f"  {xv:>8g}  {bar} {yv:.2f}")
+        return "\n".join(lines)
+
+
+def _estimate(board, spec, config, shape, iterations, measured):
+    model = PerformanceModel(board)
+    fn = model.predict_measured if measured else model.estimate
+    return fn(spec, config, shape, iterations)
+
+
+def sweep_partime(
+    spec: StencilSpec,
+    board: Board,
+    base: BlockingConfig,
+    shape: tuple[int, ...],
+    iterations: int = 1000,
+    values: tuple[int, ...] | None = None,
+    measured: bool = True,
+    enforce_fit: bool = True,
+) -> Sweep:
+    """GCell/s vs degree of temporal parallelism.
+
+    Skips values whose compute block would vanish (eq. 2) or whose design
+    does not fit the device (unless ``enforce_fit=False``).
+    """
+    if values is None:
+        values = tuple(range(1, 65))
+    area = AreaModel(board.device)
+    xs: list[float] = []
+    ys: list[float] = []
+    for partime in values:
+        try:
+            config = BlockingConfig(
+                dims=base.dims,
+                radius=base.radius,
+                bsize_x=base.bsize_x,
+                bsize_y=base.bsize_y,
+                parvec=base.parvec,
+                partime=partime,
+            )
+        except ConfigurationError:
+            continue
+        if enforce_fit and not area.fits(spec, config):
+            continue
+        est = _estimate(board, spec, config, shape, iterations, measured)
+        xs.append(partime)
+        ys.append(est.gcell_s)
+    if not xs:
+        raise ConfigurationError("no feasible partime in the sweep")
+    return Sweep("partime", tuple(xs), tuple(ys), "GCell/s")
+
+
+def sweep_parvec(
+    spec: StencilSpec,
+    board: Board,
+    base: BlockingConfig,
+    shape: tuple[int, ...],
+    iterations: int = 1000,
+    values: tuple[int, ...] = (1, 2, 4, 8, 16),
+    measured: bool = True,
+) -> Sweep:
+    """GCell/s vs vector width (shows the splitting penalty at 16)."""
+    xs: list[float] = []
+    ys: list[float] = []
+    for parvec in values:
+        if base.bsize_x % parvec != 0:
+            continue
+        config = BlockingConfig(
+            dims=base.dims,
+            radius=base.radius,
+            bsize_x=base.bsize_x,
+            bsize_y=base.bsize_y,
+            parvec=parvec,
+            partime=base.partime,
+        )
+        est = _estimate(board, spec, config, shape, iterations, measured)
+        xs.append(parvec)
+        ys.append(est.gcell_s)
+    if not xs:
+        raise ConfigurationError("no feasible parvec in the sweep")
+    return Sweep("parvec", tuple(xs), tuple(ys), "GCell/s")
+
+
+def sweep_radius(
+    board: Board,
+    dims: int,
+    shape: tuple[int, ...],
+    radii: tuple[int, ...] = (1, 2, 3, 4),
+    iterations: int = 1000,
+) -> tuple[Sweep, Sweep]:
+    """(GCell/s, GFLOP/s) vs stencil radius using the tuner's best design
+    per radius — the paper's Figs. 3-4 FPGA trend."""
+    from repro.models.tuner import Tuner
+
+    xs: list[float] = []
+    gcell: list[float] = []
+    gflop: list[float] = []
+    for radius in radii:
+        spec = StencilSpec.star(dims, radius)
+        design = Tuner(spec, board).best(shape, iterations)
+        model = PerformanceModel(board)
+        est = model.predict_measured(spec, design.config, shape, iterations)
+        xs.append(radius)
+        gcell.append(est.gcell_s)
+        gflop.append(est.gflop_s)
+    return (
+        Sweep("radius", tuple(xs), tuple(gcell), "GCell/s"),
+        Sweep("radius", tuple(xs), tuple(gflop), "GFLOP/s"),
+    )

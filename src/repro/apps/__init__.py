@@ -1,0 +1,29 @@
+"""Application layer: solvers built on the accelerator simulator.
+
+The paper motivates its kernels with physical simulation workloads; this
+subpackage packages them as reusable, tested APIs:
+
+* :class:`repro.apps.heat.HeatSolver` — explicit heat/diffusion with
+  2nd/4th/6th/8th-order Laplacians;
+* :class:`repro.apps.acoustic.AcousticSolver2D` — leapfrog acoustic wave
+  propagation with point sources and receiver traces (the reverse-time-
+  migration-style workload of Fu & Clapp [19]);
+* :mod:`repro.apps.imaging` — iterative cross filters (the intro's image
+  processing motivation).
+"""
+
+from repro.apps.heat import HeatSolver, heat_spec
+from repro.apps.acoustic import AcousticSolver2D, AcousticSolver3D, Receiver, RickerSource
+from repro.apps.imaging import cross_blur_spec, denoise, unsharp_mask
+
+__all__ = [
+    "HeatSolver",
+    "heat_spec",
+    "AcousticSolver2D",
+    "AcousticSolver3D",
+    "RickerSource",
+    "Receiver",
+    "cross_blur_spec",
+    "denoise",
+    "unsharp_mask",
+]

@@ -1,0 +1,236 @@
+"""Acoustic wave propagation with sources and receivers.
+
+A reverse-time-migration-flavored workload (the paper's §II compares
+against Fu & Clapp's RTM accelerator [19]): leapfrog time stepping on the
+:class:`repro.core.wave.WaveAccelerator`, a Ricker-wavelet point source,
+and receiver traces (seismograms) sampled every step.
+
+Because sources inject energy *between* stencil steps, temporal blocking
+is applied between source events: the solver advances in chunks of
+``partime`` steps through the PE chain and injects at chunk boundaries
+when the source is quiescent, or steps singly while it is active — the
+standard trade-off for temporally-blocked RTM codes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.blocking import BlockingConfig
+from repro.core.wave import WaveAccelerator, WaveSpec
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RickerSource:
+    """Ricker wavelet point source.
+
+    ``peak_frequency`` is in cycles per time step (dimensionless);
+    ``delay_steps`` shifts the wavelet so it starts near zero.
+    """
+
+    position: tuple[int, int]
+    peak_frequency: float = 0.02
+    amplitude: float = 1.0
+    delay_steps: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.peak_frequency < 0.5:
+            raise ConfigurationError(
+                f"peak_frequency must be in (0, 0.5), got {self.peak_frequency}"
+            )
+
+    @property
+    def delay(self) -> int:
+        if self.delay_steps is not None:
+            return self.delay_steps
+        return int(1.5 / self.peak_frequency)
+
+    def value(self, step: int) -> float:
+        """Source amplitude at a time step."""
+        t = (step - self.delay) * self.peak_frequency * math.pi
+        return self.amplitude * (1.0 - 2.0 * t * t) * math.exp(-t * t)
+
+    def active(self, step: int, threshold: float = 1e-6) -> bool:
+        """Whether the wavelet still carries energy at ``step``."""
+        return abs(self.value(step)) > threshold * abs(self.amplitude)
+
+    def quiescent_after(self, threshold: float = 1e-6) -> int:
+        """First step after which the wavelet stays below threshold."""
+        step = self.delay
+        while self.active(step, threshold):
+            step += 1
+        return step
+
+
+@dataclass
+class Receiver:
+    """Samples the field at a fixed position every step."""
+
+    position: tuple[int, int]
+    trace: list[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.trace.append(value)
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.trace, dtype=np.float32)
+
+    @property
+    def first_arrival(self) -> int | None:
+        """First step where the |trace| exceeds 1 % of its peak."""
+        trace = np.abs(self.as_array())
+        if trace.size == 0 or trace.max() == 0:
+            return None
+        threshold = 0.01 * float(trace.max())
+        hits = np.nonzero(trace > threshold)[0]
+        return int(hits[0]) if hits.size else None
+
+
+class _AcousticSolverBase:
+    """Shared leapfrog + source/receiver machinery (2D and 3D)."""
+
+    DIMS = 2
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        radius: int = 4,
+        courant: float = 0.4,
+        config: BlockingConfig | None = None,
+    ):
+        if len(shape) != self.DIMS:
+            raise ConfigurationError(
+                f"shape must be {self.DIMS}D, got {len(shape)} extents"
+            )
+        self.spec = WaveSpec(self.DIMS, radius, courant)
+        if not self.spec.is_stable:
+            raise ConfigurationError(
+                f"courant {courant} violates the CFL bound "
+                f"{WaveSpec.max_stable_courant(self.DIMS, radius):.3f}"
+            )
+        if config is None:
+            config = BlockingConfig(
+                dims=self.DIMS,
+                radius=radius,
+                bsize_x=max(96, 12 * radius),
+                bsize_y=None if self.DIMS == 2 else max(48, 12 * radius),
+                parvec=4,
+                partime=2,
+            )
+        self.config = config
+        self.shape = tuple(int(s) for s in shape)
+        self._engine = WaveAccelerator(self.spec, config)
+        self.u_prev = np.zeros(self.shape, dtype=np.float32)
+        self.u_cur = np.zeros(self.shape, dtype=np.float32)
+        self.step_index = 0
+        self.sources: list[RickerSource] = []
+        self.receivers: list[Receiver] = []
+        self.chunks_blocked = 0
+        self.steps_single = 0
+
+    # ------------------------------------------------------------------ #
+
+    def add_source(self, source: RickerSource) -> None:
+        self._check_position(source.position)
+        self.sources.append(source)
+
+    def add_receiver(self, position: tuple[int, int]) -> Receiver:
+        self._check_position(position)
+        receiver = Receiver(position)
+        self.receivers.append(receiver)
+        return receiver
+
+    def _check_position(self, position: tuple[int, ...]) -> None:
+        if len(position) != self.DIMS:
+            raise ConfigurationError(
+                f"position must have {self.DIMS} coordinates, got {position}"
+            )
+        if any(not 0 <= p < extent for p, extent in zip(position, self.shape)):
+            raise ConfigurationError(f"position {position} outside {self.shape}")
+
+    def _inject_and_record(self) -> None:
+        for source in self.sources:
+            self.u_cur[source.position] += np.float32(source.value(self.step_index))
+        for receiver in self.receivers:
+            receiver.record(float(self.u_cur[receiver.position]))
+
+    def _any_source_active(self, horizon: int = 1) -> bool:
+        """Whether any source injects within the next ``horizon`` steps
+        (a blocked chunk must not skip over a source onset)."""
+        return any(
+            s.active(self.step_index + k)
+            for s in self.sources
+            for k in range(horizon)
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, steps: int) -> None:
+        """Advance ``steps`` time steps.
+
+        Single-steps while a source injects (injection must interleave
+        with propagation) and switches to full ``partime`` chunks through
+        the PE chain once all sources are quiescent.
+        """
+        if steps < 0:
+            raise ConfigurationError(f"steps must be >= 0, got {steps}")
+        remaining = steps
+        while remaining > 0:
+            chunk_horizon = min(self.config.partime, remaining)
+            if self._any_source_active(chunk_horizon) or self.config.partime == 1:
+                self._inject_and_record()
+                self.u_prev, self.u_cur, _ = self._engine.run(
+                    self.u_prev, self.u_cur, 1
+                )
+                self.step_index += 1
+                self.steps_single += 1
+                remaining -= 1
+            else:
+                chunk = min(self.config.partime, remaining)
+                # record receivers at each chunk-internal step would need
+                # intermediate states; run singly if receivers are present
+                if self.receivers:
+                    self._inject_and_record()
+                    self.u_prev, self.u_cur, _ = self._engine.run(
+                        self.u_prev, self.u_cur, 1
+                    )
+                    self.step_index += 1
+                    self.steps_single += 1
+                    remaining -= 1
+                else:
+                    self.u_prev, self.u_cur, _ = self._engine.run(
+                        self.u_prev, self.u_cur, chunk
+                    )
+                    self.step_index += chunk
+                    self.chunks_blocked += 1
+                    remaining -= chunk
+
+    def wavefield(self) -> np.ndarray:
+        """Current pressure field (copy)."""
+        return self.u_cur.copy()
+
+    def expected_arrival(
+        self, src: tuple[int, ...], dst: tuple[int, ...]
+    ) -> float:
+        """Travel time in steps between two points at the medium speed."""
+        dist = math.sqrt(sum((a - b) ** 2 for a, b in zip(src, dst)))
+        return dist / self.spec.courant
+
+
+class AcousticSolver2D(_AcousticSolverBase):
+    """2D acoustic solver: leapfrog + source injection + receivers."""
+
+    DIMS = 2
+
+
+class AcousticSolver3D(_AcousticSolverBase):
+    """3D acoustic solver — the full RTM-style forward-modeling kernel.
+
+    Positions are ``(z, y, x)``; everything else matches the 2D API.
+    """
+
+    DIMS = 3

@@ -1,0 +1,110 @@
+"""In-plane GPU stencil model (Tang et al. [10]) with extrapolation.
+
+The paper compares its 3D results against the in-plane method's measured
+GTX 580 numbers and *extrapolates* them to GTX 980 Ti / Tesla P100 by the
+ratio of theoretical memory bandwidths, estimating power as 75 % of TDP
+(§IV.B).  This module implements exactly that procedure:
+
+* the method is memory-bound at every order, so GCell/s = BW x util / 8;
+* utilization falls with radius because the in-plane optimization trades
+  redundant loads for alignment/coalescing — fitted per radius to the
+  GTX 580 roofline ratios of Table V (0.72, 0.60, 0.46, 0.38), with a
+  mechanistic ``1 / (1 + alpha (rad - 1))`` decay available for radii
+  beyond the measured range;
+* extrapolation multiplies GCell/s by the bandwidth ratio (the paper also
+  notes [10] shares coefficients, and argues cell rate is unchanged by
+  unsharing since the kernel stays memory-bound — so FLOP/s here uses the
+  unshared FLOP counts, as the paper does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import DeviceSpec, device
+from repro.models.power import gpu_power_watts
+from repro.models.roofline import roofline_ratio
+
+#: Fitted bandwidth utilization on the GTX 580 (Table V roofline ratios).
+GTX580_UTILIZATION_3D = {1: 0.719, 2: 0.597, 3: 0.455, 4: 0.385}
+
+#: Decay constant of the mechanistic utilization fall-off.
+INPLANE_DECAY_ALPHA = 0.30
+
+
+@dataclass(frozen=True)
+class GPUPerformance:
+    """Modeled (or extrapolated) in-plane performance on one GPU."""
+
+    device_name: str
+    gcell_s: float
+    gflop_s: float
+    power_watts: float
+    roofline_ratio: float
+    extrapolated: bool
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.gflop_s / self.power_watts
+
+
+class InPlaneGPUModel:
+    """Tang et al.'s in-plane method, measured on GTX 580, extrapolated."""
+
+    def __init__(
+        self,
+        base_device: DeviceSpec | None = None,
+        utilization: dict[int, float] | None = None,
+    ):
+        self.base_device = base_device if base_device is not None else device("gtx580")
+        self.utilization = (
+            dict(utilization) if utilization is not None else dict(GTX580_UTILIZATION_3D)
+        )
+
+    def bandwidth_utilization(self, radius: int) -> float:
+        """Fitted utilization; mechanistic decay beyond the fitted range."""
+        if radius < 1:
+            raise ConfigurationError(f"radius must be >= 1, got {radius}")
+        if radius in self.utilization:
+            return self.utilization[radius]
+        base = self.utilization[min(self.utilization)]
+        return base / (1.0 + INPLANE_DECAY_ALPHA * (radius - 1))
+
+    def predict(self, spec: StencilSpec) -> GPUPerformance:
+        """Modeled performance on the measured base device (GTX 580)."""
+        if spec.dims != 3:
+            raise ConfigurationError(
+                "the in-plane comparison in the paper covers 3D stencils only"
+            )
+        util = self.bandwidth_utilization(spec.radius)
+        gcell = self.base_device.peak_bandwidth_gbps * util / spec.bytes_per_cell
+        gflops = gcell * spec.flops_per_cell
+        return GPUPerformance(
+            device_name=self.base_device.name,
+            gcell_s=gcell,
+            gflop_s=gflops,
+            power_watts=gpu_power_watts(self.base_device.tdp_watts),
+            roofline_ratio=roofline_ratio(
+                gflops, self.base_device.peak_bandwidth_gbps, spec.flop_per_byte
+            ),
+            extrapolated=False,
+        )
+
+    def extrapolate(self, spec: StencilSpec, target: DeviceSpec) -> GPUPerformance:
+        """The paper's extrapolation: scale by peak-bandwidth ratio."""
+        base = self.predict(spec)
+        ratio = target.peak_bandwidth_gbps / self.base_device.peak_bandwidth_gbps
+        gcell = base.gcell_s * ratio
+        gflops = gcell * spec.flops_per_cell
+        return GPUPerformance(
+            device_name=target.name,
+            gcell_s=gcell,
+            gflop_s=gflops,
+            power_watts=gpu_power_watts(target.tdp_watts),
+            roofline_ratio=roofline_ratio(
+                gflops, target.peak_bandwidth_gbps, spec.flop_per_byte
+            ),
+            extrapolated=True,
+        )

@@ -1,0 +1,48 @@
+"""Naive pure-Python stencil engine.
+
+A third, completely independent oracle (no NumPy vectorization, no
+padding tricks): explicit loops with index clamping, following eq. 1's
+accumulation order.  O(cells x points) per step in Python — tiny grids
+only.  Used by the test suite to validate the reference engine itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reference import _axis_of
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError
+
+
+def naive_step(grid: np.ndarray, spec: StencilSpec) -> np.ndarray:
+    """One time step with explicit loops and clamped neighbor indices."""
+    if grid.ndim != spec.dims:
+        raise ConfigurationError(f"grid is {grid.ndim}D but stencil is {spec.dims}D")
+    src = np.ascontiguousarray(grid, dtype=np.float32)
+    out = np.empty_like(src)
+    center = np.float32(spec.center)
+    terms = []
+    for direction, distance in spec.offsets():
+        axis = _axis_of(direction, spec.dims)
+        coeff = np.float32(spec.coefficient(direction, distance))
+        terms.append((coeff, axis, direction.sign * distance))
+
+    for idx in np.ndindex(*src.shape):
+        acc = np.float32(center * src[idx])
+        for coeff, axis, offset in terms:
+            nidx = list(idx)
+            nidx[axis] = min(max(nidx[axis] + offset, 0), src.shape[axis] - 1)
+            acc = np.float32(acc + coeff * src[tuple(nidx)])
+        out[idx] = acc
+    return out
+
+
+def naive_run(grid: np.ndarray, spec: StencilSpec, iterations: int) -> np.ndarray:
+    """Run ``iterations`` naive steps."""
+    if iterations < 0:
+        raise ConfigurationError(f"iterations must be >= 0, got {iterations}")
+    current = np.ascontiguousarray(grid, dtype=np.float32)
+    for _ in range(iterations):
+        current = naive_step(current, spec)
+    return current.copy() if iterations == 0 else current

@@ -1,0 +1,151 @@
+"""Vector folding (Yount [13]) — the layout YASK builds on.
+
+Vector folding stores the grid as small multi-dimensional tiles ("folded
+vectors", e.g. 4x4 cells) instead of in-line vectors, so that a stencil's
+neighbor accesses reuse loaded vectors in *both* dimensions.  A neighbor
+shift in folded layout is the classic two-vector shuffle: concatenate a
+tile with its neighbor tile and slice at the intra-tile offset — which is
+exactly how :func:`folded_shift` computes it, on whole folded arrays.
+
+Boundary semantics here are the paper's clamp (so results are
+bit-identical to :func:`repro.core.reference.reference_step`, which the
+tests assert); YASK's own out-of-bound convention is layered on top by
+:mod:`repro.baselines.cpu_yask`.
+
+Layouts::
+
+    2D grid (Ny, Nx), fold (fy, fx) -> (Ny/fy, Nx/fx, fy, fx)
+    3D grid (Nz, Ny, Nx), fold (fy, fx) -> (Nz, Ny/fy, Nx/fx, fy, fx)
+
+(YASK folds in the two fastest dimensions for these stencils; the
+streamed z dimension stays unfolded.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError
+
+
+def fold(grid: np.ndarray, fold_shape: tuple[int, int]) -> np.ndarray:
+    """Fold the last two axes of ``grid`` into (fy, fx) tiles."""
+    fy, fx = fold_shape
+    if fy < 1 or fx < 1:
+        raise ConfigurationError(f"fold shape must be positive, got {fold_shape}")
+    *lead, ny, nx = grid.shape
+    if ny % fy != 0 or nx % fx != 0:
+        raise ConfigurationError(
+            f"grid {grid.shape} not divisible by fold {fold_shape}"
+        )
+    by, bx = ny // fy, nx // fx
+    folded = grid.reshape(*lead, by, fy, bx, fx)
+    # -> (*lead, by, bx, fy, fx)
+    return np.ascontiguousarray(np.moveaxis(folded, -3, -2))
+
+
+def unfold(folded: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`fold`."""
+    if folded.ndim < 4:
+        raise ConfigurationError(f"not a folded array: shape {folded.shape}")
+    *lead, by, bx, fy, fx = folded.shape
+    grid = np.moveaxis(folded, -2, -3)  # (*lead, by, fy, bx, fx)
+    return np.ascontiguousarray(grid.reshape(*lead, by * fy, bx * fx))
+
+
+def _clamp_tile(folded: np.ndarray, block_axis: int, intra_axis: int, side: str) -> np.ndarray:
+    """A virtual tile holding the border cell's value everywhere."""
+    sl = [slice(None)] * folded.ndim
+    pick = 0 if side == "front" else -1
+    sl[block_axis] = slice(pick, pick + 1) if pick == 0 else slice(-1, None)
+    sl[intra_axis] = slice(pick, pick + 1) if pick == 0 else slice(-1, None)
+    edge = folded[tuple(sl)]
+    reps = [1] * folded.ndim
+    reps[intra_axis] = folded.shape[intra_axis]
+    return np.tile(edge, reps)
+
+
+def folded_shift(
+    folded: np.ndarray,
+    block_axis: int,
+    intra_axis: int,
+    offset: int,
+) -> np.ndarray:
+    """Clamped shift by ``offset`` cells along a folded dimension.
+
+    Equivalent to ``fold(clamped_shift(unfold(F)))`` but computed in the
+    folded layout: for each output tile, gather its two source tiles (with
+    clamp tiles beyond the borders), concatenate along the intra-tile axis
+    and slice at the intra-tile remainder — the vector-folding shuffle.
+    """
+    if offset == 0:
+        return folded
+    f = folded.shape[intra_axis]
+    nb = folded.shape[block_axis]
+    q, r = divmod(offset, f)
+
+    front = _clamp_tile(folded, block_axis, intra_axis, "front")
+    back = _clamp_tile(folded, block_axis, intra_axis, "back")
+    ext = np.concatenate([front, folded, back], axis=block_axis)
+
+    idx = np.arange(nb)
+    g0 = np.clip(idx + q + 1, 0, nb + 1)
+    g1 = np.clip(idx + q + 2, 0, nb + 1)
+    a = np.take(ext, g0, axis=block_axis)
+    b = np.take(ext, g1, axis=block_axis)
+    combined = np.concatenate([a, b], axis=intra_axis)
+    sl = [slice(None)] * folded.ndim
+    sl[intra_axis] = slice(r, r + f)
+    return combined[tuple(sl)]
+
+
+def _streamed_shift(folded: np.ndarray, axis: int, offset: int) -> np.ndarray:
+    """Clamped shift along an unfolded axis (z in 3D)."""
+    n = folded.shape[axis]
+    idx = np.clip(np.arange(n) + offset, 0, n - 1)
+    return np.take(folded, idx, axis=axis)
+
+
+def folded_step(folded: np.ndarray, spec: StencilSpec) -> np.ndarray:
+    """One stencil time step entirely in folded layout.
+
+    Accumulation follows the paper's order, so the result unfolds to the
+    reference engine's bits.
+    """
+    if spec.dims == 2:
+        if folded.ndim != 4:
+            raise ConfigurationError("2D folded array must be 4D")
+        axes = {"y": (0, 2), "x": (1, 3)}
+        streamed = {}
+    else:
+        if folded.ndim != 5:
+            raise ConfigurationError("3D folded array must be 5D")
+        axes = {"y": (1, 3), "x": (2, 4)}
+        streamed = {"z": 0}
+
+    def shifted(direction, distance):
+        name = direction.axis_name
+        offset = direction.sign * distance
+        if name in streamed:
+            return _streamed_shift(folded, streamed[name], offset)
+        block_axis, intra_axis = axes[name]
+        return folded_shift(folded, block_axis, intra_axis, offset)
+
+    acc = np.float32(spec.center) * folded
+    for direction, distance in spec.offsets():
+        coeff = np.float32(spec.coefficient(direction, distance))
+        acc += coeff * shifted(direction, distance)
+    return acc
+
+
+def folded_run(
+    folded: np.ndarray, spec: StencilSpec, iterations: int
+) -> np.ndarray:
+    """Run ``iterations`` folded steps."""
+    if iterations < 0:
+        raise ConfigurationError(f"iterations must be >= 0, got {iterations}")
+    current = folded
+    for _ in range(iterations):
+        current = folded_step(current, spec)
+    return current if iterations > 0 else folded.copy()

@@ -1,0 +1,97 @@
+"""Single Processing Element (PE) semantics.
+
+Each PE in the paper's accelerator advances its input stream by exactly one
+time step.  Functionally, applying the chain of ``partime`` PEs to one
+overlapped spatial block is: starting from the block's read footprint
+(compute region + ``partime * rad`` halo per blocked side), apply one
+stencil step per PE over a window that *shrinks* by ``rad`` per blocked
+side per step — except at global grid borders, where the clamp boundary
+condition keeps the window pinned to the border.
+
+:func:`pe_step` implements one such step over an extended local block,
+fully vectorized; :func:`refresh_border_duplicates` re-establishes the
+clamp duplicates that represent out-of-grid neighbor reads, which must
+track the border cell's *current* value between steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reference import _axis_of
+from repro.core.stencil import StencilSpec
+
+#: Type alias: per-axis (lo, hi) local window bounds.
+Window = tuple[tuple[int, int], ...]
+
+
+def pe_step(
+    cur: np.ndarray,
+    spec: StencilSpec,
+    window: Window,
+    boundary: str = "clamp",
+) -> np.ndarray:
+    """One stencil time step over ``window`` of the extended block ``cur``.
+
+    ``window[axis] = (lo, hi)`` are local bounds; axis 0 is the streamed
+    axis, where the window always spans the whole extent and out-of-range
+    neighbor reads follow ``boundary`` (edge padding for the paper's
+    clamp, wrap for periodic).  Along blocked axes the caller guarantees
+    that ``window +- radius`` stays inside ``cur`` — this is exactly the
+    overlapped-blocking shrink invariant.
+
+    Returns the new values for the window (a new array of the window's
+    shape).  The accumulation order matches :func:`reference_step`
+    elementwise, so float32 results are bit-identical to the reference.
+    """
+    ndim = cur.ndim
+    rad = spec.radius
+    pad_width = [(rad, rad) if ax == 0 else (0, 0) for ax in range(ndim)]
+    mode = "edge" if boundary == "clamp" else "wrap"
+    padded = np.pad(cur, pad_width, mode=mode)
+
+    def view(offset_axis: int = -1, offset: int = 0) -> np.ndarray:
+        slices = []
+        for ax in range(ndim):
+            lo, hi = window[ax]
+            base = rad if ax == 0 else 0
+            shift = offset if ax == offset_axis else 0
+            slices.append(slice(lo + base + shift, hi + base + shift))
+        return padded[tuple(slices)]
+
+    acc = np.float32(spec.center) * view()
+    for direction, distance in spec.offsets():
+        axis = _axis_of(direction, ndim)
+        coeff = np.float32(spec.coefficient(direction, distance))
+        acc += coeff * view(axis, direction.sign * distance)
+    return acc
+
+
+def refresh_border_duplicates(
+    cur: np.ndarray,
+    axis: int,
+    west_dup: int,
+    east_dup: int,
+) -> None:
+    """Refresh clamp duplicates along a blocked ``axis`` in place.
+
+    ``west_dup`` local positions at the low end of ``axis`` represent
+    out-of-grid coordinates and must equal the border cell's value (the
+    cell at local index ``west_dup``); symmetrically for ``east_dup`` at
+    the high end.  In the hardware this is what the generated boundary-
+    condition code achieves by redirecting out-of-bound shift-register
+    reads to the border cell.
+    """
+    if west_dup > 0:
+        sl_dst = [slice(None)] * cur.ndim
+        sl_src = [slice(None)] * cur.ndim
+        sl_dst[axis] = slice(0, west_dup)
+        sl_src[axis] = slice(west_dup, west_dup + 1)
+        cur[tuple(sl_dst)] = cur[tuple(sl_src)]
+    if east_dup > 0:
+        n = cur.shape[axis]
+        sl_dst = [slice(None)] * cur.ndim
+        sl_src = [slice(None)] * cur.ndim
+        sl_dst[axis] = slice(n - east_dup, n)
+        sl_src[axis] = slice(n - east_dup - 1, n - east_dup)
+        cur[tuple(sl_dst)] = cur[tuple(sl_src)]

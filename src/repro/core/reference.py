@@ -1,0 +1,95 @@
+"""Golden sequential stencil engine with clamp-to-border boundaries.
+
+This is the numerical oracle for the whole repository.  Boundary semantics
+follow the paper's FPGA implementation (§IV.B): *all out-of-bound
+neighboring cells fall back on the cell that is on the border* — i.e. a
+neighbor index is clamped to the grid, equivalently the grid is edge-padded.
+(YASK instead allocates a larger grid; see :mod:`repro.baselines.cpu_yask`.)
+
+The accumulation order is the one fixed by :meth:`StencilSpec.offsets`;
+because the FPGA-accelerator simulator uses the identical elementwise
+operation sequence, its float32 results are **bit-identical** to this
+engine's — a property the test suite enforces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stencil import Direction, StencilSpec
+from repro.errors import ConfigurationError
+
+
+def _axis_of(direction: Direction, ndim: int) -> int:
+    """Array axis for a direction given the (z,)y,x axis ordering."""
+    name = direction.axis_name
+    if name == "x":
+        return ndim - 1
+    if name == "y":
+        return ndim - 2
+    # z only exists in 3D
+    return ndim - 3
+
+
+def shifted_view(
+    padded: np.ndarray,
+    radius: int,
+    shape: tuple[int, ...],
+    direction: Direction,
+    distance: int,
+) -> np.ndarray:
+    """View of the neighbor plane at ``(direction, distance)``.
+
+    ``padded`` is the grid edge-padded by ``radius`` on every axis; the
+    returned view has the original grid ``shape``.
+    """
+    ndim = len(shape)
+    offset = direction.sign * distance
+    slices = []
+    for axis in range(ndim):
+        start = radius + (offset if axis == _axis_of(direction, ndim) else 0)
+        slices.append(slice(start, start + shape[axis]))
+    return padded[tuple(slices)]
+
+
+#: Supported boundary conditions: the paper's clamp (out-of-bound
+#: neighbors fall back on the border cell) and periodic wrap-around.
+BOUNDARIES = ("clamp", "periodic")
+
+_PAD_MODE = {"clamp": "edge", "periodic": "wrap"}
+
+
+def reference_step(
+    grid: np.ndarray, spec: StencilSpec, boundary: str = "clamp"
+) -> np.ndarray:
+    """One stencil time step over the full grid; returns a new array."""
+    if grid.ndim != spec.dims:
+        raise ConfigurationError(
+            f"grid is {grid.ndim}D but stencil is {spec.dims}D"
+        )
+    if boundary not in BOUNDARIES:
+        raise ConfigurationError(
+            f"boundary must be one of {BOUNDARIES}, got {boundary!r}"
+        )
+    rad = spec.radius
+    padded = np.pad(grid, rad, mode=_PAD_MODE[boundary])
+    acc = np.float32(spec.center) * shifted_view(padded, rad, grid.shape, Direction.WEST, 0)
+    for direction, distance in spec.offsets():
+        coeff = np.float32(spec.coefficient(direction, distance))
+        acc += coeff * shifted_view(padded, rad, grid.shape, direction, distance)
+    return acc
+
+
+def reference_run(
+    grid: np.ndarray,
+    spec: StencilSpec,
+    iterations: int,
+    boundary: str = "clamp",
+) -> np.ndarray:
+    """Run ``iterations`` time steps; the input array is left unmodified."""
+    if iterations < 0:
+        raise ConfigurationError(f"iterations must be >= 0, got {iterations}")
+    current = grid
+    for _ in range(iterations):
+        current = reference_step(current, spec, boundary)
+    return current if iterations > 0 else grid.copy()

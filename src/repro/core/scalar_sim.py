@@ -1,0 +1,289 @@
+"""Hardware-loop-faithful scalar simulation of the PE chain.
+
+While :class:`repro.core.FPGAAccelerator` reproduces the design's
+*semantics* with vectorized NumPy, this module mirrors the OpenCL kernel's
+*mechanics*: each PE is a coroutine that consumes a stream of ``parvec``-cell
+vectors, holds exactly the eq.-7 shift register (``2 * rad`` rows/planes
+plus one vector), updates ``parvec`` cells per "cycle" by reading taps at
+fixed offsets (with the generated boundary-condition redirection for
+out-of-bound neighbors), and emits the updated stream ``rad`` rows/planes
+behind its input — the same latency structure as the hardware.  PEs are
+chained exactly like the autorun kernel array in the paper's Fig. 2.
+
+It is O(cells x partime x stencil points) in Python, so it is used on
+small grids to cross-validate the fast simulator — invariant (2) of
+DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.blocking import BlockDecomposition, BlockingConfig
+from repro.core.reference import _axis_of
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError
+
+
+def _neighbor_offsets(spec: StencilSpec) -> list[tuple[float, tuple[int, ...]]]:
+    """(coefficient, per-axis offset) per term, in accumulation order.
+
+    Axis order matches grid arrays: (y, x) in 2D, (z, y, x) in 3D.
+    """
+    terms: list[tuple[float, tuple[int, ...]]] = []
+    for direction, distance in spec.offsets():
+        offset = [0] * spec.dims
+        offset[_axis_of(direction, spec.dims)] = direction.sign * distance
+        terms.append((spec.coefficient(direction, distance), tuple(offset)))
+    return terms
+
+
+class StreamingPE:
+    """One processing element: stream in, stream out, one time step.
+
+    ``footprint`` is the block's read-extent shape (stream extent first);
+    ``origin`` maps footprint coordinates to global grid coordinates
+    (``global = origin + local``), and ``grid_shape`` bounds the clamp.
+    Cells whose clamped neighbors fall outside the footprint clip to the
+    footprint edge — those are overlapped-blocking halo cells whose values
+    are dropped by the write kernel, mirroring the hardware.
+    """
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        footprint: tuple[int, ...],
+        origin: tuple[int, ...],
+        grid_shape: tuple[int, ...],
+        parvec: int,
+        boundary: str = "clamp",
+    ):
+        if boundary not in ("clamp", "periodic"):
+            raise ConfigurationError(
+                f"boundary must be 'clamp' or 'periodic', got {boundary!r}"
+            )
+        self.boundary = boundary
+        self.spec = spec
+        self.footprint = footprint
+        self.origin = origin
+        self.grid_shape = grid_shape
+        self.parvec = parvec
+        # Linearized geometry: x fastest, stream axis slowest.
+        self.row_words = footprint[-1]
+        self.slab_words = int(np.prod(footprint[1:]))  # one row (2D) / plane (3D)
+        self.total_words = int(np.prod(footprint))
+        if self.total_words % parvec != 0:
+            raise ConfigurationError(
+                f"footprint {footprint} not a multiple of parvec={parvec}"
+            )
+        self.reg_words = 2 * spec.radius * self.slab_words + parvec
+        self.terms = _neighbor_offsets(spec)
+
+    # -- linear index helpers ------------------------------------------- #
+
+    def _coords(self, idx: int) -> tuple[int, ...]:
+        coords = []
+        for extent in reversed(self.footprint):
+            coords.append(idx % extent)
+            idx //= extent
+        return tuple(reversed(coords))
+
+    def _linear(self, coords: tuple[int, ...]) -> int:
+        idx = 0
+        for c, extent in zip(coords, self.footprint):
+            idx = idx * extent + c
+        return idx
+
+    def _clamped_neighbor(self, coords: tuple[int, ...], offset: tuple[int, ...]) -> int:
+        """Linear footprint index of a neighbor with two-level clamping.
+
+        First clamp in *global* coordinates (the paper's boundary
+        condition), then clip to the footprint (halo cells at block edges
+        read garbage that the write kernel later discards).  Under
+        periodic boundaries the gather already wrapped the halo data, so
+        the unwrapped local coordinate is used directly (footprint-clipped
+        for the same garbage-halo reason).
+        """
+        local = []
+        for ax, (c, o) in enumerate(zip(coords, offset)):
+            if self.boundary == "periodic":
+                l = c + o
+            else:
+                g = self.origin[ax] + c + o
+                g = min(max(g, 0), self.grid_shape[ax] - 1)
+                l = g - self.origin[ax]
+            l = min(max(l, 0), self.footprint[ax] - 1)
+            local.append(l)
+        return self._linear(tuple(local))
+
+    # -- the streaming loop --------------------------------------------- #
+
+    def stream(self, upstream: Iterator[np.ndarray]) -> Iterator[np.ndarray]:
+        """Consume input vectors; yield updated vectors, one per input.
+
+        The shift register is the *only* state (plus the stream position),
+        exactly like the single-work-item OpenCL kernel after loop
+        collapsing: one flat loop over a global index with an accumulate-
+        and-compare exit condition.
+        """
+        spec = self.spec
+        rad = spec.radius
+        parvec = self.parvec
+        reg = np.zeros(self.reg_words, dtype=np.float32)
+        latency_words = rad * self.slab_words + parvec
+        produced = 0
+        consumed = 0
+        # Single collapsed loop over the global vector index (exit condition
+        # compares one accumulated counter -- the paper's HLS optimization).
+        total_vectors = self.total_words // parvec
+        flush_vectors = latency_words // parvec
+        center = np.float32(spec.center)
+        coeffs = [np.float32(c) for c, _ in self.terms]
+        offsets = [o for _, o in self.terms]
+        for vec_idx in range(total_vectors + flush_vectors):
+            if vec_idx < total_vectors:
+                vec = next(upstream)
+                if vec.shape != (parvec,):
+                    raise ConfigurationError(
+                        f"expected vector of {parvec} words, got {vec.shape}"
+                    )
+            else:
+                vec = np.zeros(parvec, dtype=np.float32)  # flush; never read
+            # shift in parvec new words (oldest fall off the front)
+            reg[:-parvec] = reg[parvec:]
+            reg[-parvec:] = vec
+            consumed += parvec
+            base = consumed - latency_words  # first cell updatable this cycle
+            if base < 0:
+                continue  # pipeline warm-up
+            if base >= self.total_words:
+                break  # all cells produced; remaining flush input unused
+            out = np.empty(parvec, dtype=np.float32)
+            window_start = consumed - self.reg_words
+            for j in range(parvec):
+                cell = base + j
+                coords = self._coords(cell)
+                acc = center * reg[cell - window_start]
+                for coeff, offset in zip(coeffs, offsets):
+                    n = self._clamped_neighbor(coords, offset)
+                    # Clip the tap into the live register window.  Only
+                    # overlapped-blocking *halo* cells (whose values the
+                    # write kernel discards) can fall outside it: the global
+                    # clamp may redirect their reads ahead of the stream.
+                    # In hardware this is an undefined-but-harmless register
+                    # read; valid cells never trigger the clip.
+                    tap = min(max(n - window_start, 0), self.reg_words - 1)
+                    acc = np.float32(acc + coeff * reg[tap])
+                out[j] = acc
+            produced += parvec
+            yield out
+        if produced != self.total_words:
+            raise ConfigurationError(
+                f"PE produced {produced} words, expected {self.total_words}"
+            )
+
+
+def _read_kernel(
+    block_data: np.ndarray, parvec: int
+) -> Iterator[np.ndarray]:
+    """Stream a gathered block footprint as parvec-wide vectors."""
+    flat = block_data.reshape(-1)
+    for i in range(0, flat.size, parvec):
+        yield flat[i : i + parvec].copy()
+
+
+def scalar_run(
+    grid: np.ndarray,
+    spec: StencilSpec,
+    config: BlockingConfig,
+    iterations: int,
+    boundary: str = "clamp",
+) -> np.ndarray:
+    """Run the full accelerator scalar-faithfully; returns the result grid.
+
+    Semantics are identical to :meth:`FPGAAccelerator.run`; intended for
+    small grids only (pure-Python inner loop).
+    """
+    if grid.ndim != spec.dims or spec.dims != config.dims:
+        raise ConfigurationError("grid/spec/config dimensionality mismatch")
+    if spec.radius != config.radius:
+        raise ConfigurationError("spec/config radius mismatch")
+    grid = np.ascontiguousarray(grid, dtype=np.float32)
+    halo = config.halo
+    decomp = BlockDecomposition(config, grid.shape)
+
+    current = grid
+    remaining = iterations
+    while remaining > 0:
+        steps = min(config.partime, remaining)
+        out = np.empty_like(current)
+        for block in decomp:
+            # footprint bounds per axis (stream axis full, blocked +- halo).
+            # Under periodic boundaries the streamed dimension is extended
+            # by a wrapped halo too: a cross-boundary neighbor cannot be
+            # found in the shift register otherwise (the hardware read
+            # kernel would stream those wrapped slabs).
+            if boundary == "periodic":
+                lo = [-halo]
+                hi = [current.shape[0] + halo]
+            else:
+                lo = [0]
+                hi = [current.shape[0]]
+            for local_axis, axis in enumerate(config.blocked_axes):
+                lo.append(block.starts[local_axis] - halo)
+                hi.append(block.stops[local_axis] + halo)
+            footprint = tuple(h - l for l, h in zip(lo, hi))
+            # pad the footprint x-extent to a parvec multiple (hardware
+            # padding; extra cells are clamp reads and are discarded)
+            pad_x = (-footprint[-1]) % config.parvec
+            footprint = footprint[:-1] + (footprint[-1] + pad_x,)
+            hi[-1] += pad_x
+            # gather with boundary handling (read kernel)
+            if boundary == "periodic":
+                index_arrays = [
+                    np.mod(np.arange(l, h), current.shape[ax])
+                    for ax, (l, h) in enumerate(zip(lo, hi))
+                ]
+            else:
+                index_arrays = [
+                    np.clip(np.arange(l, h), 0, current.shape[ax] - 1)
+                    for ax, (l, h) in enumerate(zip(lo, hi))
+                ]
+            if grid.ndim == 2:
+                data = current[index_arrays[0][:, None], index_arrays[1][None, :]]
+            else:
+                data = current[
+                    index_arrays[0][:, None, None],
+                    index_arrays[1][None, :, None],
+                    index_arrays[2][None, None, :],
+                ]
+            # chain of PEs
+            stream: Iterator[np.ndarray] = _read_kernel(data, config.parvec)
+            for _ in range(steps):
+                pe = StreamingPE(
+                    spec,
+                    footprint,
+                    tuple(lo),
+                    current.shape,
+                    config.parvec,
+                    boundary,
+                )
+                stream = pe.stream(stream)
+            result = np.concatenate(list(stream)).reshape(footprint)
+            # write kernel: keep the compute region only
+            write_sl = [slice(None)] * grid.ndim
+            read_sl = [slice(None)] * grid.ndim
+            if boundary == "periodic":
+                read_sl[0] = slice(halo, halo + current.shape[0])
+            for local_axis, axis in enumerate(config.blocked_axes):
+                start, stop = block.starts[local_axis], block.stops[local_axis]
+                write_sl[axis] = slice(start, stop)
+                read_sl[axis] = slice(
+                    start - lo[local_axis + 1], stop - lo[local_axis + 1]
+                )
+            out[tuple(write_sl)] = result[tuple(read_sl)]
+        current = out
+        remaining -= steps
+    return current.copy() if iterations == 0 else current

@@ -1,0 +1,86 @@
+"""Shift-register on-chip buffer substrate (paper §III.A and eq. 7).
+
+The FPGA design exploits the shifting access pattern of stencil streaming:
+each PE keeps the last ``2 * rad`` rows (2D) or planes (3D) of its block in
+a shift register inferred into Block RAMs.  Every cycle, ``parvec`` new
+cells enter at the head and the oldest ``parvec`` cells fall off the tail;
+all neighbor values of the ``parvec`` cells being updated are taps at fixed
+offsets — which is why the structure maps to FPGA memories but not to
+CPU/GPU caches.
+
+Eq. 7 gives the register size in 32-bit words::
+
+    2 * rad * bsize_x             + parvec      (2D)
+    2 * rad * bsize_x * bsize_y   + parvec      (3D)
+
+:class:`ShiftRegister` is a cycle-faithful software model used by the
+scalar simulator and the tests; :func:`shift_register_words` is the size
+model used by the area model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocking import BlockingConfig
+from repro.errors import ConfigurationError
+
+
+def shift_register_words(config: BlockingConfig) -> int:
+    """Shift-register size per PE in float32 words (paper eq. 7)."""
+    if config.dims == 2:
+        return 2 * config.radius * config.bsize_x + config.parvec
+    assert config.bsize_y is not None
+    return 2 * config.radius * config.bsize_x * config.bsize_y + config.parvec
+
+
+class ShiftRegister:
+    """Fixed-length shift register with random-access taps.
+
+    Models the Intel OpenCL idiom: a statically-sized array where every
+    element moves one slot per cycle (``shift``) and computation reads taps
+    at compile-time-constant offsets (``tap``).  Index 0 is the *oldest*
+    element (about to fall off); index ``size - 1`` is the newest.
+    """
+
+    def __init__(self, size: int, fill: float = 0.0):
+        if size < 1:
+            raise ConfigurationError(f"shift register size must be >= 1, got {size}")
+        self._data = np.full(size, fill, dtype=np.float32)
+
+    @property
+    def size(self) -> int:
+        """Capacity in words."""
+        return int(self._data.size)
+
+    def shift(self, values: np.ndarray | list[float]) -> np.ndarray:
+        """Shift ``len(values)`` new words in at the head; return the words
+        that fall off the tail (oldest first)."""
+        values = np.asarray(values, dtype=np.float32).ravel()
+        k = values.size
+        if k == 0:
+            return np.empty(0, dtype=np.float32)
+        if k > self.size:
+            raise ConfigurationError(
+                f"cannot shift {k} words into a register of size {self.size}"
+            )
+        expelled = self._data[:k].copy()
+        self._data[:-k] = self._data[k:]
+        self._data[-k:] = values
+        return expelled
+
+    def tap(self, offset: int) -> float:
+        """Read the word at ``offset`` (0 = oldest)."""
+        if not 0 <= offset < self.size:
+            raise ConfigurationError(
+                f"tap offset {offset} outside register of size {self.size}"
+            )
+        return float(self._data[offset])
+
+    def taps(self, offsets: list[int]) -> np.ndarray:
+        """Read several taps at once."""
+        return np.array([self.tap(o) for o in offsets], dtype=np.float32)
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the register contents (oldest first)."""
+        return self._data.copy()

@@ -1,0 +1,345 @@
+"""Second-order wave equation on the accelerator (extension).
+
+The paper motivates high-order stencils with seismic and wave-propagation
+simulation (its intro cites the Gordon Bell finalists).  Those codes use
+the *leapfrog* scheme, which reads **two** time levels::
+
+    u[t+1] = 2 u[t] - u[t-1] + (c dt / dx)^2 * Lap_2r(u[t])
+
+where ``Lap_2r`` is an order-``2r`` central-difference Laplacian (a star
+stencil of radius ``r``).  This module extends the single-field machinery
+of :mod:`repro.core.accelerator` to two-level updates:
+
+* :class:`WaveSpec` — the discretization (radius, per-distance Laplacian
+  weights, Courant number), with FLOP accounting for the models;
+* :func:`wave_reference_run` — the golden leapfrog engine (clamp
+  boundaries = rigid-wall reflection, fixed accumulation order);
+* :class:`WaveAccelerator` — combined spatial/temporal blocking with a
+  chain of two-stream PEs: each PE carries both ``u[t-1]`` and ``u[t]``
+  through its shift registers and advances the pair by one step.  The
+  overlapped-blocking shrink/clamp-refresh invariants are identical to
+  the single-field case, applied to both levels, so the result remains
+  **bit-identical** to the reference (tested).
+
+This is the "future work" direction the design directly supports: the
+same blocking geometry, doubled on-chip state (two eq.-7 registers/PE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.blocking import BlockDecomposition, BlockingConfig
+from repro.core.pe import Window, refresh_border_duplicates
+from repro.core.shift_register import shift_register_words
+from repro.errors import ConfigurationError
+
+#: Central-difference weights for the 1D second derivative, per radius:
+#: (center weight, [w_1 .. w_radius]).  Standard tables.
+LAPLACIAN_WEIGHTS: dict[int, tuple[float, list[float]]] = {
+    1: (-2.0, [1.0]),
+    2: (-5.0 / 2.0, [4.0 / 3.0, -1.0 / 12.0]),
+    3: (-49.0 / 18.0, [3.0 / 2.0, -3.0 / 20.0, 1.0 / 90.0]),
+    4: (-205.0 / 72.0, [8.0 / 5.0, -1.0 / 5.0, 8.0 / 315.0, -1.0 / 560.0]),
+}
+
+
+@dataclass(frozen=True)
+class WaveSpec:
+    """Leapfrog discretization of the wave equation.
+
+    Parameters
+    ----------
+    dims:
+        2 or 3.
+    radius:
+        Spatial radius (order ``2 * radius`` Laplacian), 1-4.
+    courant:
+        ``c * dt / dx``; stability requires
+        ``courant <= sqrt(-2 * dims * w_center)^-1 * 2`` — use
+        :meth:`max_stable_courant`.
+    """
+
+    dims: int
+    radius: int
+    courant: float
+    lap_center: float = field(init=False)
+    lap_weights: tuple[float, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.dims not in (2, 3):
+            raise ConfigurationError(f"dims must be 2 or 3, got {self.dims}")
+        if self.radius not in LAPLACIAN_WEIGHTS:
+            raise ConfigurationError(
+                f"radius must be in {sorted(LAPLACIAN_WEIGHTS)}, got {self.radius}"
+            )
+        if self.courant <= 0:
+            raise ConfigurationError(f"courant must be positive, got {self.courant}")
+        center, weights = LAPLACIAN_WEIGHTS[self.radius]
+        object.__setattr__(self, "lap_center", center)
+        object.__setattr__(self, "lap_weights", tuple(weights))
+
+    @classmethod
+    def max_stable_courant(cls, dims: int, radius: int) -> float:
+        """CFL bound: ``2 / sqrt(dims * sum|w|)`` with the scheme's weights."""
+        center, weights = LAPLACIAN_WEIGHTS[radius]
+        total = abs(center) + 2.0 * sum(abs(w) for w in weights)
+        return 2.0 / (dims * total) ** 0.5
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether the Courant number satisfies the CFL bound."""
+        return self.courant <= self.max_stable_courant(self.dims, self.radius)
+
+    # FLOP accounting for the performance/area models ------------------- #
+
+    @property
+    def flops_per_cell(self) -> int:
+        """Leapfrog FLOPs: the Laplacian (shared axis weights: one FMUL
+        per distance + center, ``2*dims*rad`` FADDs), the ``courant^2``
+        scale, and the ``2u - u_prev +`` combination."""
+        lap = (self.radius + 1) + 2 * self.dims * self.radius
+        return lap + 1 + 3  # * c2, (2u), (-u_prev), (+lap)
+
+    @property
+    def bytes_per_cell(self) -> int:
+        """Two reads (u, u_prev) + two writes per cell update."""
+        return 16
+
+
+def _axis_views(padded: np.ndarray, shape: tuple[int, ...], rad: int):
+    """Shifted-view helper over an all-axes edge-padded array."""
+
+    def view(axis: int = -1, offset: int = 0) -> np.ndarray:
+        slices = []
+        for ax, extent in enumerate(shape):
+            start = rad + (offset if ax == axis else 0)
+            slices.append(slice(start, start + extent))
+        return padded[tuple(slices)]
+
+    return view
+
+
+def wave_step(
+    u_prev: np.ndarray, u_cur: np.ndarray, spec: WaveSpec
+) -> np.ndarray:
+    """One leapfrog step over the full grid; returns ``u`` at ``t+1``.
+
+    Accumulation order (fixed, for bit-identity with the accelerator):
+    ``acc = lap_center * u``; then per distance 1..rad, the negative and
+    positive neighbor of each axis in (x, y, z) order; finally
+    ``c2 * acc + 2u - u_prev`` evaluated as
+    ``(c2 * acc) + (2 * u - u_prev)``.
+    """
+    if u_prev.shape != u_cur.shape or u_cur.ndim != spec.dims:
+        raise ConfigurationError("field shapes must match the spec dims")
+    rad = spec.radius
+    padded = np.pad(u_cur, rad, mode="edge")
+    view = _axis_views(padded, u_cur.shape, rad)
+    acc = np.float32(spec.lap_center * spec.dims) * view()
+    for distance in range(1, rad + 1):
+        w = np.float32(spec.lap_weights[distance - 1])
+        for axis in range(u_cur.ndim - 1, -1, -1):  # x, then y, then z
+            acc += w * view(axis, -distance)
+            acc += w * view(axis, +distance)
+    c2 = np.float32(spec.courant**2)
+    two = np.float32(2.0)
+    return c2 * acc + (two * view() - u_prev)
+
+
+def wave_reference_run(
+    u_prev: np.ndarray,
+    u_cur: np.ndarray,
+    spec: WaveSpec,
+    iterations: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Advance the pair ``(u[t-1], u[t])`` by ``iterations`` steps."""
+    if iterations < 0:
+        raise ConfigurationError(f"iterations must be >= 0, got {iterations}")
+    prev = np.asarray(u_prev, dtype=np.float32).copy()
+    cur = np.asarray(u_cur, dtype=np.float32).copy()
+    for _ in range(iterations):
+        nxt = wave_step(prev, cur, spec)
+        prev, cur = cur, nxt
+    return prev, cur
+
+
+@dataclass
+class WaveStats:
+    """Counters for the two-field accelerator."""
+
+    passes: int = 0
+    steps_executed: int = 0
+    blocks_per_pass: int = 0
+    cells_written: int = 0
+    cells_processed: int = 0
+    words_read: int = 0
+    words_written: int = 0
+    shift_register_words_per_pe: int = 0
+
+    @property
+    def redundancy_ratio(self) -> float:
+        if self.cells_written == 0:
+            return 1.0
+        return self.cells_processed / self.cells_written
+
+
+class WaveAccelerator:
+    """Blocked, PE-chained leapfrog accelerator (two fields per stream).
+
+    The blocking geometry, shrink schedule and clamp-duplicate refresh are
+    those of :class:`repro.core.FPGAAccelerator`; each PE holds *two*
+    shift registers (one per time level), doubling the eq.-7 on-chip
+    memory per PE — the cost the paper's §II attributes to multi-field
+    stencils.
+    """
+
+    def __init__(self, spec: WaveSpec, config: BlockingConfig):
+        if spec.dims != config.dims:
+            raise ConfigurationError("spec and config dims must agree")
+        if spec.radius != config.radius:
+            raise ConfigurationError("spec and config radius must agree")
+        self.spec = spec
+        self.config = config
+
+    def run(
+        self,
+        u_prev: np.ndarray,
+        u_cur: np.ndarray,
+        iterations: int,
+    ) -> tuple[np.ndarray, np.ndarray, WaveStats]:
+        """Advance ``(u[t-1], u[t])`` by ``iterations`` steps."""
+        spec, config = self.spec, self.config
+        if u_prev.shape != u_cur.shape or u_cur.ndim != spec.dims:
+            raise ConfigurationError("field shapes must match the spec dims")
+        if iterations < 0:
+            raise ConfigurationError(f"iterations must be >= 0, got {iterations}")
+        prev = np.ascontiguousarray(u_prev, dtype=np.float32)
+        cur = np.ascontiguousarray(u_cur, dtype=np.float32)
+
+        decomp = BlockDecomposition(config, cur.shape)
+        stats = WaveStats(
+            blocks_per_pass=len(decomp),
+            shift_register_words_per_pe=2 * shift_register_words(config),
+        )
+        remaining = iterations
+        while remaining > 0:
+            steps = min(config.partime, remaining)
+            prev, cur = self._run_pass(prev, cur, decomp, steps, stats)
+            remaining -= steps
+            stats.passes += 1
+            stats.steps_executed += steps
+        if iterations == 0:
+            return prev.copy(), cur.copy(), stats
+        return prev, cur, stats
+
+    # ------------------------------------------------------------------ #
+
+    def _run_pass(self, src_prev, src_cur, decomp, steps, stats):
+        config = self.config
+        spec = self.spec
+        halo = config.halo
+        rad = spec.radius
+        out_prev = np.empty_like(src_prev)
+        out_cur = np.empty_like(src_cur)
+        blocked_axes = config.blocked_axes
+        extents = [src_cur.shape[ax] for ax in blocked_axes]
+
+        for block in decomp:
+            index_arrays = []
+            dup_lo: list[int] = []
+            dup_hi: list[int] = []
+            for (start, stop), extent in zip(
+                zip(block.starts, block.stops), extents
+            ):
+                raw = np.arange(start - halo, stop + halo)
+                index_arrays.append(np.clip(raw, 0, extent - 1))
+                dup_lo.append(max(0, -(start - halo)))
+                dup_hi.append(max(0, (stop + halo) - extent))
+            prev = self._gather(src_prev, index_arrays)
+            cur = self._gather(src_cur, index_arrays)
+
+            for s in range(1, steps + 1):
+                window = self._window(block, extents, halo, steps, s, cur.shape)
+                new_vals = self._pe_step(prev, cur, window)
+                # leapfrog rotation within the window; outside it the
+                # levels are stale and never read again (shrink invariant)
+                wsl = tuple(slice(lo, hi) for lo, hi in window)
+                prev[wsl] = cur[wsl]
+                cur[wsl] = new_vals
+                for local_axis, axis in enumerate(blocked_axes):
+                    refresh_border_duplicates(
+                        prev, axis, dup_lo[local_axis], dup_hi[local_axis]
+                    )
+                    refresh_border_duplicates(
+                        cur, axis, dup_lo[local_axis], dup_hi[local_axis]
+                    )
+
+            write_sl = [slice(None)] * src_cur.ndim
+            read_sl = [slice(None)] * src_cur.ndim
+            for local_axis, axis in enumerate(blocked_axes):
+                start, stop = block.starts[local_axis], block.stops[local_axis]
+                write_sl[axis] = slice(start, stop)
+                read_sl[axis] = slice(halo, halo + (stop - start))
+            out_prev[tuple(write_sl)] = prev[tuple(read_sl)]
+            out_cur[tuple(write_sl)] = cur[tuple(read_sl)]
+
+        stats.cells_written += decomp.cells_written_per_pass()
+        stats.cells_processed += decomp.cells_processed_per_pass()
+        stats.words_read += 2 * decomp.cells_processed_per_pass()
+        stats.words_written += 2 * decomp.cells_written_per_pass()
+        return out_prev, out_cur
+
+    def _pe_step(
+        self, prev: np.ndarray, cur: np.ndarray, window: Window
+    ) -> np.ndarray:
+        """One leapfrog step over the window (streamed-axis clamp via
+        edge padding, blocked axes guaranteed in-bounds by the shrink)."""
+        spec = self.spec
+        rad = spec.radius
+        ndim = cur.ndim
+        pad_width = [(rad, rad) if ax == 0 else (0, 0) for ax in range(ndim)]
+        padded = np.pad(cur, pad_width, mode="edge")
+
+        def view(axis: int = -1, offset: int = 0) -> np.ndarray:
+            slices = []
+            for ax in range(ndim):
+                lo, hi = window[ax]
+                base = rad if ax == 0 else 0
+                shift = offset if ax == axis else 0
+                slices.append(slice(lo + base + shift, hi + base + shift))
+            return padded[tuple(slices)]
+
+        acc = np.float32(spec.lap_center * spec.dims) * view()
+        for distance in range(1, rad + 1):
+            w = np.float32(spec.lap_weights[distance - 1])
+            for axis in range(ndim - 1, -1, -1):
+                acc += w * view(axis, -distance)
+                acc += w * view(axis, +distance)
+        c2 = np.float32(spec.courant**2)
+        two = np.float32(2.0)
+        prev_win = prev[tuple(slice(lo, hi) for lo, hi in window)]
+        return c2 * acc + (two * view() - prev_win)
+
+    @staticmethod
+    def _gather(src: np.ndarray, index_arrays: list[np.ndarray]) -> np.ndarray:
+        if src.ndim == 2:
+            (ix,) = index_arrays
+            return src[:, ix].copy()
+        iy, ix = index_arrays
+        return src[:, iy[:, None], ix[None, :]].copy()
+
+    def _window(self, block, extents, halo, steps, s, cur_shape) -> Window:
+        rad = self.config.radius
+        window: list[tuple[int, int]] = [(0, cur_shape[0])]
+        remaining = (steps - s) * rad
+        for local_axis, extent in enumerate(extents):
+            start = block.starts[local_axis]
+            stop = block.stops[local_axis]
+            lo_global = max(0, start - remaining)
+            hi_global = min(extent, stop + remaining)
+            base = start - halo
+            window.append((lo_global - base, hi_global - base))
+        return tuple(window)

@@ -1,0 +1,41 @@
+"""Stencil-definition DSL (a YASK-style code-generation front-end).
+
+The paper's CPU baseline, YASK [9], is "a framework for HPC stencil
+code-generation and tuning": stencils are written as symbolic equations
+over grid accesses and compiled.  This subpackage provides the same
+front-end for this repository's engines:
+
+>>> from repro.dsl import Grid, Equation
+>>> u = Grid("u", dims=2)
+>>> eq = Equation(u, 0.5 * u(0, 0) + 0.2 * u(0, -1) + 0.2 * u(0, 1)
+...                  + 0.05 * u(-1, 0) + 0.05 * u(1, 0))
+>>> spec = eq.to_stencil_spec()      # -> repro.core.StencilSpec
+>>> spec.radius
+1
+
+Equations that are star-shaped linear combinations lower to
+:class:`repro.core.StencilSpec` (and from there to every engine and model
+in the repository); any equation lowers to an executable Python kernel
+via :func:`repro.dsl.lower.compile_equation`.
+"""
+
+from repro.dsl.ast import Const, Expr, Grid, GridRef, Equation
+from repro.dsl.analysis import (
+    StencilAnalysis,
+    analyze,
+    to_stencil_spec,
+)
+from repro.dsl.lower import compile_equation, generate_kernel_source
+
+__all__ = [
+    "Grid",
+    "GridRef",
+    "Const",
+    "Expr",
+    "Equation",
+    "StencilAnalysis",
+    "analyze",
+    "to_stencil_spec",
+    "compile_equation",
+    "generate_kernel_source",
+]

@@ -1,0 +1,210 @@
+"""Semantic analysis of DSL equations.
+
+Determines, for an :class:`repro.dsl.ast.Equation`:
+
+* which grids it reads and with which offsets;
+* the per-axis radius and whether the access pattern is *star-shaped*
+  (every non-center offset lies on a single axis — the class of stencils
+  the paper and this repository accelerate);
+* whether the expression is a linear combination with constant
+  coefficients, and if so the coefficient of each access (collected by
+  symbolic expansion);
+* FLOP counts of the expression *as written* (the paper's convention:
+  no floating-point reassociation, so syntactically distinct multiplies
+  are distinct FMULs).
+
+Star-shaped linear equations lower to :class:`repro.core.StencilSpec`
+via :func:`to_stencil_spec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stencil import StencilSpec
+from repro.dsl.ast import Add, Const, Equation, Expr, Grid, GridRef, Mul
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StencilAnalysis:
+    """Result of analyzing an equation."""
+
+    grids: tuple[Grid, ...]
+    accesses: tuple[GridRef, ...]
+    radius: int
+    is_star: bool
+    is_linear: bool
+    coefficients: dict[GridRef, float]
+    fmul_count: int
+    fadd_count: int
+
+    @property
+    def flops(self) -> int:
+        return self.fmul_count + self.fadd_count
+
+
+def _collect_accesses(expr: Expr, out: list[GridRef]) -> None:
+    if isinstance(expr, GridRef):
+        out.append(expr)
+    elif isinstance(expr, (Add, Mul)):
+        _collect_accesses(expr.left, out)
+        _collect_accesses(expr.right, out)
+    elif isinstance(expr, Const):
+        pass
+    else:
+        raise ConfigurationError(f"unknown expression node {expr!r}")
+
+
+def _count_ops(expr: Expr) -> tuple[int, int]:
+    """(fmul, fadd) of the expression as written."""
+    if isinstance(expr, (GridRef, Const)):
+        return 0, 0
+    lm, la = _count_ops(expr.left)
+    rm, ra = _count_ops(expr.right)
+    if isinstance(expr, Mul):
+        return lm + rm + 1, la + ra
+    return lm + rm, la + ra + 1
+
+
+def _linearize(expr: Expr) -> dict[GridRef | None, float] | None:
+    """Expand into ``{access: coefficient}`` (None key = constant term).
+
+    Returns None if the expression is nonlinear (a product of two
+    grid-dependent subexpressions).
+    """
+    if isinstance(expr, Const):
+        return {None: expr.value}
+    if isinstance(expr, GridRef):
+        return {expr: 1.0}
+    if isinstance(expr, Add):
+        left = _linearize(expr.left)
+        right = _linearize(expr.right)
+        if left is None or right is None:
+            return None
+        for key, coeff in right.items():
+            left[key] = left.get(key, 0.0) + coeff
+        return left
+    if isinstance(expr, Mul):
+        left = _linearize(expr.left)
+        right = _linearize(expr.right)
+        if left is None or right is None:
+            return None
+        left_const = set(left) <= {None}
+        right_const = set(right) <= {None}
+        if not left_const and not right_const:
+            return None  # nonlinear
+        if left_const:
+            scale = left.get(None, 0.0)
+            terms = right
+        else:
+            scale = right.get(None, 0.0)
+            terms = left
+        return {key: coeff * scale for key, coeff in terms.items()}
+    raise ConfigurationError(f"unknown expression node {expr!r}")
+
+
+def analyze(equation: Equation) -> StencilAnalysis:
+    """Analyze an equation's access pattern and algebraic structure."""
+    accesses: list[GridRef] = []
+    _collect_accesses(equation.rhs, accesses)
+    if not accesses:
+        raise ConfigurationError("equation reads no grid")
+    grids = tuple(dict.fromkeys(ref.grid for ref in accesses))
+    dims = grids[0].dims
+    for grid in grids:
+        if grid.dims != dims:
+            raise ConfigurationError("all grids must share dimensionality")
+
+    radius = 0
+    is_star = True
+    for ref in accesses:
+        nonzero = [abs(o) for o in ref.offsets if o != 0]
+        if len(nonzero) > 1:
+            is_star = False
+        if nonzero:
+            radius = max(radius, max(nonzero))
+
+    linear = _linearize(equation.rhs)
+    coefficients: dict[GridRef, float] = {}
+    if linear is not None:
+        if abs(linear.get(None, 0.0)) > 0:
+            # affine terms are fine for analysis but excluded from
+            # StencilSpec lowering; record coefficients anyway
+            pass
+        coefficients = {k: v for k, v in linear.items() if k is not None}
+
+    fmul, fadd = _count_ops(equation.rhs)
+    return StencilAnalysis(
+        grids=grids,
+        accesses=tuple(accesses),
+        radius=max(radius, 0),
+        is_star=is_star,
+        is_linear=linear is not None,
+        coefficients=coefficients,
+        fmul_count=fmul,
+        fadd_count=fadd,
+    )
+
+
+def to_stencil_spec(equation: Equation) -> StencilSpec:
+    """Lower a star-shaped, linear, single-grid equation to a
+    :class:`StencilSpec`.
+
+    Raises :class:`ConfigurationError` with a specific message when the
+    equation reads several grids, is nonlinear, accesses off-axis
+    neighbors (not a star), has a constant (affine) term, or misses the
+    center access.
+    """
+    analysis = analyze(equation)
+    if len(analysis.grids) != 1:
+        raise ConfigurationError(
+            "StencilSpec lowering requires a single input grid; "
+            f"got {[g.name for g in analysis.grids]}"
+        )
+    if analysis.grids[0] is not equation.target:
+        raise ConfigurationError(
+            "StencilSpec lowering requires the equation to update the grid "
+            "it reads (single-field stencil)"
+        )
+    if not analysis.is_linear:
+        raise ConfigurationError("equation is nonlinear; cannot lower")
+    if not analysis.is_star:
+        raise ConfigurationError(
+            "equation accesses off-axis neighbors; only star stencils lower"
+        )
+    linear = _linearize(equation.rhs)
+    assert linear is not None
+    if abs(linear.get(None, 0.0)) > 1e-30:
+        raise ConfigurationError("affine constant terms cannot lower")
+    if analysis.radius < 1:
+        raise ConfigurationError("equation reads only the center cell")
+
+    dims = analysis.grids[0].dims
+    radius = analysis.radius
+    center = 0.0
+    coeffs = np.zeros((2 * dims, radius), dtype=np.float64)
+    # Direction index mapping mirrors repro.core.stencil.Direction:
+    # axis x -> (WEST=0, EAST=1), y -> (SOUTH=2, NORTH=3), z -> (BELOW=4,
+    # ABOVE=5); array axes are (y, x) / (z, y, x).
+    axis_to_dirpair = {dims - 1: (0, 1), dims - 2: (2, 3)}
+    if dims == 3:
+        axis_to_dirpair[0] = (4, 5)
+    for ref, coeff in analysis.coefficients.items():
+        nonzero_axes = [ax for ax, o in enumerate(ref.offsets) if o != 0]
+        if not nonzero_axes:
+            center += coeff
+            continue
+        axis = nonzero_axes[0]
+        offset = ref.offsets[axis]
+        neg_dir, pos_dir = axis_to_dirpair[axis]
+        direction = neg_dir if offset < 0 else pos_dir
+        coeffs[direction, abs(offset) - 1] += coeff
+    return StencilSpec(
+        dims=dims,
+        radius=radius,
+        center=float(center),
+        coefficients=coeffs.astype(np.float32),
+    )

@@ -1,0 +1,143 @@
+"""Expression AST for the stencil DSL.
+
+Expressions are built with ordinary Python operators over grid accesses::
+
+    u = Grid("u", dims=3)
+    expr = 0.4 * u(0, 0, 0) + 0.1 * (u(0, 0, -1) + u(0, 0, 1))
+
+Offsets are given in array-axis order — ``(y, x)`` for 2D grids and
+``(z, y, x)`` for 3D, matching the rest of the repository.  The AST is
+immutable; analysis and lowering live in sibling modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class Expr:
+    """Base expression node with operator-overloading sugar."""
+
+    def __add__(self, other: "Expr | float") -> "Expr":
+        return Add(self, _wrap(other))
+
+    def __radd__(self, other: float) -> "Expr":
+        return Add(_wrap(other), self)
+
+    def __sub__(self, other: "Expr | float") -> "Expr":
+        return Add(self, Mul(Const(-1.0), _wrap(other)))
+
+    def __rsub__(self, other: float) -> "Expr":
+        return Add(_wrap(other), Mul(Const(-1.0), self))
+
+    def __mul__(self, other: "Expr | float") -> "Expr":
+        return Mul(self, _wrap(other))
+
+    def __rmul__(self, other: float) -> "Expr":
+        return Mul(_wrap(other), self)
+
+    def __neg__(self) -> "Expr":
+        return Mul(Const(-1.0), self)
+
+
+def _wrap(value: "Expr | float") -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise ConfigurationError(f"cannot use {value!r} in a stencil expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A numeric constant."""
+
+    value: float
+
+    def __repr__(self) -> str:
+        return f"{self.value!r}"
+
+
+@dataclass(frozen=True)
+class GridRef(Expr):
+    """An access to ``grid`` at a constant offset from the center cell."""
+
+    grid: "Grid"
+    offsets: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.offsets) != self.grid.dims:
+            raise ConfigurationError(
+                f"grid {self.grid.name!r} is {self.grid.dims}D but the "
+                f"access has {len(self.offsets)} offsets"
+            )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(o) for o in self.offsets)
+        return f"{self.grid.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    """Binary addition (left-to-right association preserved)."""
+
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    """Binary multiplication."""
+
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} * {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A named grid; calling it yields a :class:`GridRef`.
+
+    >>> u = Grid("u", dims=2)
+    >>> u(0, -1)
+    u(0, -1)
+    """
+
+    name: str
+    dims: int
+
+    def __post_init__(self) -> None:
+        if self.dims not in (2, 3):
+            raise ConfigurationError(f"dims must be 2 or 3, got {self.dims}")
+        if not self.name.isidentifier():
+            raise ConfigurationError(f"invalid grid name {self.name!r}")
+
+    def __call__(self, *offsets: int) -> GridRef:
+        if any(not isinstance(o, int) for o in offsets):
+            raise ConfigurationError("offsets must be integers")
+        return GridRef(self, tuple(offsets))
+
+
+@dataclass(frozen=True)
+class Equation:
+    """``target[t+1] = rhs`` — one stencil update equation."""
+
+    target: Grid
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rhs, Expr):
+            raise ConfigurationError("rhs must be a stencil expression")
+
+    def to_stencil_spec(self):
+        """Lower to a :class:`repro.core.StencilSpec` (star stencils)."""
+        from repro.dsl.analysis import to_stencil_spec
+
+        return to_stencil_spec(self)

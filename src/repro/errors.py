@@ -1,0 +1,28 @@
+"""Exception types used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A design or model parameter is invalid or inconsistent.
+
+    Raised, for example, when a blocking configuration violates the
+    constraints of the paper (eq. 2 requires ``bsize > 2 * partime * rad``)
+    or when a device cannot fit the requested degree of parallelism.
+    """
+
+
+class ResourceExceededError(ConfigurationError):
+    """A design does not fit on the target FPGA device (DSPs, BRAM, logic)."""
+
+
+class SimulationError(ReproError):
+    """The functional or cycle simulator reached an inconsistent state."""
+
+
+class ValidationError(ReproError):
+    """Numerical validation between two engines failed."""

@@ -1,0 +1,48 @@
+"""Experiments regenerating every table and figure of the paper.
+
+Each module exposes ``run(**kwargs) -> ExperimentResult``; the registry
+maps experiment ids (``table1`` ... ``fig4``, ``related-work``,
+``ablations``) to those functions.  ``python -m repro.experiments <id>``
+runs one from the command line.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    fig3,
+    fig4,
+    related_work,
+    ablations,
+    beyond_radius4,
+    projection,
+    fig1,
+    fig2,
+    model_validation,
+    wave_perf,
+    input_restriction,
+)
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "related-work": related_work.run,
+    "ablations": ablations.run,
+    "beyond-radius4": beyond_radius4.run,
+    "projection": projection.run,
+    "model-validation": model_validation.run,
+    "wave-performance": wave_perf.run,
+    "input-restriction": input_restriction.run,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentResult"]

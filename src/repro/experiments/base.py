@@ -1,0 +1,37 @@
+"""Common experiment result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.compare import Comparison, summarize
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one table/figure reproduction.
+
+    ``text`` is the rendered artifact (table or chart); ``comparisons``
+    hold paper-vs-reproduced checks; ``data`` is the machine-readable
+    content used by tests and benchmarks.
+    """
+
+    exp_id: str
+    title: str
+    text: str
+    comparisons: list[Comparison] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """All comparisons within tolerance."""
+        return all(c.within_tolerance for c in self.comparisons)
+
+    def render(self) -> str:
+        """Full report: the artifact plus the comparison summary."""
+        parts = [self.text]
+        if self.comparisons:
+            parts.append("")
+            parts.append("Paper vs reproduced:")
+            parts.append(summarize(self.comparisons))
+        return "\n".join(parts)

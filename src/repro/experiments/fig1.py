@@ -1,0 +1,32 @@
+"""Figure 1 — first-order and third-order star stencil shapes.
+
+An illustrative figure (no measurement): rendered as ASCII slices, with
+structural checks that the rendered shape matches the paper's star
+definition (``2 * dims * rad + 1`` cells, axis-aligned arms).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import stencil_diagram
+from repro.core.stencil import StencilSpec
+from repro.experiments.base import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    sections = []
+    data = {}
+    for radius in (1, 3):
+        spec = StencilSpec.star(3, radius)
+        diagram = stencil_diagram(radius)
+        sections.append(
+            f"{'First' if radius == 1 else 'Third'}-order star stencil "
+            f"(2D slice through the center; {spec.npoints} points in 3D):\n"
+            f"{diagram}"
+        )
+        data[radius] = dict(
+            npoints=spec.npoints,
+            marked_cells=diagram.count("C") + diagram.count("o"),
+        )
+    text = "Fig. 1 — star-shaped stencils\n=============================\n" + \
+        "\n\n".join(sections)
+    return ExperimentResult("fig1", "Star stencil shapes", text, [], data)

@@ -1,0 +1,32 @@
+"""Figure 2 — accelerator design overview (read -> PE chain -> write).
+
+An illustrative figure (no measurement): the dataflow diagram, plus the
+structural facts it encodes, taken from a real configuration — number of
+chained PEs, channel connectivity, shift-register size per PE.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import design_overview
+from repro.core.shift_register import shift_register_words
+from repro.experiments.base import ExperimentResult
+from repro.experiments.table3 import paper_config
+
+
+def run(dims: int = 3, radius: int = 1) -> ExperimentResult:
+    config, _ = paper_config(dims, radius)
+    diagram = design_overview(config.partime)
+    words = shift_register_words(config)
+    text = (
+        "Fig. 2 — design overview\n========================\n"
+        f"{diagram}\n"
+        f"Shift register per PE (eq. 7): {words} float32 words "
+        f"({words * 4 / 1024:.0f} KiB)\n"
+        f"Vector width (parvec): {config.parvec} cells/cycle"
+    )
+    data = dict(
+        partime=config.partime,
+        parvec=config.parvec,
+        shift_register_words=words,
+    )
+    return ExperimentResult("fig2", "Design overview", text, [], data)

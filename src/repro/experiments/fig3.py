@@ -1,0 +1,41 @@
+"""Figure 3 — 3D stencil performance in GFLOP/s, all devices and orders."""
+
+from __future__ import annotations
+
+from repro.analysis.figures import bar_chart
+from repro.analysis.paper_data import EXTRAPOLATED_GPUS
+from repro.experiments.base import ExperimentResult
+from repro.experiments.table4 import RADII
+from repro.experiments.table5 import build_records_3d
+
+ORDER_LABELS = ["first-order", "second-order", "third-order", "fourth-order"]
+DEVICE_ORDER = ("arria10", "xeon", "xeon-phi", "gtx580", "gtx980ti", "p100")
+
+
+def run() -> ExperimentResult:
+    """Regenerate Fig. 3 as an ASCII grouped bar chart."""
+    records = build_records_3d()
+    series = {
+        records[key][0].device: [rec.gflop_s for rec in records[key]]
+        for key in DEVICE_ORDER
+    }
+    hatched = tuple(records[key][0].device for key in EXTRAPOLATED_GPUS)
+    text = bar_chart(
+        series,
+        ORDER_LABELS,
+        title="Fig. 3 — 3D stencil performance (GFLOP/s)",
+        unit="GFLOP/s",
+        hatched=hatched,
+    )
+    # Trend facts the paper reads off this figure (§VI.B):
+    fpga = [rec.gflop_s for rec in records["arria10"]]
+    phi = [rec.gflop_s for rec in records["xeon-phi"]]
+    data = {
+        "series": series,
+        "radii": list(RADII),
+        # FPGA: GFLOP/s stays relatively close across orders
+        "fpga_gflops_spread": max(fpga) / min(fpga),
+        # CPU/Phi: GFLOP/s increases ~proportional to radius
+        "phi_gflops_growth": phi[-1] / phi[0],
+    }
+    return ExperimentResult("fig3", "3D GFLOP/s by device and order", text, [], data)

@@ -1,0 +1,39 @@
+"""Figure 4 — 3D stencil performance in GCell/s, all devices and orders."""
+
+from __future__ import annotations
+
+from repro.analysis.figures import bar_chart
+from repro.analysis.paper_data import EXTRAPOLATED_GPUS
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig3 import DEVICE_ORDER, ORDER_LABELS
+from repro.experiments.table5 import build_records_3d
+
+
+def run() -> ExperimentResult:
+    """Regenerate Fig. 4 as an ASCII grouped bar chart."""
+    records = build_records_3d()
+    series = {
+        records[key][0].device: [rec.gcell_s for rec in records[key]]
+        for key in DEVICE_ORDER
+    }
+    hatched = tuple(records[key][0].device for key in EXTRAPOLATED_GPUS)
+    text = bar_chart(
+        series,
+        ORDER_LABELS,
+        title="Fig. 4 — 3D stencil performance (GCell/s)",
+        unit="GCell/s",
+        hatched=hatched,
+    )
+    fpga = [rec.gcell_s for rec in records["arria10"]]
+    phi = [rec.gcell_s for rec in records["xeon-phi"]]
+    gpu = [rec.gcell_s for rec in records["gtx580"]]
+    data = {
+        "series": series,
+        # FPGA: GCell/s drops ~proportional to order (for rad >= 2)
+        "fpga_gcell_ratio_r2_r4": fpga[1] / fpga[3],
+        # Phi: GCell/s roughly flat
+        "phi_gcell_spread": max(phi) / min(phi),
+        # GPU: GCell/s decreases slower than radius grows
+        "gpu_gcell_ratio_r1_r4": gpu[0] / gpu[3],
+    }
+    return ExperimentResult("fig4", "3D GCell/s by device and order", text, [], data)

@@ -1,0 +1,81 @@
+"""Input-size restriction of temporal-only blocking (paper §II).
+
+Most prior FPGA stencil works [14-17] use temporal blocking *without*
+spatial blocking: each PE buffers ``2 * rad`` full grid rows (2D) or
+planes (3D), so the input's row/plane size is capped by on-chip memory —
+"this restriction will become even more limiting for high-order
+stencils".  The paper's combined blocking removes the cap at the price of
+overlapped-halo redundancy.
+
+This experiment quantifies the §II claim on the Arria 10: the maximum
+input row length / plane side that a temporal-only design of the paper's
+partime could buffer, versus the (unrestricted) input the paper actually
+ran.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import render_table
+from repro.experiments.base import ExperimentResult
+from repro.experiments.table3 import paper_config
+from repro.fpga.board import NALLATECH_385A
+
+
+def max_row_cells_2d(radius: int, partime: int, bram_bits: int) -> int:
+    """Largest input row a temporal-only 2D design can buffer.
+
+    Each of the ``partime`` PEs holds ``2 * rad`` rows of float32:
+    ``32 * partime * 2 * rad * N <= bram_bits``.
+    """
+    return bram_bits // (32 * partime * 2 * radius)
+
+
+def max_plane_side_3d(radius: int, partime: int, bram_bits: int) -> int:
+    """Largest square plane side a temporal-only 3D design can buffer."""
+    cells = bram_bits // (32 * partime * 2 * radius)
+    return int(math.isqrt(cells))
+
+
+def run() -> ExperimentResult:
+    device = NALLATECH_385A.device
+    rows = []
+    data: dict = {2: {}, 3: {}}
+    for dims in (2, 3):
+        for radius in (1, 2, 3, 4):
+            config, shape = paper_config(dims, radius)
+            if dims == 2:
+                cap = max_row_cells_2d(radius, config.partime, device.bram_bits)
+                used = shape[1]
+                label = "row"
+            else:
+                cap = max_plane_side_3d(radius, config.partime, device.bram_bits)
+                used = shape[2]
+                label = "plane side"
+            restricted = used > cap
+            rows.append([
+                f"{dims}D", radius, config.partime, label, cap, used,
+                "yes" if restricted else "no",
+            ])
+            data[dims][radius] = dict(
+                cap=cap, used=used, restricted=restricted, partime=config.partime
+            )
+    text = render_table(
+        ["", "rad", "partime", "limit on", "temporal-only max",
+         "paper input", "paper input exceeds cap"],
+        rows,
+        title="§II — input-size cap of temporal-only blocking (Arria 10)",
+    )
+    note = (
+        "\nCombined spatial+temporal blocking (this paper) has no such cap;"
+        "\nthe cap shrinks as 1/(radius x partime) — §II's 'even more"
+        "\nlimiting for high-order stencils'."
+    )
+    return ExperimentResult(
+        "input-restriction",
+        "Temporal-only blocking input cap",
+        text + note,
+        [],
+        data,
+    )

@@ -1,0 +1,44 @@
+"""Model-vs-simulator cross-validation experiment.
+
+Sweeps aligned/split and shallow/deep configurations, comparing the
+analytic steady-state throughput against the independent cycle simulator
+(DESIGN.md §2's claim that the model-accuracy gap is mechanistic, not
+hand-tuned).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.experiments.base import ExperimentResult
+from repro.models.validation import max_deviation, run_sweep
+
+
+def run(vectors: int = 20000) -> ExperimentResult:
+    points = run_sweep(vectors=vectors)
+    rows = [
+        [
+            p.label,
+            p.parvec,
+            p.partime,
+            f"{p.fmax_mhz:.0f}",
+            f"{p.analytic_efficiency:.3f}",
+            f"{p.simulated_efficiency:.3f}",
+            f"{p.deviation:.1%}",
+        ]
+        for p in points
+    ]
+    text = render_table(
+        ["configuration", "parvec", "partime", "fmax", "analytic",
+         "cycle sim", "deviation"],
+        rows,
+        title="Model vs cycle-simulator steady-state throughput",
+    )
+    worst = max_deviation(points)
+    text += f"\n\nworst deviation: {worst:.1%}"
+    return ExperimentResult(
+        "model-validation",
+        "Analytic model vs cycle simulator",
+        text,
+        [],
+        {"points": points, "max_deviation": worst},
+    )

@@ -1,0 +1,94 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _jsonable(result) -> dict:
+    """Machine-readable summary of an experiment result.
+
+    ``data`` payloads hold rich objects (estimates, configs); the JSON
+    view keeps the identity, pass/fail state and every comparison.
+    """
+    return {
+        "id": result.exp_id,
+        "title": result.title,
+        "passed": result.passed,
+        "comparisons": [
+            {
+                "label": c.label,
+                "paper": c.paper,
+                "reproduced": c.reproduced,
+                "relative_error": c.relative_error,
+                "tolerance": c.tolerance,
+                "within_tolerance": c.within_tolerance,
+            }
+            for c in result.comparisons
+        ],
+        "text": result.text,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        help="experiment id (tableN / figN / related-work / ablations / "
+        "beyond-radius4 / projection / ...), 'all', or 'report' (full "
+        "markdown report)",
+    )
+    parser.add_argument(
+        "--tuner",
+        action="store_true",
+        help="table3: use the tuner's configurations instead of the paper's",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="table3: functionally validate each row at reduced scale",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of rendered tables",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from repro.analysis.report import all_passed, build_sections, generate_report
+
+        sections = build_sections()
+        print(generate_report(sections=sections))
+        return 0 if all_passed(sections) else 1
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failed = 0
+    json_out = []
+    for exp_id in ids:
+        kwargs = {}
+        if exp_id == "table3":
+            kwargs = {"use_tuner": args.tuner, "validate": args.validate}
+        result = EXPERIMENTS[exp_id](**kwargs)
+        if args.json:
+            json_out.append(_jsonable(result))
+        else:
+            print(result.render())
+            print()
+        if not result.passed:
+            failed += 1
+    if args.json:
+        print(json.dumps(json_out if args.experiment == "all" else json_out[0], indent=2))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Table I — stencil computational characteristics."""
+
+from __future__ import annotations
+
+from repro.analysis.compare import compare_values
+from repro.analysis.paper_data import PAPER_TABLE_I
+from repro.analysis.tables import render_table
+from repro.core.stencil import StencilSpec
+from repro.experiments.base import ExperimentResult
+
+
+def run(max_radius: int = 4) -> ExperimentResult:
+    """Regenerate Table I from :class:`StencilSpec` alone."""
+    rows = []
+    comparisons = []
+    data: dict[tuple[int, int], tuple[int, int, float]] = {}
+    for dims in (2, 3):
+        for radius in range(1, max_radius + 1):
+            spec = StencilSpec.star(dims, radius)
+            entry = (spec.flops_per_cell, spec.bytes_per_cell, spec.flop_per_byte)
+            data[(dims, radius)] = entry
+            rows.append(
+                [f"{dims}D", radius, entry[0], entry[1], f"{entry[2]:.3f}"]
+            )
+            if (dims, radius) in PAPER_TABLE_I:
+                flop, byte, fpb = PAPER_TABLE_I[(dims, radius)]
+                comparisons.append(
+                    compare_values(
+                        f"{dims}D rad{radius} FLOP/cell", flop, entry[0], 0.0
+                    )
+                )
+                comparisons.append(
+                    compare_values(
+                        f"{dims}D rad{radius} FLOP/Byte", fpb, entry[2], 0.001
+                    )
+                )
+    text = render_table(
+        ["Stencil", "Radius", "FLOP/cell", "Byte/cell", "FLOP/Byte"],
+        rows,
+        title="Table I — stencil characteristics",
+    )
+    return ExperimentResult("table1", "Stencil characteristics", text, comparisons, {"rows": data})

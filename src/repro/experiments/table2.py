@@ -1,0 +1,40 @@
+"""Table II — hardware characteristics of all compared devices."""
+
+from __future__ import annotations
+
+from repro.analysis.compare import compare_values
+from repro.analysis.paper_data import PAPER_TABLE_II
+from repro.analysis.tables import render_table
+from repro.experiments.base import ExperimentResult
+from repro.hardware.catalog import DEVICES
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table II from the device catalog."""
+    rows = []
+    comparisons = []
+    for key, spec in DEVICES.items():
+        rows.append(
+            [
+                spec.name,
+                f"{spec.peak_gflops:.0f}",
+                f"{spec.peak_bandwidth_gbps:.1f}",
+                f"{spec.tdp_watts:.0f}",
+                spec.process_nm,
+                f"{spec.flop_per_byte:.3f}",
+                spec.year,
+            ]
+        )
+        paper = PAPER_TABLE_II[key]
+        comparisons.append(
+            compare_values(f"{key} FLOP/Byte", paper[4], spec.flop_per_byte, 0.001)
+        )
+    text = render_table(
+        ["Device", "GFLOP/s", "GB/s", "TDP (W)", "Node (nm)", "FLOP/Byte", "Year"],
+        rows,
+        title="Table II — hardware characteristics",
+    )
+    return ExperimentResult(
+        "table2", "Hardware characteristics", text, comparisons,
+        {"devices": dict(DEVICES)},
+    )

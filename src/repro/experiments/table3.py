@@ -1,0 +1,189 @@
+"""Table III — FPGA results for 2D/3D stencils of radius 1-4.
+
+Reproduces every column through the model chain (DESIGN.md §2): the
+paper's configuration (or the tuner's pick with ``use_tuner=True``), the
+fmax model, the area model, the performance model (estimated), the
+memory-controller pipeline efficiency (measured), the power model and the
+model-accuracy column.  With ``validate=True`` each row additionally runs
+the functional simulator on a proportionally scaled-down grid and checks
+bit-identity against the golden reference — tying the modeled numbers to
+an execution that actually computes the stencil.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.compare import Comparison, compare_values
+from repro.analysis.paper_data import PAPER_TABLE_III
+from repro.analysis.tables import render_table
+from repro.core import (
+    BlockingConfig,
+    FPGAAccelerator,
+    StencilSpec,
+    make_grid,
+    reference_run,
+)
+from repro.errors import ValidationError
+from repro.experiments.base import ExperimentResult
+from repro.fpga.board import NALLATECH_385A
+from repro.models.area import AreaModel
+from repro.models.fmax import FmaxModel
+from repro.models.performance import PerformanceModel
+from repro.models.power import fpga_power_watts
+from repro.models.tuner import Tuner
+
+ITERATIONS = 1000
+
+
+def paper_config(dims: int, radius: int) -> tuple[BlockingConfig, tuple[int, ...]]:
+    """The paper's Table III configuration and input shape."""
+    entry = PAPER_TABLE_III[(dims, radius)]
+    bsize_y, bsize_x = entry["bsize"]
+    config = BlockingConfig(
+        dims=dims,
+        radius=radius,
+        bsize_x=bsize_x,
+        bsize_y=bsize_y,
+        parvec=entry["parvec"],
+        partime=entry["partime"],
+    )
+    return config, tuple(entry["shape"])
+
+
+def fpga_row(
+    dims: int,
+    radius: int,
+    use_tuner: bool = False,
+    iterations: int = ITERATIONS,
+) -> dict:
+    """Full model chain for one Table III row."""
+    spec = StencilSpec.star(dims, radius)
+    board = NALLATECH_385A
+    if use_tuner:
+        shape = paper_config(dims, radius)[1]
+        design = Tuner(spec, board).best(shape, iterations)
+        config = design.config
+    else:
+        config, shape = paper_config(dims, radius)
+    fmax = FmaxModel().fmax_mhz(dims, radius)
+    model = PerformanceModel(board)
+    estimated = model.estimate(spec, config, shape, iterations, fmax_mhz=fmax)
+    measured = model.predict_measured(spec, config, shape, iterations, fmax_mhz=fmax)
+    area = AreaModel(board.device).report(spec, config)
+    power = fpga_power_watts(
+        fmax, area.dsp_fraction, area.m20k_fraction, area.logic_fraction
+    )
+    return dict(
+        spec=spec,
+        config=config,
+        shape=shape,
+        fmax_mhz=fmax,
+        estimated=estimated,
+        measured=measured,
+        area=area,
+        power_watts=power,
+        accuracy=model.model_accuracy(config),
+    )
+
+
+def validate_row(row: dict, scale_iterations: int = 4) -> dict:
+    """Run the functional simulator on a scaled-down version of the row.
+
+    The grid is shrunk to a handful of compute blocks (csize-aligned, as
+    §IV.C prescribes) so the bit-identity check runs in seconds.  Returns
+    simulator statistics; raises :class:`ValidationError` on mismatch.
+    """
+    config: BlockingConfig = row["config"]
+    spec: StencilSpec = row["spec"]
+    # smallest csize-aligned blocked extents covering 2 blocks; modest
+    # streamed extent
+    if spec.dims == 2:
+        shape = (48, 2 * config.csize[0])
+    else:
+        shape = (12, 2 * config.csize[0], 2 * config.csize[1])
+    grid = make_grid(shape, "mixed", seed=spec.radius)
+    expected = reference_run(grid, spec, scale_iterations)
+    actual, stats = FPGAAccelerator(spec, config).run(grid, scale_iterations)
+    if not np.array_equal(expected, actual):
+        raise ValidationError(
+            f"functional simulation diverged for {spec.describe()}"
+        )
+    return dict(shape=shape, stats=stats)
+
+
+def run(use_tuner: bool = False, validate: bool = False) -> ExperimentResult:
+    """Regenerate Table III."""
+    rows = []
+    comparisons: list[Comparison] = []
+    data = {}
+    for dims in (2, 3):
+        for radius in (1, 2, 3, 4):
+            row = fpga_row(dims, radius, use_tuner=use_tuner)
+            if validate:
+                row["validation"] = validate_row(row)
+            data[(dims, radius)] = row
+            config: BlockingConfig = row["config"]
+            est = row["estimated"]
+            meas = row["measured"]
+            area = row["area"]
+            bsize = (
+                f"{config.bsize_x}"
+                if dims == 2
+                else f"{config.bsize_x}x{config.bsize_y}"
+            )
+            rows.append(
+                [
+                    f"{dims}D",
+                    radius,
+                    bsize,
+                    config.parvec,
+                    config.partime,
+                    "x".join(str(s) for s in row["shape"]),
+                    f"{est.gbs:.1f}",
+                    f"{meas.gbs:.1f}|{meas.gflop_s:.1f}|{meas.gcell_s:.2f}",
+                    f"{row['fmax_mhz']:.2f}",
+                    f"{area.dsp_fraction:.0%}",
+                    f"{area.bram_bits_fraction:.0%}|{min(area.m20k_fraction, 1):.0%}",
+                    f"{row['power_watts']:.1f}",
+                    f"{row['accuracy']:.1%}",
+                ]
+            )
+            paper = PAPER_TABLE_III[(dims, radius)]
+            comparisons.extend(
+                [
+                    compare_values(
+                        f"{dims}D rad{radius} estimated GB/s",
+                        paper["estimated_gbs"], est.gbs, 0.06,
+                    ),
+                    compare_values(
+                        f"{dims}D rad{radius} measured GB/s",
+                        paper["measured"][0], meas.gbs, 0.06,
+                    ),
+                    compare_values(
+                        f"{dims}D rad{radius} measured GFLOP/s",
+                        paper["measured"][1], meas.gflop_s, 0.06,
+                    ),
+                    compare_values(
+                        f"{dims}D rad{radius} power W",
+                        paper["power_w"], row["power_watts"], 0.10,
+                    ),
+                    compare_values(
+                        f"{dims}D rad{radius} model accuracy",
+                        paper["accuracy"], row["accuracy"], 0.08,
+                    ),
+                ]
+            )
+    text = render_table(
+        [
+            "", "rad", "bsize", "parvec", "partime", "input",
+            "est GB/s", "meas GB/s|GF/s|GC/s", "fmax", "DSP",
+            "mem bits|blk", "power W", "accuracy",
+        ],
+        rows,
+        title="Table III — FPGA results (model chain"
+        + (", tuner configs" if use_tuner else ", paper configs")
+        + (", functionally validated" if validate else "")
+        + ")",
+    )
+    return ExperimentResult("table3", "FPGA results", text, comparisons, data)

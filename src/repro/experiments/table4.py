@@ -1,0 +1,117 @@
+"""Table IV — 2D stencil performance across FPGA, Xeon and Xeon Phi."""
+
+from __future__ import annotations
+
+from repro.analysis.compare import Comparison, compare_values
+from repro.analysis.metrics import PerfRecord
+from repro.analysis.paper_data import PAPER_TABLE_IV
+from repro.analysis.tables import render_table
+from repro.baselines.cpu_yask import XEON, XEON_PHI
+from repro.core.stencil import StencilSpec
+from repro.experiments.base import ExperimentResult
+from repro.experiments.table3 import fpga_row
+from repro.hardware.catalog import device
+from repro.models.roofline import roofline_ratio
+
+RADII = (1, 2, 3, 4)
+
+
+def build_records(dims: int) -> dict[str, list[PerfRecord]]:
+    """FPGA + CPU records for one dimensionality (used by Tables IV/V)."""
+    records: dict[str, list[PerfRecord]] = {"arria10": [], "xeon": [], "xeon-phi": []}
+    for radius in RADII:
+        spec = StencilSpec.star(dims, radius)
+        row = fpga_row(dims, radius)
+        meas = row["measured"]
+        records["arria10"].append(
+            PerfRecord(
+                device="Arria 10 GX 1150",
+                dims=dims,
+                radius=radius,
+                gcell_s=meas.gcell_s,
+                gflop_s=meas.gflop_s,
+                power_watts=row["power_watts"],
+                roofline_ratio=roofline_ratio(
+                    meas.gflop_s,
+                    device("arria10").peak_bandwidth_gbps,
+                    spec.flop_per_byte,
+                ),
+            )
+        )
+        for key, model in (("xeon", XEON), ("xeon-phi", XEON_PHI)):
+            perf = model.predict(spec)
+            records[key].append(
+                PerfRecord(
+                    device=model.device.name,
+                    dims=dims,
+                    radius=radius,
+                    gcell_s=perf.gcell_s,
+                    gflop_s=perf.gflop_s,
+                    power_watts=perf.power_watts,
+                    roofline_ratio=perf.roofline_ratio,
+                )
+            )
+    return records
+
+
+def winners(records: dict[str, list[PerfRecord]]) -> dict[int, dict[str, str]]:
+    """Per-radius winner by GFLOP/s and by power efficiency."""
+    out: dict[int, dict[str, str]] = {}
+    for i, radius in enumerate(RADII):
+        by_perf = max(records, key=lambda k: records[k][i].gflop_s)
+        by_eff = max(records, key=lambda k: records[k][i].gflops_per_watt)
+        out[radius] = {"performance": by_perf, "efficiency": by_eff}
+    return out
+
+
+def _compare(records, paper_table, comparisons: list[Comparison], dims: int) -> None:
+    for key, recs in records.items():
+        if key not in paper_table:
+            continue
+        for rec in recs:
+            gflops, gcell, eff, ratio = paper_table[key][rec.radius]
+            comparisons.append(
+                compare_values(
+                    f"{key} {dims}D rad{rec.radius} GFLOP/s", gflops, rec.gflop_s, 0.06
+                )
+            )
+            comparisons.append(
+                compare_values(
+                    f"{key} {dims}D rad{rec.radius} GFLOP/s/W",
+                    eff, rec.gflops_per_watt, 0.12,
+                )
+            )
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table IV."""
+    records = build_records(2)
+    comparisons: list[Comparison] = []
+    _compare(records, PAPER_TABLE_IV, comparisons, dims=2)
+    rows = [
+        rec.as_row()[:6]
+        for key in ("arria10", "xeon", "xeon-phi")
+        for rec in records[key]
+    ]
+    text = render_table(
+        ["Device", "rad", "GFLOP/s", "GCell/s", "GFLOP/s/W", "Roofline"],
+        rows,
+        title="Table IV — 2D stencil performance",
+    )
+    win = winners(records)
+    # The paper's ranking claims (§VI.B)
+    claims_text = [
+        "",
+        "Ranking claims:",
+        f"  performance winners per radius: "
+        f"{ {r: win[r]['performance'] for r in RADII} }",
+        f"  efficiency winners per radius:  "
+        f"{ {r: win[r]['efficiency'] for r in RADII} }",
+    ]
+    return ExperimentResult(
+        "table4",
+        "2D comparison",
+        text + "\n" + "\n".join(claims_text),
+        comparisons,
+        {"records": records, "winners": win},
+    )

@@ -1,0 +1,75 @@
+"""Table V — 3D stencil performance across all six devices."""
+
+from __future__ import annotations
+
+from repro.analysis.compare import Comparison
+from repro.analysis.metrics import PerfRecord
+from repro.analysis.paper_data import EXTRAPOLATED_GPUS, PAPER_TABLE_V
+from repro.analysis.tables import render_table
+from repro.baselines.gpu_inplane import InPlaneGPUModel
+from repro.core.stencil import StencilSpec
+from repro.experiments.base import ExperimentResult
+from repro.experiments.table4 import RADII, _compare, build_records, winners
+from repro.hardware.catalog import device
+
+
+def build_records_3d() -> dict[str, list[PerfRecord]]:
+    """All six Table V device rows."""
+    records = build_records(3)
+    gpu_model = InPlaneGPUModel()
+    for key in ("gtx580", "gtx980ti", "p100"):
+        recs = []
+        for radius in RADII:
+            spec = StencilSpec.star(3, radius)
+            perf = (
+                gpu_model.predict(spec)
+                if key == "gtx580"
+                else gpu_model.extrapolate(spec, device(key))
+            )
+            recs.append(
+                PerfRecord(
+                    device=perf.device_name,
+                    dims=3,
+                    radius=radius,
+                    gcell_s=perf.gcell_s,
+                    gflop_s=perf.gflop_s,
+                    power_watts=perf.power_watts,
+                    roofline_ratio=perf.roofline_ratio,
+                    extrapolated=perf.extrapolated,
+                )
+            )
+        records[key] = recs
+    return records
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table V."""
+    records = build_records_3d()
+    comparisons: list[Comparison] = []
+    _compare(records, PAPER_TABLE_V, comparisons, dims=3)
+    order = ("arria10", "xeon", "xeon-phi", "gtx580", "gtx980ti", "p100")
+    rows = [rec.as_row() for key in order for rec in records[key]]
+    text = render_table(
+        ["Device", "rad", "GFLOP/s", "GCell/s", "GFLOP/s/W", "Roofline", "Extrap."],
+        rows,
+        title="Table V — 3D stencil performance",
+    )
+    measured = {k: v for k, v in records.items() if k not in EXTRAPOLATED_GPUS}
+    win_measured = winners(measured)
+    win_all = winners(records)
+    claims = [
+        "",
+        "Ranking claims (excluding extrapolated):",
+        f"  performance: { {r: win_measured[r]['performance'] for r in RADII} }",
+        f"  efficiency:  { {r: win_measured[r]['efficiency'] for r in RADII} }",
+        "Ranking claims (including extrapolated):",
+        f"  performance: { {r: win_all[r]['performance'] for r in RADII} }",
+        f"  efficiency:  { {r: win_all[r]['efficiency'] for r in RADII} }",
+    ]
+    return ExperimentResult(
+        "table5",
+        "3D comparison",
+        text + "\n" + "\n".join(claims),
+        comparisons,
+        {"records": records, "winners_measured": win_measured, "winners_all": win_all},
+    )

@@ -1,0 +1,18 @@
+"""FPGA device, board and memory-system substrate."""
+
+from repro.fpga.device import FPGADevice, ARRIA10_GX1150, STRATIX_V_GXA7, STRATIX10_GX2800, STRATIX10_MX2100
+from repro.fpga.board import Board, NALLATECH_385A, NALLATECH_510T_LIKE, STRATIX10_MX_BOARD
+from repro.fpga.memory import DDRModel
+
+__all__ = [
+    "FPGADevice",
+    "Board",
+    "DDRModel",
+    "ARRIA10_GX1150",
+    "STRATIX_V_GXA7",
+    "STRATIX10_GX2800",
+    "STRATIX10_MX2100",
+    "NALLATECH_385A",
+    "NALLATECH_510T_LIKE",
+    "STRATIX10_MX_BOARD",
+]

@@ -1,0 +1,101 @@
+"""Multi-bank external-memory modeling (the 385A has two DDR4 banks).
+
+The Table II peak of 34.1 GB/s is the *sum* over two independent banks.
+How the design maps its streams onto banks matters:
+
+* **split** (the design the paper inherits from [8]): the read stream
+  lives on one bank and the write stream on the other — each stream gets
+  a dedicated 17.06 GB/s channel with no interference;
+* **shared**: both streams on one bank — they contend, and alternating
+  read/write bursts pay a bus-turnaround penalty on top of halving the
+  available bandwidth.
+
+This model quantifies that choice (an ablation the paper's §V.A block
+diagram implies but never isolates), and composes with the splitting
+model of :mod:`repro.fpga.memory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.blocking import BlockingConfig
+from repro.errors import ConfigurationError
+from repro.fpga.board import Board
+from repro.fpga.memory import DDRModel
+
+#: Fraction of a bank's bandwidth lost to read/write bus turnaround when
+#: both streams share it (DDR4 tWTR/tRTW gaps at burst granularity).
+TURNAROUND_LOSS = 0.15
+
+
+@dataclass(frozen=True)
+class BankAssignment:
+    """How the accelerator's two streams map onto memory banks."""
+
+    scheme: str  # 'split' | 'shared'
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("split", "shared"):
+            raise ConfigurationError(
+                f"scheme must be 'split' or 'shared', got {self.scheme!r}"
+            )
+
+
+class BankModel:
+    """Per-stream sustained bandwidth under a bank assignment."""
+
+    def __init__(self, board: Board, ddr: DDRModel | None = None):
+        if board.banks < 1:
+            raise ConfigurationError("board must have at least one bank")
+        self.board = board
+        self.ddr = ddr if ddr is not None else DDRModel(line_bytes=board.line_bytes)
+
+    @property
+    def bank_bandwidth_gbps(self) -> float:
+        """Peak bandwidth of a single bank."""
+        return self.board.peak_bandwidth_gbps / self.board.banks
+
+    def stream_bandwidth_gbps(
+        self,
+        assignment: BankAssignment,
+        config: BlockingConfig,
+        fmax_mhz: float,
+    ) -> float:
+        """Sustained bandwidth available to *each* of the two streams.
+
+        Includes the fmax derating of §VI.A and the access-splitting
+        ratio; under 'shared', the two streams halve one bank and pay the
+        turnaround loss.
+        """
+        derate = min(1.0, fmax_mhz / self.board.controller_mhz)
+        per_bank = self.bank_bandwidth_gbps * derate
+        split_ratio = self.ddr.throughput_ratio(config.parvec)
+        if assignment.scheme == "split":
+            return per_bank * split_ratio
+        return per_bank * 0.5 * (1.0 - TURNAROUND_LOSS) * split_ratio
+
+    def streaming_time_s(
+        self,
+        assignment: BankAssignment,
+        config: BlockingConfig,
+        fmax_mhz: float,
+        bytes_per_stream: int,
+    ) -> float:
+        """Time for both streams to move ``bytes_per_stream`` each.
+
+        Streams run concurrently, so the total is governed by the slower
+        (equal here) stream.
+        """
+        if bytes_per_stream < 0:
+            raise ConfigurationError("bytes_per_stream must be >= 0")
+        bw = self.stream_bandwidth_gbps(assignment, config, fmax_mhz)
+        return bytes_per_stream / (bw * 1e9)
+
+    def split_vs_shared_speedup(
+        self, config: BlockingConfig, fmax_mhz: float
+    ) -> float:
+        """How much faster the split assignment streams (>= 2x)."""
+        split = self.stream_bandwidth_gbps(BankAssignment("split"), config, fmax_mhz)
+        shared = self.stream_bandwidth_gbps(BankAssignment("shared"), config, fmax_mhz)
+        return split / shared

@@ -1,0 +1,96 @@
+"""FPGA board descriptions: external memory system + device.
+
+The paper's platform is a Nallatech 385A: Arria 10 GX 1150 with two banks
+of DDR4-2133 (34.1 GB/s peak, Table II) whose memory controller runs at
+266 MHz — an operating-frequency ceiling that §VI.A shows the high-order
+3D designs fail to reach, costing peak bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import (
+    ARRIA10_GX1150,
+    STRATIX10_GX2800,
+    STRATIX10_MX2100,
+    FPGADevice,
+)
+
+
+@dataclass(frozen=True)
+class Board:
+    """A device plus its external-memory system."""
+
+    name: str
+    device: FPGADevice
+    memory_type: str
+    banks: int
+    #: Mega-transfers per second per bank (e.g. DDR4-2133 -> 2133).
+    mt_per_s: float
+    #: Bus width per bank in bytes (DDR4 DIMM: 8).
+    bank_bytes: int
+    #: Memory-controller clock in MHz (the fmax ceiling of §VI.A).
+    controller_mhz: float
+    #: Interconnect line size in bytes; accesses wider than this, or
+    #: straddling a line boundary, are split by the controller (§VI.A).
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.banks < 1 or self.mt_per_s <= 0 or self.bank_bytes < 1:
+            raise ConfigurationError(f"invalid memory system for board {self.name}")
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak external bandwidth in GB/s (Table II's 34.1 for the 385A)."""
+        return self.banks * self.mt_per_s * 1e6 * self.bank_bytes / 1e9
+
+    def effective_bandwidth_gbps(self, fmax_mhz: float) -> float:
+        """Peak bandwidth, derated when the kernel clock is below the
+        memory controller clock (paper §VI.A: high-order 3D designs run
+        under 266 MHz, 'which also results in lowered peak memory
+        bandwidth')."""
+        if fmax_mhz >= self.controller_mhz:
+            return self.peak_bandwidth_gbps
+        return self.peak_bandwidth_gbps * fmax_mhz / self.controller_mhz
+
+    @property
+    def flop_per_byte(self) -> float:
+        """Device compute-to-bandwidth ratio (Table II column)."""
+        return self.device.peak_sp_gflops / self.peak_bandwidth_gbps
+
+
+#: The paper's platform (Table II row 1).
+NALLATECH_385A = Board(
+    name="Nallatech 385A",
+    device=ARRIA10_GX1150,
+    memory_type="DDR4-2133",
+    banks=2,
+    mt_per_s=2133.0,
+    bank_bytes=8,
+    controller_mhz=266.0,
+)
+
+#: Conclusion's projection: Stratix 10 GX 2800 with 4 banks of DDR4-2400
+#: pushes FLOP/byte beyond 100.
+NALLATECH_510T_LIKE = Board(
+    name="Stratix 10 GX 2800 + 4x DDR4-2400",
+    device=STRATIX10_GX2800,
+    memory_type="DDR4-2400",
+    banks=4,
+    mt_per_s=2400.0,
+    bank_bytes=8,
+    controller_mhz=300.0,
+)
+
+#: Conclusion's projection: Stratix 10 MX with HBM2 escapes the wall.
+STRATIX10_MX_BOARD = Board(
+    name="Stratix 10 MX 2100 + HBM2",
+    device=STRATIX10_MX2100,
+    memory_type="HBM2",
+    banks=16,
+    mt_per_s=2000.0,
+    bank_bytes=16,
+    controller_mhz=400.0,
+)

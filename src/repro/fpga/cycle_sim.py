@@ -1,0 +1,210 @@
+"""Transaction-level cycle simulation of read -> PE chain -> write.
+
+Models, cycle by cycle at vector-transaction granularity, the mechanisms
+behind the paper's pipeline-efficiency gap (§VI.A):
+
+* the external memory services a bounded number of bytes per kernel cycle
+  (``peak_bandwidth / fmax`` — note the paper's observation that designs
+  clocked *below* the 266 MHz controller clock also lose peak bandwidth);
+* wide unaligned accesses cost extra service bytes (the splitting modeled
+  by :class:`repro.fpga.memory.DDRModel`);
+* finite channel depths create back-pressure from memory stalls through
+  the PE chain;
+* each PE adds its fill latency, and each block boundary drains the chain.
+
+It does not carry data (the functional simulator does); it counts cycles.
+On the paper's 3D configurations its steady-state efficiency lands near
+the analytic ``DDRModel.throughput_ratio`` — the mechanistic part of the
+model-accuracy story — which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.blocking import BlockingConfig
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError, SimulationError
+from repro.fpga.board import Board
+from repro.fpga.memory import SPLIT_COST, DDRModel
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """Outcome of a cycle simulation."""
+
+    cycles: int
+    vectors: int
+    read_stall_cycles: int
+    write_stall_cycles: int
+    drain_cycles: int
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / ideal throughput (ideal = one vector per cycle)."""
+        if self.cycles == 0:
+            return 1.0
+        return self.vectors / self.cycles
+
+
+class CycleSimulator:
+    """Cycle-level model of the accelerator's streaming pipeline."""
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        config: BlockingConfig,
+        board: Board,
+        ddr: DDRModel | None = None,
+        fmax_mhz: float | None = None,
+        channel_depth: int = 64,
+    ):
+        if spec.dims != config.dims or spec.radius != config.radius:
+            raise ConfigurationError("spec and config must agree on dims and radius")
+        if channel_depth < 1:
+            raise ConfigurationError(f"channel depth must be >= 1, got {channel_depth}")
+        self.spec = spec
+        self.config = config
+        self.board = board
+        self.ddr = ddr if ddr is not None else DDRModel(line_bytes=board.line_bytes)
+        self.fmax_mhz = fmax_mhz if fmax_mhz is not None else board.controller_mhz
+        self.channel_depth = channel_depth
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def access_bytes(self) -> int:
+        """Bytes per kernel access (one vector)."""
+        return 4 * self.config.parvec
+
+    @property
+    def service_bytes_per_access(self) -> float:
+        """Memory-service bytes actually consumed per access (splitting)."""
+        cost = float(self.access_bytes)
+        if self.ddr.is_split(self.config.parvec):
+            cost *= SPLIT_COST
+        return cost
+
+    @property
+    def memory_bytes_per_cycle(self) -> float:
+        """Service bytes the memory system provides per kernel cycle."""
+        bw = self.board.effective_bandwidth_gbps(self.fmax_mhz) * 1e9
+        return bw / (self.fmax_mhz * 1e6)
+
+    def pe_fill_latency_vectors(self) -> int:
+        """Vectors a PE must consume before emitting its first output."""
+        if self.config.dims == 2:
+            slab = self.config.bsize_x
+        else:
+            assert self.config.bsize_y is not None
+            slab = self.config.bsize_x * self.config.bsize_y
+        return self.spec.radius * slab // self.config.parvec + 1
+
+    # ------------------------------------------------------------------ #
+
+    def run_block(self, vectors: int, max_cycles: int | None = None) -> CycleReport:
+        """Simulate streaming one block of ``vectors`` vectors.
+
+        Returns cycle counts including the chain drain at the end of the
+        block.  Deterministic: all state is queue occupancy.
+        """
+        if vectors < 1:
+            raise ConfigurationError(f"vectors must be >= 1, got {vectors}")
+        if max_cycles is None:
+            max_cycles = 1000 * vectors + 10_000_000
+        partime = self.config.partime
+        depth = self.channel_depth
+        latency = self.pe_fill_latency_vectors()
+
+        # occupancy[i] = items in the channel feeding PE i; the last entry
+        # feeds the write kernel.
+        occupancy = [0] * (partime + 1)
+        in_count = [0] * partime
+        out_count = [0] * partime
+        issued = 0
+        written = 0
+        mem_budget = 0.0
+        cycles = 0
+        read_stalls = 0
+        write_stalls = 0
+        cost = self.service_bytes_per_access
+        supply = self.memory_bytes_per_cycle
+
+        while written < vectors:
+            cycles += 1
+            if cycles > max_cycles:
+                raise SimulationError(
+                    f"cycle simulation did not converge within {max_cycles} cycles"
+                )
+            mem_budget = min(mem_budget + supply, 4.0 * supply + 2.0 * cost)
+
+            # write kernel (highest priority: draining frees the chain)
+            if occupancy[partime] > 0:
+                if mem_budget >= cost:
+                    occupancy[partime] -= 1
+                    written += 1
+                    mem_budget -= cost
+                else:
+                    write_stalls += 1
+
+            # PE chain, last to first so a vector moves one stage per cycle.
+            # A PE emits output k once it has consumed input k + latency
+            # (or the whole stream — the end-of-block flush), and consumes
+            # one input per cycle while any is available.
+            for pe in range(partime - 1, -1, -1):
+                if out_count[pe] < vectors and occupancy[pe + 1] < depth:
+                    threshold = min(vectors, out_count[pe] + latency + 1)
+                    if in_count[pe] >= threshold:
+                        occupancy[pe + 1] += 1
+                        out_count[pe] += 1
+                if in_count[pe] < vectors and occupancy[pe] > 0:
+                    occupancy[pe] -= 1
+                    in_count[pe] += 1
+
+            # read kernel
+            if issued < vectors:
+                if occupancy[0] < depth and mem_budget >= cost:
+                    occupancy[0] += 1
+                    issued += 1
+                    mem_budget -= cost
+                else:
+                    read_stalls += 1
+
+        return CycleReport(
+            cycles=cycles,
+            vectors=vectors,
+            read_stall_cycles=read_stalls,
+            write_stall_cycles=write_stalls,
+            drain_cycles=partime * (latency + 1) + 2,
+        )
+
+    def run_pass(self, blocks: int, vectors_per_block: int) -> CycleReport:
+        """Simulate a full pass: ``blocks`` block streams back to back.
+
+        Each block pays its own fill and drain (the chain empties between
+        blocks — overlapped blocks share no on-chip state), so per-pass
+        efficiency sits slightly below the single-block steady state; the
+        gap shrinks as blocks grow, which is why the paper favors large
+        spatial blocks.
+        """
+        if blocks < 1:
+            raise ConfigurationError(f"blocks must be >= 1, got {blocks}")
+        total_cycles = 0
+        total_vectors = 0
+        read_stalls = 0
+        write_stalls = 0
+        drain = 0
+        for _ in range(blocks):
+            report = self.run_block(vectors_per_block)
+            total_cycles += report.cycles
+            total_vectors += report.vectors
+            read_stalls += report.read_stall_cycles
+            write_stalls += report.write_stall_cycles
+            drain += report.drain_cycles
+        return CycleReport(
+            cycles=total_cycles,
+            vectors=total_vectors,
+            read_stall_cycles=read_stalls,
+            write_stall_cycles=write_stalls,
+            drain_cycles=drain,
+        )

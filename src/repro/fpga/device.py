@@ -1,0 +1,98 @@
+"""FPGA device resource descriptions (datasheet constants).
+
+Each DSP on the Arria 10 performs one single-precision fused multiply-add
+per cycle (paper §V.A), so peak GFLOP/s = ``2 * dsps * dsp_fmax``.  The
+M20K block is 20 Kib; total on-chip memory bits = ``m20k_blocks * 20480``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Bits per M20K block (Intel Arria 10 / Stratix series).
+M20K_BITS = 20480
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Resource inventory of one FPGA device.
+
+    ``dsp_fmax_mhz`` is the datasheet peak DSP operating frequency used
+    only for the theoretical-peak computation of Table II; achieved design
+    frequencies come from :mod:`repro.models.fmax`.
+    """
+
+    name: str
+    dsps: int
+    m20k_blocks: int
+    alms: int
+    dsp_fmax_mhz: float
+    process_nm: int
+    year: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("dsps", "m20k_blocks", "alms"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigurationError(f"{field_name} must be positive")
+
+    @property
+    def bram_bits(self) -> int:
+        """Total Block-RAM capacity in bits."""
+        return self.m20k_blocks * M20K_BITS
+
+    @property
+    def peak_sp_gflops(self) -> float:
+        """Theoretical peak single-precision GFLOP/s (all DSPs doing FMA)."""
+        return 2.0 * self.dsps * self.dsp_fmax_mhz / 1e3
+
+    def peak_sp_gflops_at(self, fmax_mhz: float) -> float:
+        """Peak GFLOP/s at an achieved design frequency (paper §VI.B)."""
+        return 2.0 * self.dsps * fmax_mhz / 1e3
+
+
+#: The paper's evaluation device (Table II: 1450 GFLOP/s peak, 20 nm, 2014).
+ARRIA10_GX1150 = FPGADevice(
+    name="Arria 10 GX 1150",
+    dsps=1518,
+    m20k_blocks=2713,
+    alms=427_200,
+    dsp_fmax_mhz=477.6,  # yields the paper's 1450 GFLOP/s peak
+    process_nm=20,
+    year=2014,
+)
+
+#: Used in the paper's fmax-vs-radius control experiment (§VI.A).
+STRATIX_V_GXA7 = FPGADevice(
+    name="Stratix V GX A7",
+    dsps=256,
+    m20k_blocks=2560,
+    alms=234_720,
+    dsp_fmax_mhz=450.0,
+    process_nm=28,
+    year=2011,
+)
+
+#: Next-generation device discussed in the paper's conclusion: its
+#: FLOP/byte ratio with DDR4 exceeds 100, worsening the bandwidth wall.
+STRATIX10_GX2800 = FPGADevice(
+    name="Stratix 10 GX 2800",
+    dsps=5760,
+    m20k_blocks=11_721,
+    alms=933_120,
+    dsp_fmax_mhz=750.0,
+    process_nm=14,
+    year=2017,
+)
+
+#: HBM variant the conclusion expects to escape the bandwidth wall.
+STRATIX10_MX2100 = FPGADevice(
+    name="Stratix 10 MX 2100",
+    dsps=3960,
+    m20k_blocks=6847,
+    alms=702_720,
+    dsp_fmax_mhz=750.0,
+    process_nm=14,
+    year=2018,
+)

@@ -1,0 +1,104 @@
+"""External-memory controller model: alignment, splitting, efficiency.
+
+Paper §VI.A attributes the gap between estimated and measured performance
+("model accuracy": ~85 % for 2D, 55–60 % for 3D) to pipeline efficiency,
+dominated by the memory controller *splitting the larger vectorized
+accesses* used by the 3D designs (``parvec = 16`` -> 64-byte accesses).
+
+The mechanism modeled here:
+
+* The kernel issues one ``parvec * 4``-byte access per cycle per stream.
+* The controller services whole ``line_bytes`` (64 B) lines.  Accesses
+  narrower than a line coalesce with their sequential neighbors and cost
+  one transaction per line — no penalty.
+* A full-line-width access that is *not* line-aligned straddles two lines
+  and is split in two.  Overlapped blocking makes block reads start at
+  ``(start - partime * rad)``-cell offsets; the paper's padding and the
+  eq.-6 constraint ``(partime * rad) mod 4 == 0`` keep these at 16-byte
+  granularity, which aligns 16/32-byte accesses (2D) but *cannot* align
+  64-byte accesses (3D) — those split.
+* A split access costs one full transaction plus an open-row second beat;
+  its amortized cost is ``SPLIT_COST`` transactions (1.5: the second beat
+  hits an already-open row ~half the time).  The resulting steady-state
+  throughput ratio multiplies the base pipeline efficiency
+  ``BASE_PIPELINE_EFFICIENCY`` (block-transition drain/refill and
+  controller turnaround overheads, calibrated on the first-order results
+  of [8]).
+
+With the paper's configurations this yields eta ~= 0.85 for 2D and ~= 0.57
+for 3D — the paper's model-accuracy column within a few percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.blocking import BlockingConfig
+from repro.errors import ConfigurationError
+
+#: Pipeline efficiency of an aligned-access design: drain/refill between
+#: blocks, exit-condition bubbles and controller turnaround.  Calibrated
+#: once against the 2D results of [8]/Table III (0.846-0.863 measured).
+BASE_PIPELINE_EFFICIENCY = 0.85
+
+#: Amortized transaction cost of a split (line-straddling) access.
+SPLIT_COST = 1.5
+
+
+@dataclass(frozen=True)
+class DDRModel:
+    """Alignment/splitting behaviour of the board's memory interconnect."""
+
+    line_bytes: int = 64
+    #: Offset granularity guaranteed by the paper's padding + eq. 6, in
+    #: bytes (4-cell alignment of ``partime * rad`` -> 16 B).
+    padding_granularity_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.line_bytes < 4 or self.line_bytes % 4 != 0:
+            raise ConfigurationError(f"invalid line size {self.line_bytes}")
+
+    # ------------------------------------------------------------------ #
+
+    def access_bytes(self, parvec: int) -> int:
+        """Bytes per vectorized access (float32 cells)."""
+        if parvec < 1:
+            raise ConfigurationError(f"parvec must be >= 1, got {parvec}")
+        return 4 * parvec
+
+    def is_split(self, parvec: int) -> bool:
+        """Whether a ``parvec``-wide access is split by the controller.
+
+        Accesses narrower than a line coalesce; full-line (or wider)
+        accesses split unless their start offset is line-aligned, which
+        the 16-byte padding granularity cannot guarantee.
+        """
+        access = self.access_bytes(parvec)
+        if access < self.line_bytes:
+            return False
+        return self.padding_granularity_bytes % self.line_bytes != 0
+
+    def transactions_per_access(self, parvec: int) -> float:
+        """Amortized controller transactions per kernel access."""
+        base = max(1.0, self.access_bytes(parvec) / self.line_bytes)
+        return base * (SPLIT_COST if self.is_split(parvec) else 1.0)
+
+    def throughput_ratio(self, parvec: int) -> float:
+        """Sustained / peak throughput for a ``parvec``-wide access stream."""
+        base = max(1.0, self.access_bytes(parvec) / self.line_bytes)
+        return base / self.transactions_per_access(parvec)
+
+    def pipeline_efficiency(self, config: BlockingConfig) -> float:
+        """Predicted pipeline efficiency (the paper's model-accuracy value).
+
+        ``BASE_PIPELINE_EFFICIENCY`` times the access-splitting throughput
+        ratio.  Reproduces ~0.85 for the paper's 2D designs (parvec 4-8)
+        and ~0.57 for its 3D designs (parvec 16).
+        """
+        return BASE_PIPELINE_EFFICIENCY * self.throughput_ratio(config.parvec)
+
+    def sustained_bandwidth_gbps(
+        self, peak_gbps: float, parvec: int
+    ) -> float:
+        """Bandwidth available to a design after splitting losses."""
+        return peak_gbps * self.throughput_ratio(parvec)

@@ -1,0 +1,9 @@
+"""Hardware catalog (paper Table II)."""
+
+from repro.hardware.catalog import (
+    DEVICES,
+    DeviceSpec,
+    device,
+)
+
+__all__ = ["DEVICES", "DeviceSpec", "device"]

@@ -1,0 +1,68 @@
+"""Device catalog reproducing Table II of the paper.
+
+Peak compute is single-precision; the FLOP/Byte column is the ratio of
+peak compute to peak external-memory bandwidth — the paper's argument for
+why the FPGA is the most bandwidth-starved platform and therefore the one
+that *needs* temporal blocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One row of Table II."""
+
+    name: str
+    kind: str  # 'fpga' | 'cpu' | 'manycore' | 'gpu'
+    peak_gflops: float
+    peak_bandwidth_gbps: float
+    tdp_watts: float
+    process_nm: int
+    year: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fpga", "cpu", "manycore", "gpu"):
+            raise ConfigurationError(f"unknown device kind {self.kind!r}")
+
+    @property
+    def flop_per_byte(self) -> float:
+        """Compute-to-bandwidth ratio (Table II column)."""
+        return self.peak_gflops / self.peak_bandwidth_gbps
+
+
+#: Table II, row for row.
+DEVICES: dict[str, DeviceSpec] = {
+    "arria10": DeviceSpec(
+        "Arria 10 GX 1150", "fpga", 1450.0, 34.1, 70.0, 20, 2014
+    ),
+    "xeon": DeviceSpec(
+        "Xeon E5-2650 v4", "cpu", 700.0, 76.8, 105.0, 14, 2016
+    ),
+    "xeon-phi": DeviceSpec(
+        "Xeon Phi 7210F", "manycore", 5325.0, 400.0, 235.0, 14, 2016
+    ),
+    "gtx580": DeviceSpec(
+        "GTX 580", "gpu", 1580.0, 192.4, 244.0, 40, 2010
+    ),
+    "gtx980ti": DeviceSpec(
+        "GTX 980 Ti", "gpu", 6900.0, 336.6, 275.0, 28, 2015
+    ),
+    "p100": DeviceSpec(
+        "Tesla P100", "gpu", 9300.0, 720.9, 250.0, 16, 2016
+    ),
+}
+
+
+def device(key: str) -> DeviceSpec:
+    """Look up a catalog device by key (e.g. ``'xeon-phi'``)."""
+    normalized = key.lower().replace("_", "-").replace(" ", "")
+    if normalized not in DEVICES:
+        raise ConfigurationError(
+            f"unknown device {key!r}; known: {sorted(DEVICES)}"
+        )
+    return DEVICES[normalized]

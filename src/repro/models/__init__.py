@@ -1,0 +1,25 @@
+"""Analytical models: area, frequency, performance, power, roofline, tuner."""
+
+from repro.models.area import AreaModel, AreaReport, dsps_per_cell_update, par_total
+from repro.models.fmax import FmaxModel
+from repro.models.performance import PerformanceModel, PerformanceEstimate
+from repro.models.power import fpga_power_watts, cpu_power_watts, gpu_power_watts
+from repro.models.roofline import roofline_gflops, roofline_ratio
+from repro.models.tuner import Tuner, TunedDesign
+
+__all__ = [
+    "AreaModel",
+    "AreaReport",
+    "dsps_per_cell_update",
+    "par_total",
+    "FmaxModel",
+    "PerformanceModel",
+    "PerformanceEstimate",
+    "fpga_power_watts",
+    "cpu_power_watts",
+    "gpu_power_watts",
+    "roofline_gflops",
+    "roofline_ratio",
+    "Tuner",
+    "TunedDesign",
+]

@@ -1,0 +1,172 @@
+"""FPGA area model: DSPs (exact), Block RAM and logic (paper §V.A, §VI.A).
+
+DSP model (validated digit-for-digit against Table III's DSP column):
+each cell update needs ``2*dims*rad + 1`` multiplications and
+``2*dims*rad`` additions; every multiplication fuses with the following
+addition except the last, so one DSP per multiplication —
+``4*rad + 1`` (2D) / ``6*rad + 1`` (3D) DSPs per cell update, times
+``partime * parvec`` parallel cell updates per cycle (eqs. 4–5).
+
+Block RAM: eq. 7 gives the *expected* shift-register words per PE.  The
+paper observes (§VI.A) that the synthesized usage exceeds this — for 2D by
+a roughly constant factor (~1.9x, attributed to buffering/port overheads)
+and for 3D by a radius-growing factor (2.5-3x per radius doubling instead
+of 2x, attributed to the OpenCL compiler's shift-register inference or
+port-replication limits).  ``mode='observed'`` applies fitted overhead
+factors reproducing Table III; ``mode='expected'`` is pure eq. 7.
+
+Logic is a coarse affine fit (the paper reports 44-64 % with no model);
+treat it as indicative only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.blocking import BlockingConfig
+from repro.core.shift_register import shift_register_words
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError
+from repro.fpga.device import FPGADevice
+
+
+def dsps_per_cell_update(spec: StencilSpec) -> int:
+    """DSPs per cell update: number of FMULs (each fused with one FADD
+    except the last) — ``2*dims*rad + 1`` for distinct coefficients.
+
+    With shared coefficients only FMULs shrink; every FADD still occupies
+    a DSP, so the saving is a single DSP (paper §V.A): the count becomes
+    ``2*dims*rad`` (one FMA per neighbor pair + pure adds share DSPs).
+    """
+    if spec.shared_coefficients:
+        return 2 * spec.dims * spec.radius
+    return 2 * spec.dims * spec.radius + 1
+
+
+def par_total(device: FPGADevice, spec: StencilSpec) -> int:
+    """Eq. 4: total affordable parallelism = floor(DSPs / DSP-per-update)."""
+    return device.dsps // dsps_per_cell_update(spec)
+
+
+#: Fitted Block-RAM overhead over eq. 7 (bits), by dimensionality.
+#: 2D: ~constant 1.9x; 3D: 2 - 1/rad (the paper's compiler anomaly).
+def bram_overhead_factor(dims: int, radius: int) -> float:
+    """Observed-mode multiplier on eq.-7 bits (fitted to Table III)."""
+    if dims == 2:
+        return 1.9
+    return 2.0 - 1.0 / radius
+
+
+#: Fitted M20K *block*-count inflation over naive bits/20Kib packing.
+#: Small per-PE registers pack poorly (per-segment and port-replication
+#: overhead amortizes badly), so inflation falls with register size; the
+#: constants are fitted to Table III's blocks column (2D rad-1's 38 % bits
+#: -> 83 % blocks at one extreme, the 3D designs' ~1.2x at the other).
+def m20k_replication_factor(blocks_per_pe: float) -> float:
+    """Blocks% / bits% inflation as a function of per-PE register size."""
+    if blocks_per_pe <= 0:
+        return 1.15
+    return 1.15 + 25.0 / blocks_per_pe
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Resource usage of one design point."""
+
+    dsps: int
+    dsp_fraction: float
+    bram_bits: int
+    bram_bits_fraction: float
+    m20k_blocks: int
+    m20k_fraction: float
+    logic_fraction: float
+
+    @property
+    def fits(self) -> bool:
+        """Whether the design fits the device (DSP, BRAM and logic)."""
+        return (
+            self.dsp_fraction <= 1.0
+            and self.m20k_fraction <= 1.0
+            and self.bram_bits_fraction <= 1.0
+            and self.logic_fraction <= 1.0
+        )
+
+
+class AreaModel:
+    """Estimates FPGA resource usage of a design point.
+
+    ``mode='observed'`` (default) includes the fitted synthesis overheads
+    and reproduces Table III; ``mode='expected'`` is the pure analytical
+    model the paper's §V.A reasoning uses.
+    """
+
+    def __init__(self, device: FPGADevice, mode: str = "observed"):
+        if mode not in ("observed", "expected"):
+            raise ConfigurationError(f"mode must be observed|expected, got {mode!r}")
+        self.device = device
+        self.mode = mode
+
+    def design_dsps(self, spec: StencilSpec, config: BlockingConfig) -> int:
+        """DSPs used: partime x parvec parallel cell updates."""
+        return config.partime * config.parvec * dsps_per_cell_update(spec)
+
+    def bram_bits(self, spec: StencilSpec, config: BlockingConfig) -> int:
+        """Block-RAM bits: eq.-7 shift registers across the PE chain plus
+        the read/write kernels' line buffers."""
+        words_per_pe = shift_register_words(config)
+        bits = 32 * words_per_pe * config.partime
+        # read/write kernel double buffers: two cache lines per stream
+        bits += 2 * 2 * 64 * 8
+        if self.mode == "observed":
+            bits = int(bits * bram_overhead_factor(config.dims, config.radius))
+        return bits
+
+    def m20k_blocks(self, spec: StencilSpec, config: BlockingConfig) -> int:
+        """M20K blocks: bits packed into 20 Kib blocks, inflated by the
+        fitted replication factor in observed mode.
+
+        In observed mode the count saturates at the device capacity — the
+        compiler balances replication against what is available, which is
+        why Table III reports several designs at exactly 100 % blocks
+        while their bits column stays below 100 %.  The hard feasibility
+        constraint is therefore the *bits* fraction (see
+        :meth:`AreaReport.fits` via ``bram_bits_fraction``).
+        """
+        bits = self.bram_bits(spec, config)
+        blocks = math.ceil(bits / 20480)
+        if self.mode == "observed":
+            per_pe = blocks / config.partime
+            blocks = math.ceil(blocks * m20k_replication_factor(per_pe))
+            blocks = min(blocks, self.device.m20k_blocks)
+        return blocks
+
+    def logic_fraction(self, spec: StencilSpec, config: BlockingConfig) -> float:
+        """Coarse ALM usage fraction (indicative; the paper gives no model)."""
+        return min(
+            1.0,
+            0.40
+            + 0.0005 * config.partime * config.parvec
+            + 0.002 * config.radius * config.dims,
+        )
+
+    def report(self, spec: StencilSpec, config: BlockingConfig) -> AreaReport:
+        """Full area report for a design point."""
+        if spec.dims != config.dims or spec.radius != config.radius:
+            raise ConfigurationError("spec and config must agree on dims and radius")
+        dsps = self.design_dsps(spec, config)
+        bits = self.bram_bits(spec, config)
+        blocks = self.m20k_blocks(spec, config)
+        return AreaReport(
+            dsps=dsps,
+            dsp_fraction=dsps / self.device.dsps,
+            bram_bits=bits,
+            bram_bits_fraction=bits / self.device.bram_bits,
+            m20k_blocks=blocks,
+            m20k_fraction=blocks / self.device.m20k_blocks,
+            logic_fraction=self.logic_fraction(spec, config),
+        )
+
+    def fits(self, spec: StencilSpec, config: BlockingConfig) -> bool:
+        """Whether the design fits on the device."""
+        return self.report(spec, config).fits

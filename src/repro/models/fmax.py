@@ -1,0 +1,61 @@
+"""Operating-frequency model (paper §VI.A).
+
+The achieved fmax is an empirical outcome of place-and-route; the paper
+*measures* it (Table III) and observes two regimes:
+
+* On a Stratix V with small parameters, fmax is independent of stencil
+  radius ("ideal" regime): the critical path depends only on whether the
+  stencil is 2D or 3D.
+* On the Arria 10 with large parameters, device-dependent critical paths
+  appear and fmax degrades as radius grows; for high-order 3D designs it
+  falls below the 266 MHz memory-controller clock, also costing peak
+  bandwidth.
+
+``FmaxModel`` encodes both regimes: ``mode='fitted'`` interpolates the
+paper's measured values (and extrapolates a mild linear decay beyond
+radius 4); ``mode='ideal'`` returns the radius-1 value for all radii.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Measured fmax in MHz from Table III, keyed by (dims, radius).
+MEASURED_FMAX_MHZ: dict[tuple[int, int], float] = {
+    (2, 1): 343.76,
+    (2, 2): 322.47,
+    (2, 3): 302.75,
+    (2, 4): 301.20,
+    (3, 1): 286.61,
+    (3, 2): 262.88,
+    (3, 3): 255.36,
+    (3, 4): 242.77,
+}
+
+
+class FmaxModel:
+    """Achieved kernel frequency as a function of (dims, radius)."""
+
+    def __init__(self, mode: str = "fitted"):
+        if mode not in ("fitted", "ideal"):
+            raise ConfigurationError(f"mode must be fitted|ideal, got {mode!r}")
+        self.mode = mode
+
+    def fmax_mhz(self, dims: int, radius: int) -> float:
+        """Predicted achieved fmax in MHz."""
+        if dims not in (2, 3):
+            raise ConfigurationError(f"dims must be 2 or 3, got {dims}")
+        if radius < 1:
+            raise ConfigurationError(f"radius must be >= 1, got {radius}")
+        if self.mode == "ideal":
+            return MEASURED_FMAX_MHZ[(dims, 1)]
+        if (dims, radius) in MEASURED_FMAX_MHZ:
+            return MEASURED_FMAX_MHZ[(dims, radius)]
+        # Beyond the measured range: continue the mean per-radius decay.
+        last = MEASURED_FMAX_MHZ[(dims, 4)]
+        decay = (MEASURED_FMAX_MHZ[(dims, 1)] - last) / 3.0
+        return max(last - decay * (radius - 4), 0.5 * last)
+
+    def degrades_with_radius(self, dims: int) -> bool:
+        """True in fitted mode (the Arria 10 observation)."""
+        return self.mode == "fitted"

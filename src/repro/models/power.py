@@ -1,0 +1,63 @@
+"""Power models (paper §IV.B-C and Tables III-V).
+
+* **FPGA**: the paper reads the 385A's on-board sensor.  Table III shows
+  power tracking fmax and area utilization; we fit a linear model
+  ``P = P_STATIC + K * fmax_MHz * mean(DSP%, M20K%, logic%)`` which
+  reproduces the eight measured values within ~8 %.
+* **CPU (Xeon / Xeon Phi)**: the paper measures via the MSR driver.  The
+  implied values are nearly workload-independent: Xeon ~85 W + 3 W per
+  radius step; Xeon Phi ~225 W at every order.
+* **GPU**: the paper *estimates* 75 % of TDP (matching its measured ratio
+  in [8]); we implement exactly that rule.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: FPGA fit constants (calibrated on Table III; see module docstring).
+FPGA_STATIC_WATTS = 28.0
+FPGA_DYNAMIC_COEFF = 0.167  # W per (MHz x mean utilization)
+
+#: CPU power constants implied by Tables IV/V (GFLOP/s / GFLOP/s/W).
+XEON_BASE_WATTS = 85.0
+XEON_PER_RADIUS_WATTS = 3.0
+XEON_PHI_WATTS = 225.0
+
+#: The paper's GPU power rule.
+GPU_TDP_FRACTION = 0.75
+
+
+def fpga_power_watts(
+    fmax_mhz: float,
+    dsp_fraction: float,
+    m20k_fraction: float,
+    logic_fraction: float,
+) -> float:
+    """Board power of an FPGA design point (fitted linear model)."""
+    if fmax_mhz <= 0:
+        raise ConfigurationError(f"fmax must be positive, got {fmax_mhz}")
+    util = (dsp_fraction + min(m20k_fraction, 1.0) + logic_fraction) / 3.0
+    return FPGA_STATIC_WATTS + FPGA_DYNAMIC_COEFF * fmax_mhz * util
+
+
+def cpu_power_watts(device: str, radius: int) -> float:
+    """Package power while running YASK (fit to the paper's implied values).
+
+    ``device`` is ``'xeon'`` or ``'xeon-phi'``.
+    """
+    if radius < 1:
+        raise ConfigurationError(f"radius must be >= 1, got {radius}")
+    key = device.lower().replace("_", "-")
+    if key in ("xeon", "e5-2650-v4"):
+        return XEON_BASE_WATTS + XEON_PER_RADIUS_WATTS * radius
+    if key in ("xeon-phi", "phi", "7210f"):
+        return XEON_PHI_WATTS
+    raise ConfigurationError(f"unknown CPU device {device!r}")
+
+
+def gpu_power_watts(tdp_watts: float) -> float:
+    """The paper's GPU estimate: 75 % of TDP."""
+    if tdp_watts <= 0:
+        raise ConfigurationError(f"TDP must be positive, got {tdp_watts}")
+    return GPU_TDP_FRACTION * tdp_watts

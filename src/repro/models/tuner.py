@@ -1,0 +1,152 @@
+"""Design-space exploration / parameter tuner (paper §V.A).
+
+Enumerates ``(bsize, parvec, partime)`` under the paper's constraints:
+
+* eq. 4/5: ``partime * parvec <= par_total = floor(DSPs / DSP-per-update)``
+* eq. 6:   ``(partime * rad) mod 4 == 0`` (external-memory alignment)
+* ``parvec`` a power of two in [2, 16] (memory-port widths)
+* positive compute-block size (eq. 2) and the design must fit the device
+  (Block RAM in *observed* mode — the paper's high-order 3D configs are
+  BRAM-constrained, which is what forced ``bsize_y`` from 256 to 128)
+
+then ranks candidates by the performance model's predicted runtime for the
+target workload, returning the top few configurations to place-and-route
+(the paper keeps "usually two").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.blocking import BlockingConfig
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError
+from repro.fpga.board import Board
+from repro.models.area import AreaModel, AreaReport, par_total
+from repro.models.performance import PerformanceEstimate, PerformanceModel
+
+#: The paper's block-size menu (§V.A).  3D entries are (bsize_x, bsize_y):
+#: the paper's "256x128" keeps the full 256 in the vectorized x dimension
+#: and halves y.
+DEFAULT_BSIZES_2D = (4096,)
+DEFAULT_BSIZES_3D = ((256, 256), (256, 128), (128, 128))
+
+#: Memory-port widths restrict parvec to powers of two up to 16 cells.
+PARVEC_CHOICES = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class TunedDesign:
+    """One ranked design point."""
+
+    config: BlockingConfig
+    estimate: PerformanceEstimate
+    area: AreaReport
+
+    @property
+    def key(self) -> tuple:
+        """Sort key: faster first, then less BRAM, then fewer DSPs."""
+        return (self.estimate.time_s, self.area.m20k_fraction, self.area.dsps)
+
+
+class Tuner:
+    """Enumerates and ranks accelerator configurations for a stencil."""
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        board: Board,
+        area_model: AreaModel | None = None,
+        performance_model: PerformanceModel | None = None,
+        bsizes: tuple | None = None,
+        parvec_choices: tuple[int, ...] = PARVEC_CHOICES,
+    ):
+        self.spec = spec
+        self.board = board
+        self.area_model = (
+            area_model if area_model is not None else AreaModel(board.device)
+        )
+        self.performance_model = (
+            performance_model
+            if performance_model is not None
+            else PerformanceModel(board)
+        )
+        if bsizes is None:
+            bsizes = DEFAULT_BSIZES_2D if spec.dims == 2 else DEFAULT_BSIZES_3D
+        self.bsizes = bsizes
+        self.parvec_choices = parvec_choices
+
+    # ------------------------------------------------------------------ #
+
+    def valid_partimes(self, parvec: int, bsize_x: int) -> list[int]:
+        """All partime values satisfying eqs. 5-6 and eq. 2 positivity."""
+        rad = self.spec.radius
+        limit = par_total(self.board.device, self.spec) // parvec
+        out = []
+        for partime in range(1, limit + 1):
+            if (partime * rad) % 4 != 0:
+                continue
+            if bsize_x - 2 * partime * rad < 1:
+                continue
+            out.append(partime)
+        return out
+
+    def enumerate_configs(self) -> list[BlockingConfig]:
+        """All candidate configurations before area filtering."""
+        configs: list[BlockingConfig] = []
+        for bsize in self.bsizes:
+            if self.spec.dims == 2:
+                bsize_x, bsize_y = int(bsize), None
+            else:
+                bsize_x, bsize_y = int(bsize[0]), int(bsize[1])
+            for parvec in self.parvec_choices:
+                if bsize_x % parvec != 0:
+                    continue
+                for partime in self.valid_partimes(parvec, bsize_x):
+                    if bsize_y is not None and bsize_y - 2 * partime * self.spec.radius < 1:
+                        continue
+                    configs.append(
+                        BlockingConfig(
+                            dims=self.spec.dims,
+                            radius=self.spec.radius,
+                            bsize_x=bsize_x,
+                            bsize_y=bsize_y,
+                            parvec=parvec,
+                            partime=partime,
+                        )
+                    )
+        return configs
+
+    def tune(
+        self,
+        grid_shape: tuple[int, ...],
+        iterations: int,
+        top_k: int = 2,
+    ) -> list[TunedDesign]:
+        """Rank all feasible designs for a workload; return the best ``top_k``.
+
+        ``grid_shape`` is the target input; following §IV.C the model is
+        most meaningful when the blocked extents are csize multiples.
+        """
+        if top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1, got {top_k}")
+        designs: list[TunedDesign] = []
+        for config in self.enumerate_configs():
+            area = self.area_model.report(self.spec, config)
+            if not area.fits:
+                continue
+            est = self.performance_model.estimate(
+                self.spec, config, grid_shape, iterations
+            )
+            designs.append(TunedDesign(config=config, estimate=est, area=area))
+        if not designs:
+            raise ConfigurationError(
+                f"no feasible design for {self.spec.describe()} on "
+                f"{self.board.name}"
+            )
+        designs.sort(key=lambda d: d.key)
+        return designs[:top_k]
+
+    def best(self, grid_shape: tuple[int, ...], iterations: int) -> TunedDesign:
+        """The single best design for a workload."""
+        return self.tune(grid_shape, iterations, top_k=1)[0]

@@ -1,0 +1,116 @@
+"""Cross-validation of the analytic models against the cycle simulator.
+
+The performance model rests on two assumptions:
+
+1. **compute rate** — a stalled-free design sustains one vector per
+   cycle (the single-work-item pipeline's steady state);
+2. **memory efficiency** — wide unaligned accesses are throttled by the
+   controller according to :class:`repro.fpga.memory.DDRModel`'s
+   splitting factor.
+
+Both are checkable against the independent, queue-level
+:class:`repro.fpga.cycle_sim.CycleSimulator`.  This module sweeps
+configurations across the aligned/split and shallow/deep-chain axes and
+reports the deviation between the analytic prediction and the simulated
+steady-state throughput; the experiment and tests assert the agreement
+that DESIGN.md §2 claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.blocking import BlockingConfig
+from repro.core.stencil import StencilSpec
+from repro.fpga.board import NALLATECH_385A, Board
+from repro.fpga.cycle_sim import CycleSimulator
+from repro.fpga.memory import SPLIT_COST, DDRModel
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One configuration's analytic-vs-simulated throughput ratio."""
+
+    label: str
+    parvec: int
+    partime: int
+    fmax_mhz: float
+    analytic_efficiency: float
+    simulated_efficiency: float
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation of the analytic model from the simulator."""
+        return abs(self.analytic_efficiency - self.simulated_efficiency) / max(
+            self.simulated_efficiency, 1e-12
+        )
+
+
+#: The sweep: (label, dims, radius, parvec, partime, fmax MHz).
+DEFAULT_SWEEP = (
+    ("2D aligned, shallow", 2, 1, 4, 2, 343.76),
+    ("2D aligned, deep", 2, 2, 8, 8, 322.47),
+    ("3D split, shallow", 3, 1, 16, 2, 286.61),
+    ("3D split, deep", 3, 2, 16, 6, 262.88),
+    ("3D split, slow clock", 3, 1, 16, 4, 200.0),
+)
+
+
+def _config(dims: int, radius: int, parvec: int, partime: int) -> BlockingConfig:
+    if dims == 2:
+        return BlockingConfig(
+            dims=2, radius=radius, bsize_x=256, parvec=parvec, partime=partime
+        )
+    return BlockingConfig(
+        dims=3, radius=radius, bsize_x=64, bsize_y=32,
+        parvec=parvec, partime=partime,
+    )
+
+
+def analytic_efficiency(
+    board: Board, config: BlockingConfig, fmax_mhz: float
+) -> float:
+    """Predicted steady-state vectors/cycle of the streaming pipeline.
+
+    Each cycle the memory system supplies ``BW_eff / fmax`` service
+    bytes; sustaining one vector per cycle demands a read and a write of
+    ``4 * parvec`` bytes each, inflated by the controller's splitting
+    cost for unaligned full-line accesses.  The pipeline runs at the
+    smaller of 1 (compute) and supply/demand (memory) — exactly the
+    balance the cycle simulator resolves by queueing.
+    """
+    ddr = DDRModel(line_bytes=board.line_bytes)
+    inflation = SPLIT_COST if ddr.is_split(config.parvec) else 1.0
+    supply = board.effective_bandwidth_gbps(fmax_mhz) * 1e9 / (fmax_mhz * 1e6)
+    demand = 2 * 4 * config.parvec * inflation
+    return min(1.0, supply / demand)
+
+
+def run_sweep(
+    board: Board = NALLATECH_385A,
+    sweep=DEFAULT_SWEEP,
+    vectors: int = 20000,
+) -> list[ValidationPoint]:
+    """Run the cycle simulator across the sweep and collect deviations."""
+    points: list[ValidationPoint] = []
+    for label, dims, radius, parvec, partime, fmax in sweep:
+        spec = StencilSpec.star(dims, radius)
+        config = _config(dims, radius, parvec, partime)
+        sim = CycleSimulator(spec, config, board, fmax_mhz=fmax)
+        report = sim.run_block(vectors)
+        points.append(
+            ValidationPoint(
+                label=label,
+                parvec=parvec,
+                partime=partime,
+                fmax_mhz=fmax,
+                analytic_efficiency=analytic_efficiency(board, config, fmax),
+                simulated_efficiency=report.efficiency,
+            )
+        )
+    return points
+
+
+def max_deviation(points: list[ValidationPoint]) -> float:
+    """Worst analytic-vs-simulated deviation in a sweep."""
+    return max(p.deviation for p in points)

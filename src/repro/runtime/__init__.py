@@ -1,0 +1,21 @@
+"""OpenCL-like host runtime emulation (paper §IV.B-C methodology)."""
+
+from repro.runtime.host import (
+    Buffer,
+    CommandQueue,
+    Event,
+    HostDevice,
+    PowerSensor,
+    StencilProgram,
+    benchmark_kernel,
+)
+
+__all__ = [
+    "Buffer",
+    "CommandQueue",
+    "Event",
+    "HostDevice",
+    "PowerSensor",
+    "StencilProgram",
+    "benchmark_kernel",
+]

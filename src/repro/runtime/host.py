@@ -1,0 +1,269 @@
+"""Host-side runtime: buffers, programs, queues, events, power sensor.
+
+The paper's measurement methodology (§IV.B-C):
+
+* kernel execution time only — host<->device transfers excluded;
+* board power read every 10 ms through the vendor API and averaged over
+  the kernel execution window;
+* every experiment repeated five times and averaged;
+* performance reported as GCell/s via eq. 3.
+
+This module reproduces that procedure against the simulator: kernels
+*numerically execute* through :class:`repro.core.FPGAAccelerator`
+(bit-exact), while their *duration* on the simulated clock comes from the
+performance-model chain for the target board — so host code written
+against this API measures exactly what the paper's host code measured,
+including the distinction between transfer time and kernel time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.accelerator import FPGAAccelerator
+from repro.core.blocking import BlockingConfig
+from repro.core.codegen import generate_opencl_kernel
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError, SimulationError
+from repro.fpga.board import NALLATECH_385A, Board
+from repro.models.area import AreaModel
+from repro.models.fmax import FmaxModel
+from repro.models.performance import PerformanceModel
+from repro.models.power import fpga_power_watts
+
+#: PCIe gen3 x8 effective host<->device bandwidth (GB/s) used to charge
+#: transfer time on the simulated clock (excluded from kernel timing).
+PCIE_GBPS = 6.0
+
+#: The paper's power-sampling interval (§IV.B).
+POWER_SAMPLE_INTERVAL_S = 0.010
+
+
+class Buffer:
+    """A device-resident buffer."""
+
+    def __init__(self, nbytes: int):
+        if nbytes <= 0:
+            raise ConfigurationError(f"buffer size must be positive, got {nbytes}")
+        self.nbytes = nbytes
+        self._data: np.ndarray | None = None
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._data is None:
+            raise SimulationError("reading an unwritten device buffer")
+        return self._data
+
+
+@dataclass(frozen=True)
+class Event:
+    """Completion event with simulated timestamps (seconds)."""
+
+    name: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class PowerSensor:
+    """The board's power sensor, sampled on the simulated clock.
+
+    Instantaneous power is the fitted power model plus a small
+    deterministic ripple (boards report noisy sensor values; the paper
+    averages them), so averaging over samples is meaningful.
+    """
+
+    def __init__(self, base_watts: float, ripple_watts: float = 1.5):
+        if base_watts <= 0:
+            raise ConfigurationError("base power must be positive")
+        self.base_watts = base_watts
+        self.ripple_watts = ripple_watts
+
+    def sample(self, t_s: float) -> float:
+        """Instantaneous power at simulated time ``t_s``."""
+        return self.base_watts + self.ripple_watts * math.sin(2 * math.pi * 7.3 * t_s)
+
+    def average_over(self, start_s: float, end_s: float) -> float:
+        """Average of 10 ms samples across a window (paper §IV.B)."""
+        if end_s <= start_s:
+            raise ConfigurationError("empty sampling window")
+        samples = []
+        t = start_s
+        while t < end_s:
+            samples.append(self.sample(t))
+            t += POWER_SAMPLE_INTERVAL_S
+        if not samples:  # window shorter than one interval: single read
+            samples.append(self.sample(start_s))
+        return sum(samples) / len(samples)
+
+
+class StencilProgram:
+    """A 'compiled' stencil kernel: generated source + execution engines.
+
+    Building mirrors the offline OpenCL compile: it runs the area model
+    (raising :class:`ConfigurationError` if the design does not fit the
+    device), the fmax model, and generates the kernel source.
+    """
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        config: BlockingConfig,
+        board: Board = NALLATECH_385A,
+    ):
+        self.spec = spec
+        self.config = config
+        self.board = board
+        self.area = AreaModel(board.device).report(spec, config)
+        if not self.area.fits:
+            raise ConfigurationError(
+                f"design does not fit {board.device.name}: "
+                f"DSP {self.area.dsp_fraction:.0%}, "
+                f"BRAM {self.area.bram_bits_fraction:.0%}"
+            )
+        self.fmax_mhz = FmaxModel().fmax_mhz(config.dims, config.radius)
+        self.source = generate_opencl_kernel(spec, config)
+        self._engine = FPGAAccelerator(spec, config)
+        self._model = PerformanceModel(board)
+
+    def kernel_time_s(self, grid_shape: tuple[int, ...], iterations: int) -> float:
+        """Modeled (measured-equivalent) kernel time for a workload."""
+        return self._model.predict_measured(
+            self.spec, self.config, grid_shape, iterations, fmax_mhz=self.fmax_mhz
+        ).time_s
+
+    def execute(self, grid: np.ndarray, iterations: int):
+        """Numerically execute the kernel (functional simulator)."""
+        return self._engine.run(grid, iterations)
+
+    def power_watts(self) -> float:
+        """Modeled board power while this kernel runs."""
+        return fpga_power_watts(
+            self.fmax_mhz,
+            self.area.dsp_fraction,
+            self.area.m20k_fraction,
+            self.area.logic_fraction,
+        )
+
+
+class HostDevice:
+    """The board as seen by the host."""
+
+    def __init__(self, board: Board = NALLATECH_385A):
+        self.board = board
+
+    def sensor_for(self, program: StencilProgram) -> PowerSensor:
+        return PowerSensor(program.power_watts())
+
+
+class CommandQueue:
+    """In-order command queue with a simulated clock."""
+
+    def __init__(self, device: HostDevice | None = None):
+        self.device = device if device is not None else HostDevice()
+        self.clock_s = 0.0
+        self.events: list[Event] = []
+        self.transfer_bytes = 0
+
+    def _record(self, name: str, duration_s: float) -> Event:
+        event = Event(name, self.clock_s, self.clock_s + duration_s)
+        self.clock_s = event.end_s
+        self.events.append(event)
+        return event
+
+    def enqueue_write_buffer(self, buffer: Buffer, host_array: np.ndarray) -> Event:
+        """Host -> device transfer (charged to the clock, not the kernel)."""
+        data = np.ascontiguousarray(host_array, dtype=np.float32)
+        if data.nbytes != buffer.nbytes:
+            raise ConfigurationError(
+                f"buffer is {buffer.nbytes} B but host array is {data.nbytes} B"
+            )
+        buffer._data = data.copy()
+        self.transfer_bytes += data.nbytes
+        return self._record("write-buffer", data.nbytes / (PCIE_GBPS * 1e9))
+
+    def enqueue_read_buffer(self, buffer: Buffer) -> tuple[np.ndarray, Event]:
+        """Device -> host transfer."""
+        data = buffer.data.copy()
+        self.transfer_bytes += data.nbytes
+        return data, self._record("read-buffer", data.nbytes / (PCIE_GBPS * 1e9))
+
+    def enqueue_kernel(
+        self,
+        program: StencilProgram,
+        src: Buffer,
+        dst: Buffer,
+        iterations: int,
+    ) -> Event:
+        """Run the stencil kernel: real numerics, modeled duration."""
+        grid = src.data
+        result, _ = program.execute(grid, iterations)
+        dst._data = result
+        duration = program.kernel_time_s(grid.shape, iterations)
+        return self._record("stencil-kernel", duration)
+
+    def finish(self) -> float:
+        """Drain the queue; returns the simulated clock."""
+        return self.clock_s
+
+
+@dataclass
+class KernelBenchmark:
+    """Result of the paper's five-repeat measurement procedure."""
+
+    mean_kernel_s: float
+    gcell_s: float
+    gflop_s: float
+    mean_power_w: float
+    repeats: int
+    result: np.ndarray = field(repr=False)
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.gflop_s / self.mean_power_w
+
+
+def benchmark_kernel(
+    program: StencilProgram,
+    grid: np.ndarray,
+    iterations: int,
+    repeats: int = 5,
+) -> KernelBenchmark:
+    """The paper's measurement loop: five repeats, kernel-only timing,
+    10 ms power sampling averaged over each kernel window (§IV.B-C)."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    queue = CommandQueue(HostDevice(program.board))
+    sensor = queue.device.sensor_for(program)
+    src = Buffer(grid.astype(np.float32).nbytes)
+    dst = Buffer(src.nbytes)
+    queue.enqueue_write_buffer(src, grid)
+
+    kernel_times = []
+    powers = []
+    result: np.ndarray | None = None
+    for _ in range(repeats):
+        event = queue.enqueue_kernel(program, src, dst, iterations)
+        kernel_times.append(event.duration_s)
+        powers.append(sensor.average_over(event.start_s, event.end_s))
+        result = dst.data
+    out, _ = queue.enqueue_read_buffer(dst)
+    assert result is not None
+
+    mean_t = sum(kernel_times) / repeats
+    cells = int(np.prod(grid.shape))
+    gcell = cells * iterations / mean_t / 1e9
+    return KernelBenchmark(
+        mean_kernel_s=mean_t,
+        gcell_s=gcell,
+        gflop_s=gcell * program.spec.flops_per_cell,
+        mean_power_w=sum(powers) / repeats,
+        repeats=repeats,
+        result=out,
+    )

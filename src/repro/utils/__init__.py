@@ -1,0 +1,19 @@
+"""Small shared utilities (validation, timing)."""
+
+from repro.utils.validation import (
+    check_positive,
+    check_in,
+    check_multiple,
+    max_abs_diff,
+    assert_allclose,
+)
+from repro.utils.timing import Timer
+
+__all__ = [
+    "check_positive",
+    "check_in",
+    "check_multiple",
+    "max_abs_diff",
+    "assert_allclose",
+    "Timer",
+]

@@ -1,0 +1,122 @@
+"""JSON (de)serialization of specs, configs and results.
+
+Lets the CLI and downstream scripts persist and exchange design points:
+
+>>> from repro.core import StencilSpec, BlockingConfig
+>>> from repro.utils.serialization import to_json, spec_from_dict
+>>> blob = to_json(StencilSpec.star(2, 3))
+>>> import json
+>>> spec_from_dict(json.loads(blob)).radius
+3
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.blocking import BlockingConfig
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError
+from repro.models.performance import PerformanceEstimate
+
+
+def spec_to_dict(spec: StencilSpec) -> dict[str, Any]:
+    """StencilSpec -> plain dict."""
+    return {
+        "kind": "stencil_spec",
+        "dims": spec.dims,
+        "radius": spec.radius,
+        "center": spec.center,
+        "coefficients": [[float(c) for c in row] for row in spec.coefficients],
+        "shared_coefficients": spec.shared_coefficients,
+    }
+
+
+def spec_from_dict(data: dict[str, Any]) -> StencilSpec:
+    """Plain dict -> StencilSpec (validates via the constructor)."""
+    if data.get("kind") != "stencil_spec":
+        raise ConfigurationError(f"not a stencil_spec payload: {data.get('kind')!r}")
+    return StencilSpec(
+        dims=int(data["dims"]),
+        radius=int(data["radius"]),
+        center=float(data["center"]),
+        coefficients=np.asarray(data["coefficients"], dtype=np.float32),
+        shared_coefficients=bool(data.get("shared_coefficients", False)),
+    )
+
+
+def config_to_dict(config: BlockingConfig) -> dict[str, Any]:
+    """BlockingConfig -> plain dict."""
+    return {
+        "kind": "blocking_config",
+        "dims": config.dims,
+        "radius": config.radius,
+        "bsize_x": config.bsize_x,
+        "bsize_y": config.bsize_y,
+        "parvec": config.parvec,
+        "partime": config.partime,
+    }
+
+
+def config_from_dict(data: dict[str, Any]) -> BlockingConfig:
+    """Plain dict -> BlockingConfig."""
+    if data.get("kind") != "blocking_config":
+        raise ConfigurationError(
+            f"not a blocking_config payload: {data.get('kind')!r}"
+        )
+    return BlockingConfig(
+        dims=int(data["dims"]),
+        radius=int(data["radius"]),
+        bsize_x=int(data["bsize_x"]),
+        bsize_y=None if data.get("bsize_y") is None else int(data["bsize_y"]),
+        parvec=int(data["parvec"]),
+        partime=int(data["partime"]),
+    )
+
+
+def estimate_to_dict(est: PerformanceEstimate) -> dict[str, Any]:
+    """PerformanceEstimate -> plain dict."""
+    return {
+        "kind": "performance_estimate",
+        "time_s": est.time_s,
+        "gcell_s": est.gcell_s,
+        "gflop_s": est.gflop_s,
+        "gbs": est.gbs,
+        "fmax_mhz": est.fmax_mhz,
+        "passes": est.passes,
+        "compute_bound": est.compute_bound,
+        "pipeline_efficiency": est.pipeline_efficiency,
+    }
+
+
+_SERIALIZERS = {
+    StencilSpec: spec_to_dict,
+    BlockingConfig: config_to_dict,
+    PerformanceEstimate: estimate_to_dict,
+}
+
+
+def to_dict(obj: Any) -> dict[str, Any]:
+    """Serialize any supported object to a plain dict."""
+    for cls, fn in _SERIALIZERS.items():
+        if isinstance(obj, cls):
+            return fn(obj)
+    raise ConfigurationError(f"cannot serialize {type(obj).__name__}")
+
+
+def to_json(obj: Any, **kwargs: Any) -> str:
+    """Serialize any supported object to JSON text."""
+    return json.dumps(to_dict(obj), **kwargs)
+
+
+def from_dict(data: dict[str, Any]) -> Any:
+    """Deserialize a payload by its ``kind`` tag."""
+    kind = data.get("kind")
+    if kind == "stencil_spec":
+        return spec_from_dict(data)
+    if kind == "blocking_config":
+        return config_from_dict(data)
+    raise ConfigurationError(f"cannot deserialize kind {kind!r}")

@@ -1,0 +1,59 @@
+"""Argument and numerical validation helpers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ValidationError
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is positive.
+
+    With ``strict=False``, zero is accepted.
+    """
+    if strict and value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is in ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {allowed}, got {value!r}")
+
+
+def check_multiple(name: str, value: int, factor: int) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is a multiple of ``factor``."""
+    if factor <= 0 or value % factor != 0:
+        raise ConfigurationError(f"{name} ({value}) must be a multiple of {factor}")
+
+
+def max_abs_diff(a: np.ndarray, b: np.ndarray) -> float:
+    """Maximum absolute elementwise difference between two arrays."""
+    if a.shape != b.shape:
+        raise ValidationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a.astype(np.float64) - b.astype(np.float64))))
+
+
+def assert_allclose(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    rtol: float = 1e-5,
+    atol: float = 1e-6,
+    context: str = "",
+) -> None:
+    """Raise :class:`ValidationError` if arrays differ beyond tolerance."""
+    if a.shape != b.shape:
+        raise ValidationError(f"{context}: shape mismatch {a.shape} vs {b.shape}")
+    if not np.allclose(a, b, rtol=rtol, atol=atol):
+        diff = max_abs_diff(a, b)
+        raise ValidationError(f"{context}: arrays differ (max abs diff {diff:.3e})")

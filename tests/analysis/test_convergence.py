@@ -1,0 +1,92 @@
+"""Tests for the order-of-accuracy verification.
+
+The central scientific fact behind the paper: a radius-r stencil buys
+order-2r accuracy.  The suite verifies it empirically for radii 1-4.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    ConvergenceResult,
+    discrete_laplacian_1d,
+    measure_convergence,
+    verify_all_orders,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize("radius", [1, 2, 3, 4])
+def test_observed_order_matches_2r(radius: int) -> None:
+    result = measure_convergence(radius)
+    assert result.observed_order == pytest.approx(2 * radius, abs=0.3)
+    # errors strictly decrease with resolution
+    assert list(result.errors) == sorted(result.errors, reverse=True)
+
+
+def test_higher_radius_is_more_accurate_at_fixed_resolution() -> None:
+    """At the same resolution, each radius step slashes the error —
+    the reason applications pay for high-order stencils."""
+    errors = [measure_convergence(r, resolutions=(48, 64)).errors[0] for r in (1, 2, 3, 4)]
+    for coarse, fine in zip(errors, errors[1:]):
+        assert fine < coarse / 10
+
+
+def test_discrete_laplacian_on_quadratic_is_exact() -> None:
+    """All central schemes differentiate x^2 exactly: d2/dx2 = 2."""
+    x = np.linspace(0, 1, 41)
+    dx = x[1] - x[0]
+    for radius in (1, 2, 3, 4):
+        lap = discrete_laplacian_1d(x**2, radius, dx)
+        assert np.allclose(lap, 2.0, atol=1e-9)
+
+
+def test_discrete_laplacian_on_linear_is_zero() -> None:
+    x = np.linspace(0, 1, 33)
+    lap = discrete_laplacian_1d(3.0 * x + 1.0, 2, x[1] - x[0])
+    assert np.allclose(lap, 0.0, atol=1e-9)
+
+
+def test_interior_length() -> None:
+    values = np.zeros(20)
+    assert discrete_laplacian_1d(values, 3, 0.1).size == 20 - 6
+
+
+def test_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        discrete_laplacian_1d(np.zeros(5), 5, 0.1)
+    with pytest.raises(ConfigurationError):
+        discrete_laplacian_1d(np.zeros(4), 2, 0.1)
+    with pytest.raises(ConfigurationError):
+        measure_convergence(2, resolutions=(64,))
+    with pytest.raises(ConfigurationError):
+        measure_convergence(4, resolutions=(8, 12))
+
+
+def test_verify_all_orders_passes_and_flags_failure() -> None:
+    results = verify_all_orders()
+    assert set(results) == {1, 2, 3, 4}
+    with pytest.raises(ConfigurationError):
+        verify_all_orders(radii=(1,), tolerance=1e-6)  # impossibly tight
+
+
+def test_result_dataclass() -> None:
+    r = ConvergenceResult(2, (8, 16), (1.0, 0.0625), 4.0)
+    assert r.theoretical_order == 4
+
+
+def test_wavenumber_scaling() -> None:
+    """Higher wavenumber -> larger error at fixed N (resolution per
+    wavelength is what matters)."""
+    low = measure_convergence(2, wavenumber=1.0).errors[0]
+    high = measure_convergence(2, wavenumber=4.0).errors[0]
+    assert high > low
+
+
+def test_errors_positive_and_finite() -> None:
+    result = measure_convergence(3)
+    assert all(math.isfinite(e) and e > 0 for e in result.errors)

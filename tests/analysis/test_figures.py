@@ -1,0 +1,67 @@
+"""Tests for ASCII figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import bar_chart, design_overview, stencil_diagram
+from repro.errors import ConfigurationError
+
+
+def test_bar_chart_structure() -> None:
+    text = bar_chart(
+        {"devA": [10.0, 5.0], "devB": [2.0, 8.0]},
+        ["first", "second"],
+        title="T",
+        unit="GF/s",
+    )
+    assert text.startswith("T\n=")
+    assert "devA" in text and "devB" in text
+    assert "10.0 GF/s" in text
+    # bars scale with value: devA/first (the global max) has the longest
+    lines = text.splitlines()
+    bars = [l.count("█") for l in lines if "█" in l]
+    assert bars[0] == max(bars)  # devA/first
+    assert bars[2] == min(bars)  # devB/first (value 2.0)
+
+
+def test_bar_chart_hatched_marks_extrapolated() -> None:
+    text = bar_chart(
+        {"real": [1.0], "guess": [2.0]},
+        ["r1"],
+        title="T",
+        unit="x",
+        hatched=("guess",),
+    )
+    assert "░" in text and "(extrapolated)" in text
+
+
+def test_bar_chart_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        bar_chart({}, ["a"], title="T", unit="x")
+    with pytest.raises(ConfigurationError):
+        bar_chart({"d": [1.0, 2.0]}, ["only-one"], title="T", unit="x")
+    with pytest.raises(ConfigurationError):
+        bar_chart({"d": [0.0]}, ["a"], title="T", unit="x")
+
+
+def test_stencil_diagram_star_shape() -> None:
+    """Fig. 1: a radius-3 star has 4*3+1 marked cells in a 2D slice."""
+    diagram = stencil_diagram(3)
+    assert diagram.count("C") == 1
+    assert diagram.count("o") == 4 * 3
+    rows = diagram.splitlines()
+    assert len(rows) == 7
+    with pytest.raises(ConfigurationError):
+        stencil_diagram(0)
+
+
+def test_design_overview_pe_chain() -> None:
+    """Fig. 2: read -> PE chain -> write."""
+    text = design_overview(3)
+    assert "[Read]" in text and "[Write]" in text
+    assert "PE0" in text and "PE2" in text
+    long = design_overview(12)
+    assert "PE11" in long and "..." in long
+    with pytest.raises(ConfigurationError):
+        design_overview(0)

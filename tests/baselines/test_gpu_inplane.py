@@ -1,0 +1,94 @@
+"""Tests for the in-plane GPU model and its extrapolation (Table V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.gpu_inplane import InPlaneGPUModel
+from repro.core import StencilSpec
+from repro.errors import ConfigurationError
+from repro.hardware import device
+
+# Table V GPU rows: device -> radius -> (GFLOP/s, GCell/s, GFLOP/s/W).
+PAPER_GTX580 = {
+    1: (224.822, 17.294, 1.229),
+    2: (358.725, 14.349, 1.960),
+    3: (404.928, 10.944, 2.213),
+    4: (453.446, 9.254, 2.478),
+}
+PAPER_P100 = {
+    1: (842.381, 64.799, 4.493),
+    2: (1344.100, 53.764, 7.169),
+    3: (1517.217, 41.006, 8.092),
+    4: (1699.008, 34.674, 9.061),
+}
+
+
+@pytest.mark.parametrize("radius", sorted(PAPER_GTX580))
+def test_gtx580_matches_table5(radius: int) -> None:
+    model = InPlaneGPUModel()
+    perf = model.predict(StencilSpec.star(3, radius))
+    gflops, gcell, eff = PAPER_GTX580[radius]
+    assert perf.gcell_s == pytest.approx(gcell, rel=0.01)
+    assert perf.gflop_s == pytest.approx(gflops, rel=0.01)
+    assert perf.gflops_per_watt == pytest.approx(eff, rel=0.02)
+    assert not perf.extrapolated
+
+
+@pytest.mark.parametrize("radius", sorted(PAPER_P100))
+def test_p100_extrapolation_matches_table5(radius: int) -> None:
+    model = InPlaneGPUModel()
+    perf = model.extrapolate(StencilSpec.star(3, radius), device("p100"))
+    gflops, gcell, eff = PAPER_P100[radius]
+    assert perf.gcell_s == pytest.approx(gcell, rel=0.01)
+    assert perf.gflop_s == pytest.approx(gflops, rel=0.01)
+    assert perf.gflops_per_watt == pytest.approx(eff, rel=0.02)
+    assert perf.extrapolated
+
+
+def test_extrapolation_is_pure_bandwidth_ratio() -> None:
+    model = InPlaneGPUModel()
+    spec = StencilSpec.star(3, 2)
+    base = model.predict(spec)
+    target = device("gtx980ti")
+    extr = model.extrapolate(spec, target)
+    ratio = target.peak_bandwidth_gbps / device("gtx580").peak_bandwidth_gbps
+    assert extr.gcell_s == pytest.approx(base.gcell_s * ratio)
+
+
+def test_power_is_75pct_tdp() -> None:
+    model = InPlaneGPUModel()
+    perf = model.predict(StencilSpec.star(3, 1))
+    assert perf.power_watts == pytest.approx(0.75 * 244.0)
+
+
+def test_utilization_decays_with_radius() -> None:
+    """Figs. 3-4 trend for GPUs: utilized bandwidth falls as order rises,
+    so GFLOP/s grows sub-linearly."""
+    model = InPlaneGPUModel()
+    utils = [model.bandwidth_utilization(r) for r in range(1, 7)]
+    assert all(a >= b for a, b in zip(utils, utils[1:]))
+    # sub-linear GFLOP/s growth: r4/r1 < FLOP ratio 49/13
+    p1 = model.predict(StencilSpec.star(3, 1))
+    p4 = model.predict(StencilSpec.star(3, 4))
+    assert p4.gflop_s / p1.gflop_s < 49 / 13
+
+
+def test_rejects_2d() -> None:
+    with pytest.raises(ConfigurationError):
+        InPlaneGPUModel().predict(StencilSpec.star(2, 1))
+    with pytest.raises(ConfigurationError):
+        InPlaneGPUModel().bandwidth_utilization(0)
+
+
+def test_roofline_ratio_below_one_always() -> None:
+    model = InPlaneGPUModel()
+    for rad in (1, 2, 3, 4):
+        for dev in ("gtx580", "gtx980ti", "p100"):
+            spec = StencilSpec.star(3, rad)
+            perf = (
+                model.predict(spec)
+                if dev == "gtx580"
+                else model.extrapolate(spec, device(dev))
+            )
+            assert perf.roofline_ratio < 1.0

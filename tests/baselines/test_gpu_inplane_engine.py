@@ -1,0 +1,80 @@
+"""Tests for the functional in-plane GPU engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu_inplane_engine import InPlaneEngine, InPlaneStats
+from repro.core import StencilSpec, make_grid, reference_run, reference_step
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize("radius", [1, 2, 3, 4])
+def test_bit_identical_to_reference(radius: int) -> None:
+    spec = StencilSpec.star(3, radius)
+    engine = InPlaneEngine(spec, tile=(8, 8))
+    grid = make_grid((7, 20, 26), "mixed", seed=radius)
+    out, _ = engine.run(grid, 2)
+    assert np.array_equal(out, reference_run(grid, spec, 2))
+
+
+def test_tile_size_does_not_change_numerics() -> None:
+    spec = StencilSpec.star(3, 2)
+    grid = make_grid((6, 24, 24), "random", seed=5)
+    small = InPlaneEngine(spec, tile=(4, 4)).step(grid)
+    large = InPlaneEngine(spec, tile=(24, 24)).step(grid)
+    assert np.array_equal(small, large)
+    assert np.array_equal(small, reference_step(grid, spec))
+
+
+def test_redundancy_grows_with_radius() -> None:
+    """The in-plane halo loads are the method's cost: loaded/written
+    cells grow with radius — the mechanism behind the falling bandwidth
+    utilization of Table V's GPU rows."""
+    redundancies = []
+    for radius in (1, 2, 4):
+        spec = StencilSpec.star(3, radius)
+        engine = InPlaneEngine(spec, tile=(8, 8))
+        _, stats = engine.run(make_grid((4, 16, 16), "random"), 1)
+        redundancies.append(stats.load_redundancy)
+    assert redundancies[0] < redundancies[1] < redundancies[2]
+    assert redundancies[0] > 1.0
+
+
+def test_larger_tiles_amortize_halo_loads() -> None:
+    spec = StencilSpec.star(3, 2)
+    grid = make_grid((4, 32, 32), "random")
+    _, small = InPlaneEngine(spec, tile=(8, 8)).run(grid, 1)
+    _, large = InPlaneEngine(spec, tile=(32, 32)).run(grid, 1)
+    assert large.load_redundancy < small.load_redundancy
+
+
+def test_stats_accounting() -> None:
+    spec = StencilSpec.star(3, 1)
+    grid = make_grid((5, 8, 8), "random")
+    _, stats = InPlaneEngine(spec, tile=(8, 8)).run(grid, 1)
+    assert stats.cells_written == grid.size
+    assert stats.planes_streamed == (2 * 1 + 1) + grid.shape[0]
+    assert InPlaneStats().load_redundancy == 1.0
+
+
+def test_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        InPlaneEngine(StencilSpec.star(2, 1))
+    with pytest.raises(ConfigurationError):
+        InPlaneEngine(StencilSpec.star(3, 1), tile=(0, 8))
+    engine = InPlaneEngine(StencilSpec.star(3, 1))
+    with pytest.raises(ConfigurationError):
+        engine.step(np.zeros((4, 4), np.float32))
+    with pytest.raises(ConfigurationError):
+        engine.run(np.zeros((4, 4, 4), np.float32), -1)
+
+
+def test_zero_iterations_copy() -> None:
+    engine = InPlaneEngine(StencilSpec.star(3, 1))
+    grid = make_grid((4, 8, 8), "random")
+    out, stats = engine.run(grid, 0)
+    assert np.array_equal(out, grid)
+    assert out is not grid
+    assert stats.cells_written == 0

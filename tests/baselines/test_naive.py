@@ -1,0 +1,41 @@
+"""The naive loop engine is an independent oracle for the reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_run, naive_step
+from repro.core import StencilSpec, make_grid, reference_run, reference_step
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+@pytest.mark.parametrize("radius", [1, 2, 3])
+def test_naive_matches_reference(dims: int, radius: int) -> None:
+    spec = StencilSpec.star(dims, radius)
+    shape = (6, 8) if dims == 2 else (3, 5, 6)
+    grid = make_grid(shape, "mixed", seed=radius)
+    assert np.array_equal(naive_step(grid, spec), reference_step(grid, spec))
+
+
+def test_naive_multi_step() -> None:
+    spec = StencilSpec.star(2, 2)
+    grid = make_grid((5, 7), "random", seed=8)
+    assert np.array_equal(naive_run(grid, spec, 3), reference_run(grid, spec, 3))
+
+
+def test_naive_zero_iterations_copy() -> None:
+    spec = StencilSpec.star(2, 1)
+    grid = make_grid((4, 5), "random")
+    out = naive_run(grid, spec, 0)
+    assert np.array_equal(out, grid)
+    assert out is not grid
+
+
+def test_naive_validates() -> None:
+    spec = StencilSpec.star(3, 1)
+    with pytest.raises(ConfigurationError):
+        naive_step(np.zeros((3, 3), np.float32), spec)
+    with pytest.raises(ConfigurationError):
+        naive_run(np.zeros((3, 3, 3), np.float32), spec, -1)

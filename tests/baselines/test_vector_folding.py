@@ -1,0 +1,106 @@
+"""Tests for the vector-folding layout and folded stencil compute."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.vector_folding import (
+    fold,
+    folded_run,
+    folded_shift,
+    folded_step,
+    unfold,
+)
+from repro.core import StencilSpec, make_grid, reference_run, reference_step
+from repro.errors import ConfigurationError
+
+
+def test_fold_unfold_roundtrip_2d() -> None:
+    g = make_grid((12, 20), "random", seed=1)
+    assert np.array_equal(unfold(fold(g, (4, 4))), g)
+    assert np.array_equal(unfold(fold(g, (2, 5))), g)
+
+
+def test_fold_unfold_roundtrip_3d() -> None:
+    g = make_grid((3, 12, 20), "random", seed=2)
+    f = fold(g, (4, 4))
+    assert f.shape == (3, 3, 5, 4, 4)
+    assert np.array_equal(unfold(f), g)
+
+
+def test_fold_layout_tiles() -> None:
+    """Tile (i, j) of the folded array is the (fy, fx) block of the grid."""
+    g = np.arange(8 * 8, dtype=np.float32).reshape(8, 8)
+    f = fold(g, (4, 4))
+    assert np.array_equal(f[1, 0], g[4:8, 0:4])
+    assert np.array_equal(f[0, 1], g[0:4, 4:8])
+
+
+def test_fold_requires_divisibility() -> None:
+    g = make_grid((10, 10), "random")
+    with pytest.raises(ConfigurationError):
+        fold(g, (4, 4))
+    with pytest.raises(ConfigurationError):
+        fold(g, (0, 2))
+    with pytest.raises(ConfigurationError):
+        unfold(np.zeros((4, 4), np.float32))
+
+
+@pytest.mark.parametrize("offset", [-9, -4, -3, -1, 1, 2, 4, 7])
+def test_folded_shift_equals_unfolded_clamped_shift(offset: int) -> None:
+    """folded_shift == fold(clamped shift(unfold)) for any offset."""
+    g = make_grid((8, 24), "random", seed=3)
+    f = fold(g, (4, 4))
+    shifted = folded_shift(f, block_axis=1, intra_axis=3, offset=offset)
+    idx = np.clip(np.arange(24) + offset, 0, 23)
+    expected = fold(g[:, idx], (4, 4))
+    assert np.array_equal(shifted, expected)
+
+
+def test_folded_shift_y_axis() -> None:
+    g = make_grid((16, 8), "random", seed=4)
+    f = fold(g, (4, 4))
+    shifted = folded_shift(f, block_axis=0, intra_axis=2, offset=-2)
+    idx = np.clip(np.arange(16) - 2, 0, 15)
+    assert np.array_equal(shifted, fold(g[idx, :], (4, 4)))
+
+
+@pytest.mark.parametrize("radius", [1, 2, 4])
+def test_folded_step_bit_identical_to_reference_2d(radius: int) -> None:
+    """Radius beyond the fold size exercises multi-tile shifts."""
+    spec = StencilSpec.star(2, radius)
+    g = make_grid((16, 24), "mixed", seed=radius)
+    out = unfold(folded_step(fold(g, (4, 4)), spec))
+    assert np.array_equal(out, reference_step(g, spec))
+
+
+def test_folded_step_bit_identical_to_reference_3d() -> None:
+    spec = StencilSpec.star(3, 2)
+    g = make_grid((5, 16, 24), "mixed", seed=9)
+    out = unfold(folded_step(fold(g, (4, 4)), spec))
+    assert np.array_equal(out, reference_step(g, spec))
+
+
+def test_folded_run_multi_step() -> None:
+    spec = StencilSpec.star(2, 2)
+    g = make_grid((12, 16), "random", seed=5)
+    out = unfold(folded_run(fold(g, (4, 4)), spec, 3))
+    assert np.array_equal(out, reference_run(g, spec, 3))
+
+
+def test_folded_step_rejects_wrong_rank() -> None:
+    spec2 = StencilSpec.star(2, 1)
+    with pytest.raises(ConfigurationError):
+        folded_step(np.zeros((2, 2, 2, 2, 2), np.float32), spec2)
+    spec3 = StencilSpec.star(3, 1)
+    with pytest.raises(ConfigurationError):
+        folded_step(np.zeros((2, 2, 2, 2), np.float32), spec3)
+
+
+def test_asymmetric_fold_shapes() -> None:
+    """YASK also uses in-line folds like 1x8."""
+    spec = StencilSpec.star(2, 2)
+    g = make_grid((8, 32), "random", seed=6)
+    out = unfold(folded_step(fold(g, (1, 8)), spec))
+    assert np.array_equal(out, reference_step(g, spec))

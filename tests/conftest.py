@@ -1,0 +1,21 @@
+"""Shared test configuration: hypothesis profile and common fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Seeded RNG for reproducible randomized tests."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,57 @@
+"""Tests for the on-chip channel (FIFO) substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.channels import Channel
+from repro.errors import ConfigurationError, SimulationError
+
+
+def test_fifo_order() -> None:
+    ch = Channel(depth=3)
+    for i in range(3):
+        assert ch.try_write(i)
+    assert [ch.read() for _ in range(3)] == [0, 1, 2]
+
+
+def test_depth_and_backpressure() -> None:
+    ch = Channel(depth=2)
+    assert ch.try_write("a") and ch.try_write("b")
+    assert ch.full
+    assert not ch.try_write("c")
+    assert ch.write_stalls == 1
+    ch.read()
+    assert ch.try_write("c")
+
+
+def test_empty_read_stall() -> None:
+    ch = Channel(depth=1)
+    ok, item = ch.try_read()
+    assert not ok and item is None
+    assert ch.read_stalls == 1
+
+
+def test_blocking_helpers_raise() -> None:
+    ch = Channel(depth=1, name="c0")
+    ch.write("x")
+    with pytest.raises(SimulationError):
+        ch.write("y")
+    ch.read()
+    with pytest.raises(SimulationError):
+        ch.read()
+
+
+def test_counters() -> None:
+    ch = Channel(depth=4)
+    for i in range(4):
+        ch.write(i)
+    for _ in range(4):
+        ch.read()
+    assert ch.writes == 4 and ch.reads == 4
+    assert len(ch) == 0 and ch.empty
+
+
+def test_invalid_depth() -> None:
+    with pytest.raises(ConfigurationError):
+        Channel(depth=0)

@@ -1,0 +1,113 @@
+"""Tests for the golden reference engine (clamp boundary conditions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import StencilSpec, make_grid, reference_run, reference_step
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+@pytest.mark.parametrize("radius", [1, 2, 3])
+def test_constant_field_is_fixed_point(dims: int, radius: int) -> None:
+    """Coefficients sum to 1, so a constant field must be (nearly) invariant."""
+    spec = StencilSpec.star(dims, radius)
+    shape = (9, 11) if dims == 2 else (5, 7, 9)
+    grid = make_grid(shape, "constant", value=2.0)
+    out = reference_run(grid, spec, 5)
+    assert np.allclose(out, 2.0, rtol=1e-5)
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+def test_convexity_bounds(dims: int) -> None:
+    """Positive coefficients summing to 1 make the update a convex
+    combination: outputs stay within [min, max] of the input."""
+    spec = StencilSpec.star(dims, 2)
+    shape = (12, 13) if dims == 2 else (6, 7, 8)
+    grid = make_grid(shape, "random", seed=3)
+    out = reference_run(grid, spec, 10)
+    eps = 1e-5
+    assert float(out.min()) >= float(grid.min()) - eps
+    assert float(out.max()) <= float(grid.max()) + eps
+
+
+def test_manual_1d_row_clamp_2d() -> None:
+    """Hand-computed clamp check: a single-row 2D grid with radius 2.
+
+    With y extent 1, south/north neighbors all clamp to the row itself.
+    """
+    spec = StencilSpec.star(2, 2)
+    row = np.array([[1.0, 2.0, 3.0, 4.0, 5.0]], dtype=np.float32)
+    out = reference_step(row, spec)
+
+    c = spec.coefficients
+    cc = np.float32(spec.center)
+    # cell x=0: west neighbors clamp to f[0]; east are f[1], f[2]
+    f = row[0]
+    expected = cc * f[0]
+    # distance 1: W E S N  (S/N clamp to the cell itself)
+    expected += c[0, 0] * f[0] + c[1, 0] * f[1] + c[2, 0] * f[0] + c[3, 0] * f[0]
+    # distance 2
+    expected += c[0, 1] * f[0] + c[1, 1] * f[2] + c[2, 1] * f[0] + c[3, 1] * f[0]
+    assert out[0, 0] == pytest.approx(float(expected), rel=1e-6)
+
+
+def test_impulse_spreads_at_radius_per_step() -> None:
+    """After one step an impulse reaches exactly distance <= radius along axes."""
+    spec = StencilSpec.star(2, 3)
+    grid = make_grid((15, 15), "impulse", value=1.0)
+    out = reference_step(grid, spec)
+    # nonzero cells form a star of radius 3 around the center
+    nz = np.argwhere(out != 0)
+    center = np.array([7, 7])
+    for pos in nz:
+        d = pos - center
+        assert (d[0] == 0 and abs(d[1]) <= 3) or (d[1] == 0 and abs(d[0]) <= 3)
+    assert out[7, 7] != 0
+    assert out[7, 10] != 0 and out[7, 11] == 0
+
+
+def test_zero_iterations_returns_copy() -> None:
+    spec = StencilSpec.star(2, 1)
+    grid = make_grid((6, 6), "random")
+    out = reference_run(grid, spec, 0)
+    assert np.array_equal(out, grid)
+    assert out is not grid
+
+
+def test_input_not_modified() -> None:
+    spec = StencilSpec.star(2, 1)
+    grid = make_grid((6, 6), "random")
+    before = grid.copy()
+    reference_run(grid, spec, 3)
+    assert np.array_equal(grid, before)
+
+
+def test_dims_mismatch_rejected() -> None:
+    spec = StencilSpec.star(3, 1)
+    with pytest.raises(ConfigurationError):
+        reference_step(np.zeros((4, 4), np.float32), spec)
+    with pytest.raises(ConfigurationError):
+        reference_run(np.zeros((4, 4, 4), np.float32), spec, -1)
+
+
+def test_linearity_of_one_step() -> None:
+    """The update is linear: L(a*f + b*g) == a*L(f) + b*L(g) (tolerances
+    accommodate float32 rounding)."""
+    spec = StencilSpec.star(3, 2)
+    f = make_grid((5, 6, 7), "random", seed=1)
+    g = make_grid((5, 6, 7), "random", seed=2)
+    lhs = reference_step(0.5 * f + 0.25 * g, spec)
+    rhs = 0.5 * reference_step(f, spec) + 0.25 * reference_step(g, spec)
+    assert np.allclose(lhs, rhs, rtol=1e-4, atol=1e-6)
+
+
+def test_grid_smaller_than_radius_still_valid() -> None:
+    """All neighbors clamp when the grid is smaller than the radius."""
+    spec = StencilSpec.star(2, 4)
+    grid = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+    out = reference_step(grid, spec)
+    assert out.shape == grid.shape
+    assert np.isfinite(out).all()

@@ -1,0 +1,105 @@
+"""Cross-validation of the hardware-faithful scalar simulator.
+
+DESIGN.md invariant (2): the streaming shift-register PE chain produces
+bits identical to both the vectorized accelerator and the reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockingConfig,
+    FPGAAccelerator,
+    StencilSpec,
+    make_grid,
+    reference_run,
+)
+from repro.core.scalar_sim import StreamingPE, scalar_run
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+@pytest.mark.parametrize("partime", [1, 2, 3])
+def test_scalar_matches_reference_2d(radius: int, partime: int) -> None:
+    spec = StencilSpec.star(2, radius)
+    cfg = BlockingConfig(
+        dims=2, radius=radius, bsize_x=16, parvec=2, partime=partime
+    )
+    grid = make_grid((8, 22), "mixed", seed=radius * 7 + partime)
+    iters = partime + 1
+    expected = reference_run(grid, spec, iters)
+    actual = scalar_run(grid, spec, cfg, iters)
+    assert np.array_equal(expected, actual)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_scalar_matches_reference_3d(radius: int) -> None:
+    spec = StencilSpec.star(3, radius)
+    cfg = BlockingConfig(
+        dims=3, radius=radius, bsize_x=12, bsize_y=10, parvec=2, partime=2
+    )
+    grid = make_grid((4, 11, 13), "mixed", seed=radius)
+    expected = reference_run(grid, spec, 3)
+    actual = scalar_run(grid, spec, cfg, 3)
+    assert np.array_equal(expected, actual)
+
+
+def test_scalar_matches_vectorized_accelerator_bits() -> None:
+    spec = StencilSpec.star(2, 2)
+    cfg = BlockingConfig(dims=2, radius=2, bsize_x=20, parvec=4, partime=2)
+    grid = make_grid((7, 30), "random", seed=5)
+    fast, _ = FPGAAccelerator(spec, cfg).run(grid, 4)
+    slow = scalar_run(grid, spec, cfg, 4)
+    assert np.array_equal(fast, slow)
+
+
+def test_streaming_pe_register_size_is_eq7() -> None:
+    spec = StencilSpec.star(2, 3)
+    pe = StreamingPE(spec, (6, 16), (0, -2), (6, 12), parvec=4)
+    assert pe.reg_words == 2 * 3 * 16 + 4
+
+
+def test_streaming_pe_output_count() -> None:
+    """A PE emits exactly one output vector per input vector."""
+    spec = StencilSpec.star(2, 1)
+    footprint = (4, 8)
+    pe = StreamingPE(spec, footprint, (0, 0), footprint, parvec=2)
+    data = make_grid(footprint, "random", seed=0)
+    vectors = [data.reshape(-1)[i : i + 2] for i in range(0, data.size, 2)]
+    out = list(pe.stream(iter(vectors)))
+    assert len(out) == len(vectors)
+
+
+def test_streaming_pe_rejects_bad_vector_width() -> None:
+    spec = StencilSpec.star(2, 1)
+    pe = StreamingPE(spec, (4, 8), (0, 0), (4, 8), parvec=4)
+    with pytest.raises(ConfigurationError):
+        list(pe.stream(iter([np.zeros(2, np.float32)] * 8)))
+
+
+def test_streaming_pe_footprint_must_align() -> None:
+    spec = StencilSpec.star(2, 1)
+    with pytest.raises(ConfigurationError):
+        StreamingPE(spec, (3, 7), (0, 0), (3, 7), parvec=4)
+
+
+def test_scalar_run_validates_inputs() -> None:
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=16, parvec=2, partime=1)
+    with pytest.raises(ConfigurationError):
+        scalar_run(np.zeros((4, 4, 4), np.float32), spec, cfg, 1)
+    cfg_rad2 = BlockingConfig(dims=2, radius=2, bsize_x=16, parvec=2, partime=1)
+    with pytest.raises(ConfigurationError):
+        scalar_run(np.zeros((4, 16), np.float32), spec, cfg_rad2, 1)
+
+
+def test_footprint_x_not_parvec_multiple_is_padded() -> None:
+    """Odd grid width with parvec 4: the footprint pads transparently."""
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=16, parvec=4, partime=2)
+    grid = make_grid((6, 21), "random", seed=2)
+    expected = reference_run(grid, spec, 2)
+    actual = scalar_run(grid, spec, cfg, 2)
+    assert np.array_equal(expected, actual)

@@ -1,0 +1,187 @@
+"""Tests for the leapfrog wave-equation extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BlockingConfig, make_grid
+from repro.core.wave import (
+    LAPLACIAN_WEIGHTS,
+    WaveAccelerator,
+    WaveSpec,
+    wave_reference_run,
+    wave_step,
+)
+from repro.errors import ConfigurationError
+
+
+def make_spec(dims: int = 2, radius: int = 2, frac: float = 0.9) -> WaveSpec:
+    return WaveSpec(dims, radius, frac * WaveSpec.max_stable_courant(dims, radius))
+
+
+# ------------------------------ spec ----------------------------------- #
+
+def test_laplacian_weights_consistent() -> None:
+    """Each order's weights sum to zero (consistency of the FD scheme)."""
+    for radius, (center, weights) in LAPLACIAN_WEIGHTS.items():
+        assert center + 2 * sum(weights) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_cfl_bound_radius1_classic() -> None:
+    """Radius 1 in 2D: the classic 1/sqrt(2) CFL limit."""
+    assert WaveSpec.max_stable_courant(2, 1) == pytest.approx(1 / np.sqrt(2))
+
+
+def test_spec_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        WaveSpec(4, 1, 0.5)
+    with pytest.raises(ConfigurationError):
+        WaveSpec(2, 5, 0.5)
+    with pytest.raises(ConfigurationError):
+        WaveSpec(2, 1, -0.1)
+
+
+def test_flop_and_byte_accounting() -> None:
+    spec = make_spec(3, 4)
+    # laplacian (4+1 muls + 24 adds) + scale + 2u - uprev + add = 33
+    assert spec.flops_per_cell == (4 + 1) + 24 + 1 + 3
+    assert spec.bytes_per_cell == 16
+
+
+# --------------------------- reference --------------------------------- #
+
+def test_constant_field_is_equilibrium() -> None:
+    """Laplacian of a constant is 0: u stays constant under leapfrog."""
+    spec = make_spec(2, 3)
+    u = np.full((12, 14), 5.0, dtype=np.float32)
+    prev, cur = wave_reference_run(u, u, spec, 6)
+    assert np.allclose(cur, 5.0, rtol=1e-5)
+
+
+def test_impulse_propagates_at_radius_per_step() -> None:
+    spec = make_spec(2, 2)
+    u = np.zeros((21, 21), np.float32)
+    u1 = u.copy()
+    u1[10, 10] = 1.0
+    _, cur = wave_reference_run(u, u1, spec, 1)
+    nz = np.argwhere(cur != 0)
+    assert np.max(np.abs(nz - 10)) <= 2
+
+
+def test_wavefront_speed_close_to_courant() -> None:
+    """After n steps the wavefront sits near c*n cells from the source."""
+    spec = WaveSpec(2, 4, 0.5)
+    u = np.zeros((121, 121), np.float32)
+    u1 = u.copy()
+    u1[60, 60] = 1.0
+    _, cur = wave_reference_run(u, u1, spec, 60)
+    # outermost energy along the x axis through the source
+    row = np.abs(cur[60])
+    front = np.max(np.abs(np.argwhere(row > 1e-4) - 60))
+    assert 0.5 * 60 * 0.8 <= front <= 60  # between 80% of c*n and n*rad bound
+
+
+def test_amplitude_bounded_when_stable() -> None:
+    """A stable scheme must not blow up over many steps."""
+    spec = make_spec(2, 4, frac=0.95)
+    u1 = make_grid((24, 24), "random", seed=3) * 0.1
+    prev, cur = wave_reference_run(u1, u1, spec, 200)
+    assert float(np.abs(cur).max()) < 10.0
+
+
+def test_unstable_courant_detected_and_blows_up() -> None:
+    spec = WaveSpec(2, 1, 1.2 * WaveSpec.max_stable_courant(2, 1))
+    assert not spec.is_stable
+    u1 = make_grid((16, 16), "random", seed=1)
+    _, cur = wave_reference_run(u1, u1, spec, 50)
+    assert float(np.abs(cur).max()) > 1e3
+
+
+def test_wave_step_validation() -> None:
+    spec = make_spec(2, 1)
+    with pytest.raises(ConfigurationError):
+        wave_step(np.zeros((4, 4), np.float32), np.zeros((5, 4), np.float32), spec)
+    with pytest.raises(ConfigurationError):
+        wave_reference_run(
+            np.zeros((4, 4), np.float32), np.zeros((4, 4), np.float32), spec, -1
+        )
+
+
+# -------------------------- accelerator -------------------------------- #
+
+@pytest.mark.parametrize("radius", [1, 2, 4])
+@pytest.mark.parametrize("partime", [1, 2, 3])
+def test_accelerator_bit_identical_2d(radius: int, partime: int) -> None:
+    spec = make_spec(2, radius)
+    if 40 - 2 * partime * radius < 1:
+        pytest.skip("csize would be non-positive")
+    cfg = BlockingConfig(
+        dims=2, radius=radius, bsize_x=40, parvec=2, partime=partime
+    )
+    u1 = make_grid((14, 52), "mixed", seed=radius)
+    u0 = 0.5 * u1
+    iters = 2 * partime + 1
+    rp, rc = wave_reference_run(u0, u1, spec, iters)
+    ap, ac, _ = WaveAccelerator(spec, cfg).run(u0, u1, iters)
+    assert np.array_equal(rc, ac)
+    assert np.array_equal(rp, ap)
+
+
+def test_accelerator_bit_identical_3d() -> None:
+    spec = make_spec(3, 2)
+    cfg = BlockingConfig(
+        dims=3, radius=2, bsize_x=24, bsize_y=20, parvec=2, partime=2
+    )
+    u1 = make_grid((6, 22, 27), "mixed", seed=5)
+    u0 = u1.copy()
+    rp, rc = wave_reference_run(u0, u1, spec, 5)
+    ap, ac, _ = WaveAccelerator(spec, cfg).run(u0, u1, 5)
+    assert np.array_equal(rc, ac)
+    assert np.array_equal(rp, ap)
+
+
+def test_accelerator_stats() -> None:
+    spec = make_spec(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+    u1 = make_grid((10, 56), "random")
+    _, _, stats = WaveAccelerator(spec, cfg).run(u1, u1, 4)
+    assert stats.passes == 2
+    # two fields: reads/writes doubled vs the single-field accelerator
+    assert stats.words_read == 2 * stats.cells_processed
+    assert stats.words_written == 2 * stats.cells_written
+    # two eq.-7 registers per PE
+    assert stats.shift_register_words_per_pe == 2 * (2 * 1 * 32 + 4)
+
+
+def test_accelerator_zero_iterations() -> None:
+    spec = make_spec(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+    u1 = make_grid((8, 32), "random")
+    ap, ac, stats = WaveAccelerator(spec, cfg).run(u1 * 0.5, u1, 0)
+    assert np.array_equal(ac, u1)
+    assert stats.passes == 0
+
+
+def test_accelerator_validation() -> None:
+    spec = make_spec(2, 2)
+    with pytest.raises(ConfigurationError):
+        WaveAccelerator(
+            spec, BlockingConfig(dims=3, radius=2, bsize_x=32, bsize_y=32)
+        )
+    cfg = BlockingConfig(dims=2, radius=2, bsize_x=32, parvec=2, partime=1)
+    with pytest.raises(ConfigurationError):
+        WaveAccelerator(spec, cfg).run(
+            np.zeros((4, 4), np.float32), np.zeros((5, 4), np.float32), 1
+        )
+
+
+def test_rigid_wall_reflection() -> None:
+    """Clamp boundaries act as reflecting walls: energy stays inside."""
+    spec = WaveSpec(2, 2, 0.4)
+    u = np.zeros((40, 40), np.float32)
+    u1 = u.copy()
+    u1[20, 5] = 1.0  # near the west wall
+    _, cur = wave_reference_run(u, u1, spec, 120)
+    assert np.isfinite(cur).all()
+    assert float(np.abs(cur).sum()) > 0  # wave persists (no absorption)

@@ -1,0 +1,171 @@
+"""Tests for DSL analysis and lowering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import StencilSpec, make_grid, reference_step
+from repro.core.stencil import Direction
+from repro.dsl import Equation, Grid, analyze, compile_equation, to_stencil_spec
+from repro.dsl.lower import generate_kernel_source
+from repro.errors import ConfigurationError
+
+
+def spec_to_equation(spec: StencilSpec, grid: Grid) -> Equation:
+    """Rebuild a StencilSpec as a DSL equation (helper for round trips)."""
+    expr = float(spec.center) * grid(*([0] * spec.dims))
+    for direction, distance in spec.offsets():
+        offsets = [0] * spec.dims
+        axis = {"x": spec.dims - 1, "y": spec.dims - 2, "z": 0}[
+            direction.axis_name
+        ]
+        offsets[axis] = direction.sign * distance
+        expr = expr + float(spec.coefficient(direction, distance)) * grid(*offsets)
+    return Equation(grid, expr)
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+@pytest.mark.parametrize("radius", [1, 2, 4])
+def test_stencil_spec_round_trip(dims: int, radius: int) -> None:
+    """StencilSpec -> DSL -> StencilSpec preserves all coefficients."""
+    original = StencilSpec.star(dims, radius)
+    u = Grid("u", dims=dims)
+    recovered = to_stencil_spec(spec_to_equation(original, u))
+    assert recovered.dims == dims and recovered.radius == radius
+    assert np.allclose(recovered.coefficients, original.coefficients)
+    assert recovered.center == pytest.approx(original.center, abs=1e-7)
+
+
+def test_analysis_flop_counts_match_table1() -> None:
+    """The paper's eq.-1 form written in the DSL counts Table I FLOPs."""
+    spec = StencilSpec.star(2, 2)
+    u = Grid("u", dims=2)
+    analysis = analyze(spec_to_equation(spec, u))
+    assert analysis.fmul_count == 9   # 4*rad+1
+    assert analysis.fadd_count == 8   # 4*rad
+    assert analysis.flops == spec.flops_per_cell
+
+
+def test_radius_inference() -> None:
+    u = Grid("u", dims=2)
+    eq = Equation(u, 0.5 * u(0, 0) + 0.5 * u(0, -3))
+    assert analyze(eq).radius == 3
+
+
+def test_star_detection() -> None:
+    u = Grid("u", dims=2)
+    star = Equation(u, 0.5 * u(0, 0) + 0.5 * u(2, 0))
+    assert analyze(star).is_star
+    diag = Equation(u, 0.5 * u(0, 0) + 0.5 * u(1, 1))
+    assert not analyze(diag).is_star
+    with pytest.raises(ConfigurationError):
+        to_stencil_spec(diag)
+
+
+def test_nonlinear_detection() -> None:
+    u = Grid("u", dims=2)
+    nl = Equation(u, u(0, 0) * u(0, 1))
+    assert not analyze(nl).is_linear
+    with pytest.raises(ConfigurationError):
+        to_stencil_spec(nl)
+
+
+def test_affine_term_rejected_for_spec() -> None:
+    u = Grid("u", dims=2)
+    affine = Equation(u, 0.5 * u(0, 0) + 0.5 * u(0, 1) + 1.0)
+    assert analyze(affine).is_linear
+    with pytest.raises(ConfigurationError):
+        to_stencil_spec(affine)
+
+
+def test_multi_grid_rejected_for_spec_but_analyzed() -> None:
+    u = Grid("u", dims=2)
+    v = Grid("v", dims=2)
+    eq = Equation(u, 0.5 * u(0, 0) + 0.5 * v(0, 0))
+    analysis = analyze(eq)
+    assert len(analysis.grids) == 2
+    with pytest.raises(ConfigurationError):
+        to_stencil_spec(eq)
+
+
+def test_mismatched_grid_dims_rejected() -> None:
+    u = Grid("u", dims=2)
+    w = Grid("w", dims=3)
+    with pytest.raises(ConfigurationError):
+        analyze(Equation(u, u(0, 0) + w(0, 0, 0)))
+
+
+def test_center_only_rejected() -> None:
+    u = Grid("u", dims=2)
+    with pytest.raises(ConfigurationError):
+        to_stencil_spec(Equation(u, 2.0 * u(0, 0)))
+
+
+def test_coefficient_accumulation_of_repeated_access() -> None:
+    """The same access mentioned twice sums its coefficients."""
+    u = Grid("u", dims=2)
+    eq = Equation(u, 0.25 * u(0, 1) + 0.25 * u(0, 1) + 0.5 * u(0, 0))
+    spec = to_stencil_spec(eq)
+    assert spec.coefficient(Direction.EAST, 1) == pytest.approx(0.5)
+
+
+# ------------------------------ lowering ------------------------------- #
+
+@pytest.mark.parametrize("dims", [2, 3])
+def test_compiled_kernel_matches_reference(dims: int) -> None:
+    spec = StencilSpec.star(dims, 2)
+    u = Grid("u", dims=dims)
+    kernel = compile_equation(spec_to_equation(spec, u))
+    shape = (6, 9) if dims == 2 else (4, 5, 6)
+    grid = make_grid(shape, "mixed", seed=2)
+    dst = np.empty(grid.size, np.float32)
+    kernel(grid.ravel().copy(), dst, shape)
+    assert np.array_equal(dst, reference_step(grid, spec).ravel())
+
+
+def test_compiled_kernel_non_star_diagonal() -> None:
+    """The general lowering path handles non-star accesses (which the
+    accelerator cannot) — a diagonal average with clamping."""
+    u = Grid("u", dims=2)
+    eq = Equation(u, 0.5 * u(0, 0) + 0.25 * u(1, 1) + 0.25 * u(-1, -1))
+    kernel = compile_equation(eq)
+    grid = make_grid((5, 7), "random", seed=3)
+    dst = np.empty(grid.size, np.float32)
+    kernel(grid.ravel().copy(), dst, grid.shape)
+    out = dst.reshape(grid.shape)
+    # interior spot check
+    y, x = 2, 3
+    expected = np.float32(
+        np.float32(np.float32(0.5) * grid[y, x])
+        + np.float32(
+            np.float32(np.float32(0.25) * grid[y + 1, x + 1])
+        )
+    )
+    # full expression: f32(f32(a+b)+c); recompute faithfully:
+    a = np.float32(np.float32(0.5) * grid[y, x])
+    b = np.float32(np.float32(0.25) * grid[y + 1, x + 1])
+    c = np.float32(np.float32(0.25) * grid[y - 1, x - 1])
+    assert out[y, x] == np.float32(np.float32(a + b) + c)
+
+
+def test_compiled_kernel_two_grids() -> None:
+    """Multi-grid equations lower too (e.g. leapfrog-style reads)."""
+    u = Grid("u", dims=2)
+    v = Grid("v", dims=2)
+    eq = Equation(u, u(0, 0) + (-1.0) * v(0, 0))
+    kernel = compile_equation(eq)
+    a = make_grid((4, 5), "random", seed=4)
+    b = make_grid((4, 5), "random", seed=5)
+    dst = np.empty(a.size, np.float32)
+    kernel(a.ravel().copy(), b.ravel().copy(), dst, a.shape)
+    assert np.allclose(dst.reshape(a.shape), a - b, atol=1e-6)
+
+
+def test_generated_source_structure() -> None:
+    u = Grid("u", dims=2)
+    eq = Equation(u, 0.5 * u(0, 0) + 0.5 * u(0, -2))
+    src = generate_kernel_source(eq)
+    assert "def kernel_step(u, dst, dims):" in src
+    assert "_clamp" in src  # boundary handling present
+    assert src.count("(") == src.count(")")

@@ -1,0 +1,78 @@
+"""Tests for the DSL expression AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsl.ast import Add, Const, Equation, Grid, GridRef, Mul
+from repro.errors import ConfigurationError
+
+
+def test_grid_call_builds_ref() -> None:
+    u = Grid("u", dims=2)
+    ref = u(0, -1)
+    assert isinstance(ref, GridRef)
+    assert ref.offsets == (0, -1)
+    assert repr(ref) == "u(0, -1)"
+
+
+def test_offset_arity_checked() -> None:
+    u = Grid("u", dims=3)
+    with pytest.raises(ConfigurationError):
+        u(0, 1)
+    with pytest.raises(ConfigurationError):
+        u(0, 1, 2, 3)
+
+
+def test_offsets_must_be_integers() -> None:
+    u = Grid("u", dims=2)
+    with pytest.raises(ConfigurationError):
+        u(0.5, 1)
+
+
+def test_grid_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        Grid("u", dims=1)
+    with pytest.raises(ConfigurationError):
+        Grid("not a name", dims=2)
+
+
+def test_operator_sugar_builds_expected_tree() -> None:
+    u = Grid("u", dims=2)
+    expr = 0.5 * u(0, 0) + u(0, 1) * 0.25
+    assert isinstance(expr, Add)
+    assert isinstance(expr.left, Mul)
+    assert isinstance(expr.left.left, Const)
+    assert expr.left.left.value == 0.5
+    # right multiplication wraps the constant on the right
+    assert isinstance(expr.right, Mul)
+
+
+def test_subtraction_and_negation() -> None:
+    u = Grid("u", dims=2)
+    expr = u(0, 0) - 0.5 * u(0, 1)
+    assert isinstance(expr, Add)
+    neg = -u(0, 0)
+    assert isinstance(neg, Mul)
+    assert neg.left.value == -1.0
+    rsub = 1.0 - u(0, 0)
+    assert isinstance(rsub, Add)
+
+
+def test_wrap_rejects_garbage() -> None:
+    u = Grid("u", dims=2)
+    with pytest.raises(ConfigurationError):
+        u(0, 0) + "x"  # type: ignore[operator]
+
+
+def test_equation_requires_expr() -> None:
+    u = Grid("u", dims=2)
+    with pytest.raises(ConfigurationError):
+        Equation(u, "not an expr")  # type: ignore[arg-type]
+
+
+def test_nodes_hashable_and_immutable() -> None:
+    u = Grid("u", dims=2)
+    a, b = u(0, 1), u(0, 1)
+    assert a == b and hash(a) == hash(b)
+    assert u(0, 1) != u(1, 0)

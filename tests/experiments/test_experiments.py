@@ -1,0 +1,171 @@
+"""Integration tests: every experiment reproduces its table/figure.
+
+These are the end-to-end checks of deliverable (d): each experiment runs
+its full chain and every paper-vs-reproduced comparison passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments import ablations, fig3, fig4, related_work
+from repro.experiments import table1, table2, table3, table4, table5
+
+
+def test_registry_covers_all_tables_and_figures() -> None:
+    assert {"table1", "table2", "table3", "table4", "table5", "fig3", "fig4",
+            "related-work", "ablations"} <= set(EXPERIMENTS)
+
+
+def test_table1_passes() -> None:
+    result = table1.run()
+    assert result.passed
+    assert len(result.comparisons) == 16
+    assert "FLOP/Byte" in result.text
+
+
+def test_table1_extends_beyond_paper_radii() -> None:
+    result = table1.run(max_radius=6)
+    assert result.passed
+    assert (2, 6) in result.data["rows"]
+
+
+def test_table2_passes() -> None:
+    result = table2.run()
+    assert result.passed
+    assert "Arria 10" in result.text and "Tesla P100" in result.text
+
+
+def test_table3_passes_with_paper_configs() -> None:
+    result = table3.run()
+    assert result.passed, result.render()
+    assert len(result.comparisons) == 8 * 5
+
+
+def test_table3_functional_validation() -> None:
+    """Each row's scaled-down functional run is bit-identical and shows
+    the expected redundancy."""
+    result = table3.run(validate=True)
+    assert result.passed
+    for (dims, radius), row in result.data.items():
+        stats = row["validation"]["stats"]
+        assert stats.redundancy_ratio > 1.0
+        assert stats.cells_written > 0
+
+
+def test_table3_tuner_configs_close_to_paper() -> None:
+    """With tuner-chosen configs the estimated GB/s stays within 10 % of
+    the paper for 7 of 8 rows (the tuner may out-pick the paper)."""
+    result = table3.run(use_tuner=True)
+    est_comparisons = [c for c in result.comparisons if "estimated" in c.label]
+    close = sum(abs(c.relative_error) < 0.10 for c in est_comparisons)
+    assert close >= 7
+
+
+def test_table4_passes_and_rankings() -> None:
+    result = table4.run()
+    assert result.passed, result.render()
+    win = result.data["winners"]
+    # §VI.B: FPGA fastest for 2D radius 1-3, Xeon Phi for radius 4
+    assert win[1]["performance"] == "arria10"
+    assert win[2]["performance"] == "arria10"
+    assert win[3]["performance"] == "arria10"
+    assert win[4]["performance"] == "xeon-phi"
+    # FPGA best power efficiency 'in all cases by a clear margin'
+    for rad in (1, 2, 3, 4):
+        assert win[rad]["efficiency"] == "arria10"
+
+
+def test_table5_passes_and_rankings() -> None:
+    result = table5.run()
+    assert result.passed, result.render()
+    win_m = result.data["winners_measured"]
+    # §VI.B: excluding extrapolated — FPGA wins first-order, Phi the rest
+    assert win_m[1]["performance"] == "arria10"
+    for rad in (2, 3, 4):
+        assert win_m[rad]["performance"] == "xeon-phi"
+    # FPGA best efficiency at all orders except four.  At radius 4 the
+    # paper's margin is 0.9 % (Phi 4.714 vs FPGA 4.674 GFLOP/s/W) — inside
+    # our models' ~5 % noise — so assert only that the two are in a
+    # near-tie there (see EXPERIMENTS.md, known deviations).
+    for rad in (1, 2, 3):
+        assert win_m[rad]["efficiency"] == "arria10"
+    recs = result.data["records"]
+    fpga_eff = recs["arria10"][3].gflops_per_watt
+    phi_eff = recs["xeon-phi"][3].gflops_per_watt
+    assert abs(fpga_eff - phi_eff) / phi_eff < 0.07
+    # including extrapolated — P100 wins performance everywhere,
+    # efficiency for second order and up
+    win_a = result.data["winners_all"]
+    for rad in (1, 2, 3, 4):
+        assert win_a[rad]["performance"] == "p100"
+    assert win_a[1]["efficiency"] == "arria10"
+    for rad in (2, 3, 4):
+        assert win_a[rad]["efficiency"] == "p100"
+
+
+def test_fig3_trends() -> None:
+    result = fig3.run()
+    assert "GFLOP/s" in result.text and "░" in result.text
+    # FPGA GFLOP/s 'stays relatively close' across orders
+    assert result.data["fpga_gflops_spread"] < 1.5
+    # Phi GFLOP/s grows ~linearly with radius (49/13 ~ 3.8x)
+    assert result.data["phi_gflops_growth"] > 3.0
+
+
+def test_fig4_trends() -> None:
+    result = fig4.run()
+    assert "GCell/s" in result.text
+    # FPGA GCell/s drops proportional to order between rad 2 and 4
+    assert result.data["fpga_gcell_ratio_r2_r4"] == pytest.approx(2.0, rel=0.15)
+    # Phi GCell/s flat
+    assert result.data["phi_gcell_spread"] < 1.1
+    # GPU GCell/s decreases slower than radius grows (paper: sub-linear)
+    assert 1.0 < result.data["gpu_gcell_ratio_r1_r4"] < 4.0
+
+
+def test_related_work_passes() -> None:
+    result = related_work.run()
+    assert result.passed, result.render()
+    # 'close to twice' and 'over 5 times higher'
+    assert result.data["speedup_shafiq"] == pytest.approx(2.0, rel=0.1)
+    assert result.data["speedup_fu"] > 5.0
+    assert result.data["beats_future_projection"]
+
+
+def test_ablations() -> None:
+    result = ablations.run()
+    data = result.data
+    # temporal blocking: every paper config beats the roofline; partime=1
+    # cannot
+    for key, ab in data["temporal"].items():
+        assert ab["blocked_above_roofline"], key
+        assert ab["unblocked_below_roofline"], key
+        assert ab["speedup"] > 2.0
+    # wider vectors lose pipeline efficiency
+    assert data["parvec"][16] < data["parvec"][4]
+    # timing closure costs performance for high-order 3D
+    assert 0.0 < data["fmax"]["loss"] < 0.5
+    # 256x256 does not fit for rad-2 3D; 256x128 does (paper §VI.A)
+    assert not data["bsize_y"][256]["fits"]
+    assert data["bsize_y"][128]["fits"]
+    # conclusion's bandwidth-wall projection
+    assert data["stratix10"]["ddr_wall"] and data["stratix10"]["hbm_escapes"]
+    # split bank assignment beats sharing by more than 2x
+    assert data["banks"]["speedup"] > 2.0
+
+
+def test_runner_cli(capsys) -> None:
+    from repro.experiments.runner import main
+
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "within tolerance" in out
+
+
+def test_runner_rejects_unknown() -> None:
+    from repro.experiments.runner import main
+
+    with pytest.raises(SystemExit):
+        main(["table99"])

@@ -1,0 +1,96 @@
+"""Tests for the extension experiments (beyond-radius-4, projection)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import beyond_radius4, projection
+
+
+class TestBeyondRadius4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return beyond_radius4.run()
+
+    def test_2d_temporal_blocking_still_effective(self, result) -> None:
+        """§VI.A: 2D blocking keeps paying beyond radius 4 — the roofline
+        ratio stays well above 1 and GFLOP/s stays near the paper's 700."""
+        for radius in (5, 6):
+            entry = result.data[2][radius]
+            assert entry["design"] is not None
+            assert entry["roofline"] > 2.0
+            assert entry["design"].estimate.gflop_s > 600.0
+
+    def test_phi_faster_than_fpga_above_radius4_2d(self, result) -> None:
+        """§VI.A: 'We expect the Xeon Phi to be faster than the Arria 10
+        FPGA also for stencil orders above four.'"""
+        for radius in (5, 6, 7, 8):
+            entry = result.data[2][radius]
+            assert entry["phi"].gcell_s > entry["fpga_gcell"]
+
+    def test_3d_partime_collapses(self, result) -> None:
+        """§VI.A: 3D radius 5-6 supports only a handful of temporal
+        blocks (vs 12 at radius 1)."""
+        for radius in (5, 6):
+            entry = result.data[3][radius]
+            assert entry["design"] is not None
+            assert entry["design"].config.partime <= 4
+
+    def test_3d_blocking_unusable_beyond_6(self, result) -> None:
+        """§VI.A: 'for higher values, temporal blocking will be
+        unusable' — the best design no longer beats the bandwidth
+        roofline (ratio < 1), i.e. blocking buys nothing."""
+        for radius in (7, 8):
+            entry = result.data[3][radius]
+            assert entry["design"] is None or entry["roofline"] < 1.0
+
+    def test_renders(self, result) -> None:
+        assert "Beyond radius 4" in result.text
+        assert result.exp_id == "beyond-radius4"
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return projection.run()
+
+    def test_bandwidth_wall_on_stratix10_ddr(self, result) -> None:
+        """Conclusion: Stratix 10 GX + DDR4 pushes FLOP/byte beyond 100."""
+        fpb = result.data[1]["flop_per_byte"]
+        assert fpb["stratix10-ddr4"] > 100
+        assert fpb["stratix10-hbm"] < fpb["arria10-ddr4"]
+
+    def test_hbm_without_blocking_beats_arria_high_order(self, result) -> None:
+        """Conclusion: HBM without temporal blocking beats blocked DDR
+        for high-order 3D stencils."""
+        for radius in (2, 3, 4):
+            entry = result.data[radius]
+            assert entry["stratix10-hbm-unblocked"] > entry["arria10-ddr4"]
+
+    def test_first_order_blocked_arria_still_wins(self, result) -> None:
+        """Consistent with Table V: first-order is where blocked DDR
+        still competes."""
+        entry = result.data[1]
+        assert entry["arria10-ddr4"] > entry["stratix10-hbm-unblocked"]
+
+    def test_all_projections_finite(self, result) -> None:
+        for radius in (1, 2, 3, 4):
+            for key in ("arria10-ddr4", "stratix10-ddr4", "stratix10-hbm"):
+                assert math.isfinite(result.data[radius][key])
+
+    def test_blocking_can_hurt_when_bandwidth_is_ample(self, result) -> None:
+        """On HBM, overlapped-blocking redundancy costs more than the
+        bandwidth it saves for high orders — unblocked wins even on the
+        same board."""
+        for radius in (3, 4):
+            entry = result.data[radius]
+            assert entry["stratix10-hbm-unblocked"] > entry["stratix10-hbm"]
+
+
+def test_registry_contains_extensions() -> None:
+    from repro.experiments import EXPERIMENTS
+
+    assert "beyond-radius4" in EXPERIMENTS
+    assert "projection" in EXPERIMENTS

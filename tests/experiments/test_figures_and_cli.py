@@ -1,0 +1,55 @@
+"""Tests for the fig1/fig2 experiments and the JSON CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import fig1, fig2
+from repro.experiments.runner import main
+
+
+def test_fig1_star_shapes() -> None:
+    result = fig1.run()
+    # 3D star: 6*rad+1 points; the 2D slice shows 4*rad+1 marked cells
+    assert result.data[1]["npoints"] == 7
+    assert result.data[1]["marked_cells"] == 5
+    assert result.data[3]["npoints"] == 19
+    assert result.data[3]["marked_cells"] == 13
+    assert "star" in result.text
+
+
+def test_fig2_design_overview() -> None:
+    result = fig2.run()
+    assert result.data["partime"] == 12  # the paper's 3D rad-1 chain
+    assert result.data["parvec"] == 16
+    assert result.data["shift_register_words"] == 2 * 256 * 256 + 16
+    assert "[Read]" in result.text and "[Write]" in result.text
+
+
+def test_fig2_parameterized() -> None:
+    result = fig2.run(dims=2, radius=2)
+    assert result.data["partime"] == 42
+    assert result.data["shift_register_words"] == 2 * 2 * 4096 + 4
+
+
+def test_cli_json_single(capsys) -> None:
+    assert main(["table1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["id"] == "table1"
+    assert payload["passed"] is True
+    assert len(payload["comparisons"]) == 16
+    assert all(c["within_tolerance"] for c in payload["comparisons"])
+
+
+def test_cli_json_fig(capsys) -> None:
+    assert main(["fig1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["comparisons"] == []
+    assert "star" in payload["text"]
+
+
+def test_cli_renders_fig2(capsys) -> None:
+    assert main(["fig2"]) == 0
+    assert "PE" in capsys.readouterr().out

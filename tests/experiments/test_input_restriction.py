@@ -1,0 +1,50 @@
+"""Tests for the §II input-restriction experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import input_restriction
+from repro.fpga import ARRIA10_GX1150
+
+
+@pytest.fixture(scope="module")
+def result():
+    return input_restriction.run()
+
+
+def test_cap_formula() -> None:
+    bits = ARRIA10_GX1150.bram_bits
+    cap = input_restriction.max_row_cells_2d(2, 10, bits)
+    assert cap == bits // (32 * 10 * 2 * 2)
+    side = input_restriction.max_plane_side_3d(1, 12, bits)
+    assert side * side * 32 * 12 * 2 <= bits
+
+
+def test_high_order_2d_inputs_exceed_cap(result) -> None:
+    """§II: the restriction binds for high-order 2D stencils at the
+    paper's partime — its actual inputs would not fit a temporal-only
+    design."""
+    for radius in (2, 3, 4):
+        assert result.data[2][radius]["restricted"]
+
+
+def test_all_3d_inputs_exceed_cap(result) -> None:
+    """Every 3D case is restricted: a 268^2 plane cap vs 696-728 inputs."""
+    for radius in (1, 2, 3, 4):
+        entry = result.data[3][radius]
+        assert entry["restricted"]
+        assert entry["cap"] < entry["used"] / 2
+
+
+def test_cap_shrinks_with_radius_at_fixed_partime() -> None:
+    bits = ARRIA10_GX1150.bram_bits
+    caps = [input_restriction.max_row_cells_2d(r, 8, bits) for r in (1, 2, 4)]
+    assert caps[0] == 2 * caps[1] == 4 * caps[2]
+
+
+def test_registry_and_render(result) -> None:
+    from repro.experiments import EXPERIMENTS
+
+    assert "input-restriction" in EXPERIMENTS
+    assert "temporal-only" in result.text

@@ -1,0 +1,17 @@
+"""The 'report' CLI mode produces the full markdown report."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import main
+
+
+def test_report_mode(capsys) -> None:
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# Reproduction report")
+    assert "FAIL" not in out
+    # every registered experiment appears in the summary table
+    from repro.experiments import EXPERIMENTS
+
+    for exp_id in EXPERIMENTS:
+        assert f"| {exp_id} |" in out

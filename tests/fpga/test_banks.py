@@ -1,0 +1,67 @@
+"""Tests for the multi-bank memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BlockingConfig
+from repro.errors import ConfigurationError
+from repro.fpga import NALLATECH_385A
+from repro.fpga.banks import TURNAROUND_LOSS, BankAssignment, BankModel
+
+
+def cfg(parvec: int = 8) -> BlockingConfig:
+    return BlockingConfig(dims=2, radius=1, bsize_x=256, parvec=parvec, partime=4)
+
+
+def test_bank_bandwidth_is_half_of_table2() -> None:
+    model = BankModel(NALLATECH_385A)
+    assert model.bank_bandwidth_gbps == pytest.approx(34.1 / 2, rel=0.01)
+
+
+def test_split_assignment_full_bank_per_stream() -> None:
+    model = BankModel(NALLATECH_385A)
+    bw = model.stream_bandwidth_gbps(BankAssignment("split"), cfg(), 300.0)
+    assert bw == pytest.approx(34.1 / 2, rel=0.01)
+
+
+def test_shared_assignment_pays_halving_and_turnaround() -> None:
+    model = BankModel(NALLATECH_385A)
+    shared = model.stream_bandwidth_gbps(BankAssignment("shared"), cfg(), 300.0)
+    expected = (34.1 / 2) * 0.5 * (1 - TURNAROUND_LOSS)
+    assert shared == pytest.approx(expected, rel=0.01)
+
+
+def test_split_speedup_at_least_2x() -> None:
+    model = BankModel(NALLATECH_385A)
+    speedup = model.split_vs_shared_speedup(cfg(), 300.0)
+    assert speedup == pytest.approx(2.0 / (1 - TURNAROUND_LOSS), rel=0.01)
+    assert speedup > 2.0
+
+
+def test_fmax_derating_applies() -> None:
+    model = BankModel(NALLATECH_385A)
+    fast = model.stream_bandwidth_gbps(BankAssignment("split"), cfg(), 266.0)
+    slow = model.stream_bandwidth_gbps(BankAssignment("split"), cfg(), 133.0)
+    assert slow == pytest.approx(fast / 2, rel=0.01)
+
+
+def test_splitting_ratio_composes() -> None:
+    """parvec 16 accesses keep their 1/1.5 splitting loss per stream."""
+    model = BankModel(NALLATECH_385A)
+    narrow = model.stream_bandwidth_gbps(BankAssignment("split"), cfg(8), 300.0)
+    wide = model.stream_bandwidth_gbps(BankAssignment("split"), cfg(16), 300.0)
+    assert wide == pytest.approx(narrow / 1.5, rel=0.01)
+
+
+def test_streaming_time() -> None:
+    model = BankModel(NALLATECH_385A)
+    t = model.streaming_time_s(BankAssignment("split"), cfg(), 300.0, 17_050_000_000)
+    assert t == pytest.approx(1.0, rel=0.01)
+    with pytest.raises(ConfigurationError):
+        model.streaming_time_s(BankAssignment("split"), cfg(), 300.0, -1)
+
+
+def test_assignment_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        BankAssignment("striped")

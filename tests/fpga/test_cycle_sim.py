@@ -1,0 +1,114 @@
+"""Tests for the transaction-level cycle simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BlockingConfig, StencilSpec
+from repro.errors import ConfigurationError
+from repro.fpga import NALLATECH_385A
+from repro.fpga.cycle_sim import CycleSimulator
+from repro.fpga.memory import DDRModel
+
+
+def sim_3d(parvec=16, partime=4, fmax=286.61) -> CycleSimulator:
+    spec = StencilSpec.star(3, 1)
+    cfg = BlockingConfig(
+        dims=3, radius=1, bsize_x=64, bsize_y=32, parvec=parvec, partime=partime
+    )
+    return CycleSimulator(spec, cfg, NALLATECH_385A, fmax_mhz=fmax)
+
+
+def sim_2d(parvec=8, partime=4, fmax=343.76) -> CycleSimulator:
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=256, parvec=parvec, partime=partime)
+    return CycleSimulator(spec, cfg, NALLATECH_385A, fmax_mhz=fmax)
+
+
+def test_aligned_2d_design_runs_near_full_rate() -> None:
+    rep = sim_2d().run_block(8000)
+    assert rep.efficiency > 0.95
+    assert rep.read_stall_cycles == 0
+
+
+def test_split_3d_design_stalls_on_memory() -> None:
+    """The paper's parvec-16 splitting penalty appears mechanistically:
+    steady-state efficiency falls into the 0.55-0.70 band."""
+    rep = sim_3d().run_block(20000)
+    assert 0.55 <= rep.efficiency <= 0.70
+    assert rep.read_stall_cycles > 0
+
+
+def test_cycle_sim_consistent_with_ddr_model() -> None:
+    """Cycle-level and analytic splitting models agree within 15 %."""
+    sim = sim_3d()
+    rep = sim.run_block(20000)
+    analytic = DDRModel().throughput_ratio(16)
+    assert rep.efficiency == pytest.approx(analytic, rel=0.15)
+
+
+def test_lower_fmax_relieves_memory_pressure() -> None:
+    """A slower kernel clock demands fewer bytes per cycle, so per-cycle
+    efficiency *rises* (while absolute performance falls) — the flip side
+    of §VI.A's bandwidth derating."""
+    fast = sim_3d(fmax=286.61).run_block(20000)
+    slow = sim_3d(fmax=150.0).run_block(20000)
+    assert slow.efficiency > fast.efficiency
+
+
+def test_vectors_accounted_exactly() -> None:
+    rep = sim_2d(partime=2).run_block(500)
+    assert rep.vectors == 500
+    assert rep.cycles >= 500
+
+
+def test_deeper_chain_adds_fill_latency_only() -> None:
+    shallow = sim_2d(partime=1).run_block(4000)
+    deep = sim_2d(partime=8).run_block(4000)
+    extra = deep.cycles - shallow.cycles
+    # fill latency is ~7 PE latencies; it must be small vs the stream
+    assert 0 < extra < 0.3 * shallow.cycles
+
+
+def test_pe_fill_latency() -> None:
+    sim = sim_2d(parvec=8)
+    # rad * bsize_x / parvec + 1 = 256/8 + 1
+    assert sim.pe_fill_latency_vectors() == 33
+
+
+def test_invalid_inputs() -> None:
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=64, parvec=8, partime=1)
+    with pytest.raises(ConfigurationError):
+        CycleSimulator(StencilSpec.star(2, 2), cfg, NALLATECH_385A)
+    with pytest.raises(ConfigurationError):
+        CycleSimulator(spec, cfg, NALLATECH_385A, channel_depth=0)
+    with pytest.raises(ConfigurationError):
+        CycleSimulator(spec, cfg, NALLATECH_385A).run_block(0)
+
+
+def test_run_pass_aggregates_blocks() -> None:
+    sim = sim_2d(partime=2)
+    single = sim.run_block(2000)
+    full = sim.run_pass(blocks=3, vectors_per_block=2000)
+    assert full.vectors == 3 * single.vectors
+    assert full.cycles == 3 * single.cycles  # deterministic simulator
+    assert full.drain_cycles == 3 * single.drain_cycles
+
+
+def test_per_pass_efficiency_improves_with_block_length() -> None:
+    """Longer blocks amortize fill/drain — why the paper picks bsize
+    4096 / 256x256 rather than tiny blocks."""
+    sim = sim_2d(partime=8)
+    short = sim.run_pass(blocks=8, vectors_per_block=500)
+    long = sim.run_pass(blocks=1, vectors_per_block=4000)
+    assert long.efficiency > short.efficiency
+
+
+def test_run_pass_validation() -> None:
+    import pytest as _pytest
+
+    from repro.errors import ConfigurationError as _CfgErr
+
+    with _pytest.raises(_CfgErr):
+        sim_2d().run_pass(blocks=0, vectors_per_block=100)

@@ -1,0 +1,77 @@
+"""Tests for FPGA device/board descriptions against Table II constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga import (
+    ARRIA10_GX1150,
+    NALLATECH_385A,
+    NALLATECH_510T_LIKE,
+    STRATIX10_MX_BOARD,
+    Board,
+    FPGADevice,
+)
+
+
+def test_arria10_resources() -> None:
+    dev = ARRIA10_GX1150
+    assert dev.dsps == 1518
+    assert dev.m20k_blocks == 2713
+    assert dev.bram_bits == 2713 * 20480
+
+
+def test_arria10_peak_gflops_matches_table2() -> None:
+    """Table II: 1450 GFLOP/s peak single precision."""
+    assert ARRIA10_GX1150.peak_sp_gflops == pytest.approx(1450, rel=0.01)
+
+
+def test_peak_at_achieved_fmax() -> None:
+    """§VI.B: at fmax=286.61 MHz the 3D rad-1 peak is ~870 GFLOP/s."""
+    assert ARRIA10_GX1150.peak_sp_gflops_at(286.61) == pytest.approx(870, rel=0.01)
+
+
+def test_385a_bandwidth_matches_table2() -> None:
+    """Table II: 34.1 GB/s peak memory bandwidth."""
+    assert NALLATECH_385A.peak_bandwidth_gbps == pytest.approx(34.1, rel=0.01)
+
+
+def test_385a_flop_per_byte_matches_table2() -> None:
+    """Table II: FLOP/Byte = 42.52 for the Arria 10 platform."""
+    assert NALLATECH_385A.flop_per_byte == pytest.approx(42.52, rel=0.01)
+
+
+def test_bandwidth_derated_below_controller_clock() -> None:
+    """§VI.A: designs below 266 MHz lose peak bandwidth proportionally."""
+    board = NALLATECH_385A
+    assert board.effective_bandwidth_gbps(266.0) == board.peak_bandwidth_gbps
+    assert board.effective_bandwidth_gbps(300.0) == board.peak_bandwidth_gbps
+    derated = board.effective_bandwidth_gbps(133.0)
+    assert derated == pytest.approx(board.peak_bandwidth_gbps / 2)
+
+
+def test_stratix10_projection_conclusion_claim() -> None:
+    """Conclusion: Stratix 10 GX 2800 + DDR4 pushes FLOP/Byte beyond 100."""
+    assert NALLATECH_510T_LIKE.flop_per_byte > 100
+
+
+def test_hbm_board_escapes_bandwidth_wall() -> None:
+    """Conclusion: the MX series with HBM 'will likely not suffer'."""
+    assert STRATIX10_MX_BOARD.peak_bandwidth_gbps > 10 * NALLATECH_385A.peak_bandwidth_gbps
+    assert STRATIX10_MX_BOARD.flop_per_byte < NALLATECH_385A.flop_per_byte
+
+
+def test_invalid_device_and_board() -> None:
+    with pytest.raises(ConfigurationError):
+        FPGADevice("bad", dsps=0, m20k_blocks=1, alms=1, dsp_fmax_mhz=1, process_nm=1, year=1)
+    with pytest.raises(ConfigurationError):
+        Board(
+            name="bad",
+            device=ARRIA10_GX1150,
+            memory_type="DDR",
+            banks=0,
+            mt_per_s=2133,
+            bank_bytes=8,
+            controller_mhz=266,
+        )

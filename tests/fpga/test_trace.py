@@ -1,0 +1,93 @@
+"""Tests for pipeline tracing / stall diagnosis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BlockingConfig, StencilSpec
+from repro.errors import ConfigurationError
+from repro.fpga import NALLATECH_385A
+from repro.fpga.trace import PipelineTrace, TracingCycleSimulator, diagnose
+
+
+def make_sim(parvec: int, partime: int = 3, fmax: float = 286.61):
+    dims = 3 if parvec == 16 else 2
+    spec = StencilSpec.star(dims, 1)
+    if dims == 3:
+        cfg = BlockingConfig(
+            dims=3, radius=1, bsize_x=64, bsize_y=32, parvec=parvec, partime=partime
+        )
+    else:
+        cfg = BlockingConfig(
+            dims=2, radius=1, bsize_x=128, parvec=parvec, partime=partime
+        )
+    return TracingCycleSimulator(spec, cfg, NALLATECH_385A, fmax_mhz=fmax)
+
+
+def test_traced_efficiency_matches_untraced() -> None:
+    """The tracing loop must not change the simulated behaviour."""
+    sim = make_sim(16)
+    traced = sim.run_block_traced(8000)
+    plain = sim.run_block(8000)
+    assert traced.cycles == plain.cycles
+    assert traced.read_stalls == plain.read_stall_cycles
+
+
+def test_split_design_stalls_on_read() -> None:
+    """§VI.A diagnosis: memory splitting shows up as read-side stalls."""
+    trace = make_sim(16).run_block_traced(8000)
+    assert trace.dominant_stall == "read"
+    assert trace.read_stalls > 100
+
+
+def test_aligned_design_no_stalls() -> None:
+    trace = make_sim(4, fmax=343.76).run_block_traced(6000)
+    assert trace.dominant_stall == "none"
+    assert trace.efficiency > 0.95
+
+
+def test_mean_occupancy_shape() -> None:
+    sim = make_sim(16, partime=4)
+    trace = sim.run_block_traced(4000)
+    occ = trace.mean_occupancy()
+    assert len(occ) == 4 + 1  # partime channels + write channel
+    assert all(0 <= v <= sim.channel_depth for v in occ)
+
+
+def test_timeline_renders_all_channels() -> None:
+    trace = make_sim(16, partime=2).run_block_traced(3000)
+    timeline = trace.timeline()
+    assert "read->PE0" in timeline
+    assert "PE0->PE1" in timeline and "PE1->write" in timeline
+
+
+def test_samples_monotone_progress() -> None:
+    trace = make_sim(4).run_block_traced(3000)
+    issued = [s.issued for s in trace.samples]
+    written = [s.written for s in trace.samples]
+    assert issued == sorted(issued)
+    assert written == sorted(written)
+    assert all(w <= i for i, w in zip(issued, written))
+
+
+def test_diagnose_report() -> None:
+    spec = StencilSpec.star(3, 1)
+    cfg = BlockingConfig(
+        dims=3, radius=1, bsize_x=64, bsize_y=32, parvec=16, partime=2
+    )
+    report = diagnose(spec, cfg, NALLATECH_385A, fmax_mhz=286.61, vectors=4000)
+    assert "split by the controller" in report
+    assert "dominant: read" in report
+    assert "|" in report  # timeline present
+
+
+def test_empty_trace_and_validation() -> None:
+    assert PipelineTrace().timeline() == "(no samples)"
+    assert PipelineTrace().mean_occupancy() == []
+    assert PipelineTrace().efficiency == 1.0
+    with pytest.raises(ConfigurationError):
+        make_sim(4).run_block_traced(0)
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=64, parvec=4, partime=1)
+    with pytest.raises(ConfigurationError):
+        TracingCycleSimulator(spec, cfg, NALLATECH_385A, sample_every=0)

@@ -1,0 +1,48 @@
+"""The device catalog reproduces Table II."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import DEVICES, device
+
+# Table II: name -> (GFLOP/s, GB/s, TDP, nm, FLOP/B, year)
+TABLE_II = {
+    "arria10": (1450, 34.1, 70, 20, 42.522, 2014),
+    "xeon": (700, 76.8, 105, 14, 9.115, 2016),
+    "xeon-phi": (5325, 400, 235, 14, 13.313, 2016),
+    "gtx580": (1580, 192.4, 244, 40, 8.212, 2010),
+    "gtx980ti": (6900, 336.6, 275, 28, 20.499, 2015),
+    "p100": (9300, 720.9, 250, 16, 12.901, 2016),
+}
+
+
+@pytest.mark.parametrize("key", sorted(TABLE_II))
+def test_table2_rows(key: str) -> None:
+    gflops, bw, tdp, nm, fpb, year = TABLE_II[key]
+    spec = device(key)
+    assert spec.peak_gflops == gflops
+    assert spec.peak_bandwidth_gbps == bw
+    assert spec.tdp_watts == tdp
+    assert spec.process_nm == nm
+    assert spec.year == year
+    assert spec.flop_per_byte == pytest.approx(fpb, abs=0.01)
+
+
+def test_fpga_most_bandwidth_starved() -> None:
+    """§IV.B: the FPGA has the highest FLOP/Byte of all devices."""
+    fpga = device("arria10")
+    for key in TABLE_II:
+        if key != "arria10":
+            assert device(key).flop_per_byte < fpga.flop_per_byte
+
+
+def test_lookup_normalization_and_errors() -> None:
+    assert device("XEON_PHI").name == "Xeon Phi 7210F"
+    with pytest.raises(ConfigurationError):
+        device("tpu")
+
+
+def test_catalog_complete() -> None:
+    assert set(DEVICES) == set(TABLE_II)

@@ -1,0 +1,139 @@
+"""Tests for the area model — the DSP column of Table III is exact."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import BlockingConfig, StencilSpec
+from repro.errors import ConfigurationError
+from repro.fpga import ARRIA10_GX1150
+from repro.models.area import AreaModel, dsps_per_cell_update, par_total
+
+# Table III: (dims, rad) -> (parvec, partime, bsize_y, bsize_x, DSP%)
+TABLE_III_DSP = {
+    (2, 1): (8, 36, None, 4096, 0.95),
+    (2, 2): (4, 42, None, 4096, 1.00),
+    (2, 3): (4, 28, None, 4096, 0.96),
+    (2, 4): (4, 22, None, 4096, 0.99),
+    (3, 1): (16, 12, 256, 256, 0.89),
+    (3, 2): (16, 6, 128, 256, 0.83),
+    (3, 3): (16, 4, 128, 256, 0.81),
+    (3, 4): (16, 3, 128, 256, 0.80),
+}
+
+
+@pytest.mark.parametrize(("dims", "radius"), sorted(TABLE_III_DSP))
+def test_dsp_utilization_matches_table3_exactly(dims: int, radius: int) -> None:
+    """Predicted DSP% rounds to the paper's reported value for all 8 rows."""
+    parvec, partime, bsize_y, bsize_x, dsp_pct = TABLE_III_DSP[(dims, radius)]
+    spec = StencilSpec.star(dims, radius)
+    cfg = BlockingConfig(
+        dims=dims,
+        radius=radius,
+        bsize_x=bsize_x,
+        bsize_y=bsize_y,
+        parvec=parvec,
+        partime=partime,
+    )
+    model = AreaModel(ARRIA10_GX1150)
+    rep = model.report(spec, cfg)
+    # the paper reports ceil'd percentages (e.g. 1248/1518 = 82.2 % -> 83 %)
+    assert math.ceil(rep.dsp_fraction * 100) == int(round(dsp_pct * 100))
+
+
+def test_dsps_per_cell_update_formulae() -> None:
+    """§V.A: 4*rad+1 (2D) and 6*rad+1 (3D) DSPs per cell update."""
+    for rad in range(1, 6):
+        assert dsps_per_cell_update(StencilSpec.star(2, rad)) == 4 * rad + 1
+        assert dsps_per_cell_update(StencilSpec.star(3, rad)) == 6 * rad + 1
+
+
+def test_shared_coefficients_save_one_dsp() -> None:
+    """§V.A: sharing coefficients reduces DSPs by exactly one per update."""
+    plain = dsps_per_cell_update(StencilSpec.star(3, 3))
+    shared = dsps_per_cell_update(StencilSpec.star(3, 3, shared_coefficients=True))
+    assert plain - shared == 1
+
+
+def test_par_total_eq4() -> None:
+    """Eq. 4 with the Arria 10's 1518 DSPs."""
+    assert par_total(ARRIA10_GX1150, StencilSpec.star(2, 1)) == 1518 // 5
+    assert par_total(ARRIA10_GX1150, StencilSpec.star(2, 2)) == 1518 // 9
+    assert par_total(ARRIA10_GX1150, StencilSpec.star(3, 1)) == 1518 // 7
+    assert par_total(ARRIA10_GX1150, StencilSpec.star(3, 4)) == 1518 // 25
+
+
+def test_paper_designs_use_predicted_dsps() -> None:
+    """§VI.A: 'DSP utilization in all cases is equal to what we predicted'."""
+    spec = StencilSpec.star(3, 1)
+    cfg = BlockingConfig(
+        dims=3, radius=1, bsize_x=256, bsize_y=256, parvec=16, partime=12
+    )
+    model = AreaModel(ARRIA10_GX1150)
+    assert model.design_dsps(spec, cfg) == 1344  # §VI.B quotes 1344 DSPs
+
+
+@pytest.mark.parametrize(("dims", "radius"), sorted(TABLE_III_DSP))
+def test_bram_bits_near_table3(dims: int, radius: int) -> None:
+    """Observed-mode BRAM bits land within 8 points of Table III."""
+    paper_bits = {
+        (2, 1): 0.38, (2, 2): 0.75, (2, 3): 0.75, (2, 4): 0.78,
+        (3, 1): 0.94, (3, 2): 0.73, (3, 3): 0.81, (3, 4): 0.85,
+    }[(dims, radius)]
+    parvec, partime, bsize_y, bsize_x, _ = TABLE_III_DSP[(dims, radius)]
+    spec = StencilSpec.star(dims, radius)
+    cfg = BlockingConfig(
+        dims=dims, radius=radius, bsize_x=bsize_x, bsize_y=bsize_y,
+        parvec=parvec, partime=partime,
+    )
+    rep = AreaModel(ARRIA10_GX1150).report(spec, cfg)
+    assert abs(rep.bram_bits_fraction - paper_bits) < 0.08
+
+
+def test_expected_mode_is_pure_eq7() -> None:
+    """Expected mode: bits grow exactly linearly with radius (2D)."""
+    model = AreaModel(ARRIA10_GX1150, mode="expected")
+    spec1 = StencilSpec.star(2, 1)
+    spec2 = StencilSpec.star(2, 2)
+    cfg1 = BlockingConfig(dims=2, radius=1, bsize_x=1024, parvec=4, partime=4)
+    cfg2 = BlockingConfig(dims=2, radius=2, bsize_x=1024, parvec=4, partime=4)
+    b1 = model.bram_bits(spec1, cfg1)
+    b2 = model.bram_bits(spec2, cfg2)
+    io = 2 * 2 * 64 * 8
+    assert (b2 - io) / (b1 - io) == pytest.approx(2.0, rel=0.01)
+
+
+def test_observed_3d_anomaly_grows_with_radius() -> None:
+    """§VI.A: per-PE BRAM grows faster than eq. 7 in 3D as radius rises."""
+    model = AreaModel(ARRIA10_GX1150, mode="observed")
+    expected = AreaModel(ARRIA10_GX1150, mode="expected")
+    ratios = []
+    for rad in (1, 2, 4):
+        spec = StencilSpec.star(3, rad)
+        cfg = BlockingConfig(
+            dims=3, radius=rad, bsize_x=64, bsize_y=64, parvec=4, partime=1
+        )
+        ratios.append(model.bram_bits(spec, cfg) / expected.bram_bits(spec, cfg))
+    assert ratios[0] < ratios[1] < ratios[2]
+
+
+def test_oversized_design_does_not_fit() -> None:
+    spec = StencilSpec.star(3, 4)
+    cfg = BlockingConfig(
+        dims=3, radius=4, bsize_x=256, bsize_y=256, parvec=16, partime=8
+    )
+    model = AreaModel(ARRIA10_GX1150)
+    assert not model.fits(spec, cfg)  # 8*16*25 = 3200 DSPs > 1518
+
+
+def test_report_validates_agreement() -> None:
+    model = AreaModel(ARRIA10_GX1150)
+    with pytest.raises(ConfigurationError):
+        model.report(
+            StencilSpec.star(2, 1),
+            BlockingConfig(dims=2, radius=2, bsize_x=64, parvec=4, partime=1),
+        )
+    with pytest.raises(ConfigurationError):
+        AreaModel(ARRIA10_GX1150, mode="wild")

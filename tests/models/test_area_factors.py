@@ -1,0 +1,30 @@
+"""Direct tests of the fitted area-overhead factor functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.area import bram_overhead_factor, m20k_replication_factor
+
+
+def test_bram_overhead_2d_constant() -> None:
+    assert bram_overhead_factor(2, 1) == pytest.approx(1.9)
+    assert bram_overhead_factor(2, 4) == pytest.approx(1.9)
+
+
+def test_bram_overhead_3d_grows_toward_2() -> None:
+    """The §VI.A compiler anomaly: factor rises with radius, bounded by 2."""
+    values = [bram_overhead_factor(3, r) for r in (1, 2, 3, 4, 8)]
+    assert values[0] == pytest.approx(1.0)
+    assert all(a < b for a, b in zip(values, values[1:]))
+    assert all(v < 2.0 for v in values)
+
+
+def test_m20k_replication_decays_with_register_size() -> None:
+    """Small per-PE registers pack worst (2D rad-1's 2.18x); large 3D
+    registers approach the 1.15 floor."""
+    small = m20k_replication_factor(24.0)
+    large = m20k_replication_factor(500.0)
+    assert small > 2.0
+    assert 1.15 < large < 1.25
+    assert m20k_replication_factor(0.0) == pytest.approx(1.15)

@@ -1,0 +1,86 @@
+"""Geometry cross-checks between the paper's §IV.C setup and our models.
+
+The paper sets input dimensions to multiples of the compute-block size
+(eq. 2) inside stated ranges (2D: 15500^2..16500^2, 3D: 600^3..750^3).
+These tests verify that every Table III input size is exactly what the
+blocking geometry dictates — strong evidence the eq.-2 implementation
+matches the paper's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.paper_data import PAPER_TABLE_III
+from repro.core.blocking import BlockingConfig
+from repro.experiments.table3 import paper_config
+
+
+@pytest.mark.parametrize(("dims", "radius"), sorted(PAPER_TABLE_III))
+def test_inputs_are_csize_multiples(dims: int, radius: int) -> None:
+    """§IV.C: every blocked extent is an exact csize multiple."""
+    config, shape = paper_config(dims, radius)
+    for axis, csize in zip(config.blocked_axes, config.csize):
+        assert shape[axis] % csize == 0, (
+            f"{dims}D rad{radius}: extent {shape[axis]} not a multiple of "
+            f"csize {csize}"
+        )
+
+
+@pytest.mark.parametrize(("dims", "radius"), sorted(PAPER_TABLE_III))
+def test_inputs_within_stated_ranges(dims: int, radius: int) -> None:
+    """§IV.C: 2D inputs in [15500, 16500]^2, 3D in [600, 750]^3."""
+    _, shape = paper_config(dims, radius)
+    lo, hi = (15500, 16500) if dims == 2 else (600, 750)
+    for extent in shape:
+        assert lo <= extent <= hi
+
+
+@pytest.mark.parametrize(("dims", "radius"), sorted(PAPER_TABLE_III))
+def test_aligned_input_size_recovers_paper_shapes(dims: int, radius: int) -> None:
+    """The paper's input sizes follow from eq. 2 alignment: the x extent
+    rounds the range minimum up to a csize_x multiple, and (3D) the y
+    extent rounds *that* size up to a csize_y multiple — reproducing
+    16096/15712/15680 in 2D and 696x728 in 3D exactly."""
+    config, shape = paper_config(dims, radius)
+    minimum = 15500 if dims == 2 else 600
+    x_index = len(config.blocked_axes) - 1
+    x_extent = config.aligned_input_size(minimum, x_index)
+    assert x_extent == shape[config.blocked_axes[x_index]]
+    if dims == 3:
+        y_extent = config.aligned_input_size(x_extent, 0)
+        assert y_extent == shape[config.blocked_axes[0]]
+
+
+def test_paper_2d_block_counts() -> None:
+    """All 2D inputs decompose into exactly 4 compute blocks."""
+    for radius in (1, 2, 3, 4):
+        config, shape = paper_config(2, radius)
+        assert config.num_blocks(shape) == (4,)
+
+
+def test_paper_3d_block_counts() -> None:
+    """3D rad 1: 3x3 blocks; rad 2-4: 7 (y) x 3 (x) blocks."""
+    config, shape = paper_config(3, 1)
+    assert config.num_blocks(shape) == (3, 3)
+    for radius in (2, 3, 4):
+        config, shape = paper_config(3, radius)
+        assert config.num_blocks(shape) == (7, 3)
+
+
+def test_eq6_alignment_constraint_holds_for_all_paper_configs() -> None:
+    """Eq. 6: (partime * rad) mod 4 == 0 for every chosen configuration."""
+    for (dims, radius) in PAPER_TABLE_III:
+        config, _ = paper_config(dims, radius)
+        assert (config.partime * radius) % 4 == 0
+
+
+def test_runtime_minimums_match_paper() -> None:
+    """§IV.C: 1000 iterations give >= ~3 s (2D) and >= ~11 s (3D) on the
+    modeled hardware — consistent with the paper's reported minimums."""
+    from repro.experiments.table3 import fpga_row
+
+    times_2d = [fpga_row(2, r)["measured"].time_s for r in (1, 2, 3, 4)]
+    times_3d = [fpga_row(3, r)["measured"].time_s for r in (1, 2, 3, 4)]
+    assert min(times_2d) > 2.8
+    assert min(times_3d) > 10.5

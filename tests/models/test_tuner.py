@@ -1,0 +1,106 @@
+"""Tests for the design-space tuner (paper §V.A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StencilSpec
+from repro.errors import ConfigurationError
+from repro.fpga import NALLATECH_385A
+from repro.models import Tuner
+from repro.models.area import par_total
+
+SHAPE_2D = (16000, 16000)
+SHAPE_3D = (700, 700, 700)
+
+# The paper's chosen (parvec, partime) per (dims, rad) — Table III.
+PAPER_CONFIGS = {
+    (2, 1): (8, 36),
+    (2, 2): (4, 42),
+    (2, 3): (4, 28),
+    (2, 4): (4, 22),
+    (3, 1): (16, 12),
+    (3, 2): (16, 6),
+    (3, 3): (16, 4),
+    (3, 4): (16, 3),
+}
+
+
+@pytest.mark.parametrize(("dims", "radius"), sorted(PAPER_CONFIGS))
+def test_paper_config_in_top2(dims: int, radius: int) -> None:
+    """The paper place-and-routes the model's top few (usually two)
+    candidates; its final config must appear among our tuner's top two."""
+    spec = StencilSpec.star(dims, radius)
+    tuner = Tuner(spec, NALLATECH_385A)
+    shape = SHAPE_2D if dims == 2 else SHAPE_3D
+    top = tuner.tune(shape, 1000, top_k=2)
+    found = {(d.config.parvec, d.config.partime) for d in top}
+    assert PAPER_CONFIGS[(dims, radius)] in found
+
+
+def test_all_candidates_satisfy_constraints() -> None:
+    """Eqs. 5-6 and even parvec hold for every enumerated candidate."""
+    spec = StencilSpec.star(3, 2)
+    tuner = Tuner(spec, NALLATECH_385A)
+    limit = par_total(NALLATECH_385A.device, spec)
+    configs = tuner.enumerate_configs()
+    assert configs
+    for cfg in configs:
+        assert cfg.parvec % 2 == 0
+        assert (cfg.partime * cfg.radius) % 4 == 0
+        assert cfg.partime * cfg.parvec <= limit
+        assert all(c >= 1 for c in cfg.csize)
+
+
+def test_high_order_3d_selects_reduced_bsize_y() -> None:
+    """§VI.A: BRAM pressure forces bsize from 256x256 to 256x128 for
+    second-order-and-up 3D stencils."""
+    best_r1 = Tuner(StencilSpec.star(3, 1), NALLATECH_385A).best(SHAPE_3D, 1000)
+    assert best_r1.config.bsize_y == 256
+    for rad in (2, 3, 4):
+        best = Tuner(StencilSpec.star(3, rad), NALLATECH_385A).best(SHAPE_3D, 1000)
+        assert best.config.bsize_y == 128
+
+
+def test_designs_fit_device() -> None:
+    for dims, radius in sorted(PAPER_CONFIGS):
+        spec = StencilSpec.star(dims, radius)
+        shape = SHAPE_2D if dims == 2 else SHAPE_3D
+        for design in Tuner(spec, NALLATECH_385A).tune(shape, 1000, top_k=3):
+            assert design.area.fits
+
+
+def test_ranked_by_predicted_time() -> None:
+    spec = StencilSpec.star(2, 2)
+    designs = Tuner(spec, NALLATECH_385A).tune(SHAPE_2D, 1000, top_k=5)
+    times = [d.estimate.time_s for d in designs]
+    assert times == sorted(times)
+
+
+def test_gcell_drops_with_radius_gflops_flat() -> None:
+    """The §V.A/§VI.A trend through the tuner's best designs (2D):
+    GCell/s falls ~proportional to radius; GFLOP/s stays within a band."""
+    results = {
+        rad: Tuner(StencilSpec.star(2, rad), NALLATECH_385A).best(SHAPE_2D, 1000)
+        for rad in (1, 2, 4)
+    }
+    g1 = results[1].estimate
+    for rad in (2, 4):
+        est = results[rad].estimate
+        assert est.gcell_s < g1.gcell_s / (0.7 * rad)
+        assert est.gflop_s > 0.7 * g1.gflop_s
+
+
+def test_custom_bsize_menu() -> None:
+    spec = StencilSpec.star(2, 1)
+    tuner = Tuner(spec, NALLATECH_385A, bsizes=(1024,))
+    assert all(c.bsize_x == 1024 for c in tuner.enumerate_configs())
+
+
+def test_infeasible_space_raises() -> None:
+    spec = StencilSpec.star(2, 1)
+    tuner = Tuner(spec, NALLATECH_385A, bsizes=(8,))  # too small for any halo
+    with pytest.raises(ConfigurationError):
+        tuner.tune(SHAPE_2D, 1000)
+    with pytest.raises(ConfigurationError):
+        Tuner(spec, NALLATECH_385A).tune(SHAPE_2D, 1000, top_k=0)

@@ -1,0 +1,64 @@
+"""Tests for the model-vs-cycle-simulator cross-validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BlockingConfig
+from repro.experiments import model_validation
+from repro.fpga import NALLATECH_385A
+from repro.models.validation import (
+    ValidationPoint,
+    analytic_efficiency,
+    max_deviation,
+    run_sweep,
+)
+
+
+def test_analytic_efficiency_aligned_designs() -> None:
+    """Sub-line accesses at 2D clocks: supply exceeds demand -> 1.0."""
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=256, parvec=4, partime=2)
+    assert analytic_efficiency(NALLATECH_385A, cfg, 343.76) == 1.0
+    cfg8 = BlockingConfig(dims=2, radius=1, bsize_x=256, parvec=8, partime=2)
+    assert analytic_efficiency(NALLATECH_385A, cfg8, 343.76) == 1.0
+
+
+def test_analytic_efficiency_split_design() -> None:
+    """64-byte accesses at 286.61 MHz: 119 supply vs 192 demand -> 0.62."""
+    cfg = BlockingConfig(
+        dims=3, radius=1, bsize_x=64, bsize_y=32, parvec=16, partime=2
+    )
+    eff = analytic_efficiency(NALLATECH_385A, cfg, 286.61)
+    assert eff == pytest.approx(0.620, abs=0.005)
+
+
+def test_efficiency_constant_below_controller_clock() -> None:
+    """Below 266 MHz both supply and demand scale with the clock, so the
+    per-cycle efficiency saturates."""
+    cfg = BlockingConfig(
+        dims=3, radius=1, bsize_x=64, bsize_y=32, parvec=16, partime=2
+    )
+    e200 = analytic_efficiency(NALLATECH_385A, cfg, 200.0)
+    e260 = analytic_efficiency(NALLATECH_385A, cfg, 260.0)
+    assert e200 == pytest.approx(e260, rel=0.001)
+
+
+def test_sweep_agreement_within_5pct() -> None:
+    """At steady state (long streams) model and simulator agree within
+    5 %; shorter streams include fill latency the analytic model omits."""
+    points = run_sweep(vectors=20000)
+    assert len(points) == 5
+    assert max_deviation(points) < 0.05
+    for p in points:
+        assert 0 < p.simulated_efficiency <= 1.0
+
+
+def test_validation_point_deviation() -> None:
+    p = ValidationPoint("x", 4, 2, 300.0, 0.9, 1.0)
+    assert p.deviation == pytest.approx(0.1)
+
+
+def test_experiment_runs_and_reports() -> None:
+    result = model_validation.run()
+    assert result.data["max_deviation"] < 0.05
+    assert "cycle sim" in result.text

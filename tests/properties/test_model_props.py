@@ -1,0 +1,93 @@
+"""Property tests on the performance model and tuner invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BlockingConfig, StencilSpec
+from repro.fpga import NALLATECH_385A
+from repro.models import PerformanceModel, Tuner
+
+MODEL = PerformanceModel(NALLATECH_385A)
+SHAPE = (8000, 8000)
+
+
+@st.composite
+def design(draw):
+    radius = draw(st.integers(1, 4))
+    parvec = draw(st.sampled_from([2, 4, 8]))
+    partime = draw(st.integers(1, 16))
+    cfg = BlockingConfig(
+        dims=2, radius=radius, bsize_x=2048, parvec=parvec, partime=partime
+    )
+    return StencilSpec.star(2, radius), cfg
+
+
+@settings(max_examples=25)
+@given(design(), st.integers(1, 4))
+def test_time_linear_in_iterations(dc, k) -> None:
+    """For iteration counts that are partime multiples, the modeled time
+    scales exactly linearly (steady-state model, fractional passes)."""
+    spec, cfg = dc
+    base_iters = 4 * cfg.partime
+    t1 = MODEL.estimate(spec, cfg, SHAPE, base_iters, fmax_mhz=300.0).time_s
+    tk = MODEL.estimate(spec, cfg, SHAPE, k * base_iters, fmax_mhz=300.0).time_s
+    assert tk == pytest.approx(k * t1, rel=1e-9)
+
+
+@settings(max_examples=25)
+@given(design())
+def test_gcell_invariant_under_iterations(dc) -> None:
+    spec, cfg = dc
+    a = MODEL.estimate(spec, cfg, SHAPE, 100, fmax_mhz=300.0).gcell_s
+    b = MODEL.estimate(spec, cfg, SHAPE, 1000, fmax_mhz=300.0).gcell_s
+    assert a == pytest.approx(b, rel=1e-9)
+
+
+@settings(max_examples=25)
+@given(design(), st.floats(150.0, 400.0))
+def test_throughput_monotone_in_fmax(dc, fmax) -> None:
+    """More MHz never hurt (memory derating scales along below 266)."""
+    spec, cfg = dc
+    lo = MODEL.estimate(spec, cfg, SHAPE, 100, fmax_mhz=fmax).gcell_s
+    hi = MODEL.estimate(spec, cfg, SHAPE, 100, fmax_mhz=fmax * 1.25).gcell_s
+    assert hi >= lo * 0.999
+
+
+@settings(max_examples=25)
+@given(design())
+def test_measured_never_exceeds_estimate(dc) -> None:
+    spec, cfg = dc
+    est = MODEL.estimate(spec, cfg, SHAPE, 100, fmax_mhz=300.0)
+    meas = MODEL.predict_measured(spec, cfg, SHAPE, 100, fmax_mhz=300.0)
+    assert meas.gcell_s <= est.gcell_s * (1 + 1e-9)
+    assert meas.time_s >= est.time_s * (1 - 1e-9)
+
+
+@settings(max_examples=25)
+@given(design(), st.integers(1, 3))
+def test_field_count_only_adds_memory_pressure(dc, fields) -> None:
+    """Extra fields scale DRAM bytes linearly and can only slow the
+    design down (compute side unchanged)."""
+    spec, cfg = dc
+    one = MODEL.estimate(spec, cfg, SHAPE, 100, fmax_mhz=300.0)
+    multi = MODEL.estimate(
+        spec, cfg, SHAPE, 100, fmax_mhz=300.0, field_count=fields
+    )
+    assert multi.dram_bytes == pytest.approx(fields * one.dram_bytes, rel=1e-6)
+    assert multi.gcell_s <= one.gcell_s * (1 + 1e-9)
+
+
+@settings(max_examples=10)
+@given(st.integers(1, 4))
+def test_tuner_best_is_feasible_and_optimal_of_its_list(radius) -> None:
+    spec = StencilSpec.star(2, radius)
+    tuner = Tuner(spec, NALLATECH_385A)
+    designs = tuner.tune(SHAPE, 1000, top_k=5)
+    times = [d.estimate.time_s for d in designs]
+    assert times == sorted(times)
+    for d in designs:
+        assert d.area.fits
+        assert (d.config.partime * radius) % 4 == 0

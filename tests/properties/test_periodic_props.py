@@ -1,0 +1,81 @@
+"""Property tests for periodic boundaries and model accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BlockingConfig,
+    FPGAAccelerator,
+    StencilSpec,
+    make_grid,
+)
+from repro.core.blocking import BlockDecomposition
+from repro.core.reference import reference_run
+
+
+@settings(max_examples=25)
+@given(
+    radius=st.integers(1, 3),
+    partime=st.integers(1, 3),
+    ny=st.integers(2, 16),
+    nx=st.integers(2, 60),
+    iters=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_periodic_accelerator_equals_reference(
+    radius, partime, ny, nx, iters, seed
+) -> None:
+    spec = StencilSpec.star(2, radius)
+    halo = partime * radius
+    cfg = BlockingConfig(
+        dims=2, radius=radius, bsize_x=2 * halo + 8, parvec=2, partime=partime
+    )
+    grid = make_grid((ny, nx), "random", seed=seed)
+    expected = reference_run(grid, spec, iters, boundary="periodic")
+    actual, _ = FPGAAccelerator(spec, cfg, boundary="periodic").run(grid, iters)
+    assert np.array_equal(expected, actual)
+
+
+@settings(max_examples=30)
+@given(
+    radius=st.integers(1, 4),
+    partime=st.integers(1, 6),
+    extra=st.integers(1, 30),
+    nblocks=st.integers(1, 5),
+)
+def test_model_cells_formula(radius, partime, extra, nblocks) -> None:
+    """model_cells_per_pass == (N + (nblocks-1)*halo) * stream for
+    csize-aligned grids — the DESIGN.md §6 reconstruction, by hand."""
+    halo = partime * radius
+    bsize_x = 2 * halo + extra
+    cfg = BlockingConfig(
+        dims=2, radius=radius, bsize_x=bsize_x, parvec=1, partime=partime
+    )
+    csize = cfg.csize[0]
+    n = nblocks * csize
+    decomp = BlockDecomposition(cfg, (7, n))
+    assert decomp.model_cells_per_pass() == 7 * (n + (nblocks - 1) * halo)
+    # physical footprint: nblocks * bsize
+    assert decomp.cells_processed_per_pass() == 7 * nblocks * bsize_x
+
+
+@settings(max_examples=20)
+@given(
+    radius=st.integers(1, 3),
+    partime=st.integers(1, 4),
+    extra=st.integers(1, 12),
+)
+def test_model_cells_never_exceeds_physical(radius, partime, extra) -> None:
+    """The model's shared-overlap accounting is a lower bound on the
+    physically re-read footprint."""
+    halo = partime * radius
+    cfg = BlockingConfig(
+        dims=2, radius=radius, bsize_x=2 * halo + extra, parvec=1, partime=partime
+    )
+    decomp = BlockDecomposition(cfg, (5, 3 * cfg.csize[0] + 1))
+    assert decomp.model_cells_per_pass() <= decomp.cells_processed_per_pass()
+    assert decomp.model_cells_per_pass() >= decomp.cells_written_per_pass()

@@ -1,0 +1,83 @@
+"""Property-based invariants of the stencil update itself."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import StencilSpec, make_grid, reference_run, reference_step
+
+
+@given(
+    dims=st.sampled_from([2, 3]),
+    radius=st.integers(1, 4),
+    value=st.floats(-100, 100, allow_nan=False, width=32),
+    iters=st.integers(1, 4),
+)
+def test_constant_fixed_point(dims, radius, value, iters) -> None:
+    """Normalized coefficients: constant fields are (near) fixed points."""
+    spec = StencilSpec.star(dims, radius)
+    shape = (7, 9) if dims == 2 else (4, 5, 6)
+    grid = np.full(shape, value, dtype=np.float32)
+    out = reference_run(grid, spec, iters)
+    assert np.allclose(out, value, rtol=1e-4, atol=1e-5)
+
+
+@given(
+    dims=st.sampled_from([2, 3]),
+    radius=st.integers(1, 3),
+    seed=st.integers(0, 2**16),
+    iters=st.integers(1, 6),
+)
+def test_convex_combination_bounds(dims, radius, seed, iters) -> None:
+    """Positive normalized coefficients: min/max never expand."""
+    spec = StencilSpec.star(dims, radius)
+    shape = (9, 11) if dims == 2 else (5, 6, 7)
+    grid = make_grid(shape, "random", seed=seed)
+    out = reference_run(grid, spec, iters)
+    eps = 1e-5
+    assert float(out.min()) >= float(grid.min()) - eps
+    assert float(out.max()) <= float(grid.max()) + eps
+
+
+@given(seed=st.integers(0, 2**16), radius=st.integers(1, 3))
+def test_translation_equivariance_interior(seed, radius) -> None:
+    """Away from borders, shifting the input shifts the output."""
+    spec = StencilSpec.star(2, radius)
+    rng = np.random.default_rng(seed)
+    base = rng.random((20, 20), dtype=np.float32)
+    shifted = np.roll(base, shift=3, axis=1)
+    out_base = reference_step(base, spec)
+    out_shift = reference_step(shifted, spec)
+    # compare interior regions unaffected by either border
+    m = radius + 3
+    assert np.array_equal(
+        out_base[m:-m, m : -m - 3], out_shift[m:-m, m + 3 : -m]
+    )
+
+
+@given(
+    dims=st.sampled_from([2, 3]),
+    radius=st.integers(1, 4),
+)
+def test_flop_byte_monotone_in_radius(dims, radius) -> None:
+    """Table I trend: arithmetic intensity strictly increases with radius."""
+    lo = StencilSpec.star(dims, radius)
+    hi = StencilSpec.star(dims, radius + 1)
+    assert hi.flop_per_byte > lo.flop_per_byte
+
+
+@given(radius=st.integers(1, 5))
+def test_axis_symmetric_stencil_preserves_symmetry(radius) -> None:
+    """A symmetric stencil applied to a symmetric field keeps it symmetric."""
+    axis = np.full((2, radius), 0.05, dtype=np.float32)
+    for i in range(radius):
+        axis[:, i] = 0.08 / (i + 1)
+    center = 1.0 - 2.0 * float(axis.sum())
+    spec = StencilSpec.from_axis_coefficients(2, axis, center=center)
+    rng = np.random.default_rng(0)
+    half = rng.random((9, 8), dtype=np.float32)
+    grid = np.concatenate([half, half[:, ::-1]], axis=1)  # mirror in x
+    out = reference_step(grid, spec)
+    assert np.allclose(out, out[:, ::-1], rtol=1e-5, atol=1e-6)

@@ -1,0 +1,132 @@
+"""Tests for the OpenCL-like host runtime emulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BlockingConfig, StencilSpec, make_grid, reference_run
+from repro.errors import ConfigurationError, SimulationError
+from repro.runtime.host import (
+    POWER_SAMPLE_INTERVAL_S,
+    Buffer,
+    CommandQueue,
+    HostDevice,
+    PowerSensor,
+    StencilProgram,
+    benchmark_kernel,
+)
+
+
+def make_program(radius: int = 2, partime: int = 4) -> StencilProgram:
+    spec = StencilSpec.star(2, radius)
+    cfg = BlockingConfig(
+        dims=2, radius=radius, bsize_x=256, parvec=4, partime=partime
+    )
+    return StencilProgram(spec, cfg)
+
+
+def test_program_build_generates_source_and_area() -> None:
+    program = make_program()
+    assert "stencil_compute" in program.source
+    assert program.area.fits
+    assert program.fmax_mhz > 0
+
+
+def test_program_rejects_oversized_design() -> None:
+    spec = StencilSpec.star(3, 4)
+    cfg = BlockingConfig(
+        dims=3, radius=4, bsize_x=256, bsize_y=256, parvec=16, partime=8
+    )
+    with pytest.raises(ConfigurationError):
+        StencilProgram(spec, cfg)
+
+
+def test_kernel_numerics_match_reference() -> None:
+    program = make_program()
+    grid = make_grid((48, 512), "mixed", seed=1)
+    queue = CommandQueue()
+    src, dst = Buffer(grid.nbytes), Buffer(grid.nbytes)
+    queue.enqueue_write_buffer(src, grid)
+    queue.enqueue_kernel(program, src, dst, 6)
+    out, _ = queue.enqueue_read_buffer(dst)
+    assert np.array_equal(out, reference_run(grid, program.spec, 6))
+
+
+def test_kernel_time_excludes_transfers() -> None:
+    """§IV.C: only kernel execution is measured; transfers are separate
+    events on the clock."""
+    program = make_program()
+    grid = make_grid((48, 512), "random")
+    queue = CommandQueue()
+    src, dst = Buffer(grid.nbytes), Buffer(grid.nbytes)
+    w = queue.enqueue_write_buffer(src, grid)
+    k = queue.enqueue_kernel(program, src, dst, 4)
+    assert k.duration_s == pytest.approx(
+        program.kernel_time_s(grid.shape, 4)
+    )
+    assert w.duration_s > 0
+    assert k.start_s == pytest.approx(w.end_s)  # in-order queue
+    assert queue.transfer_bytes == grid.nbytes
+
+
+def test_clock_monotone_and_finish() -> None:
+    program = make_program()
+    grid = make_grid((32, 256), "random")
+    queue = CommandQueue()
+    src, dst = Buffer(grid.nbytes), Buffer(grid.nbytes)
+    queue.enqueue_write_buffer(src, grid)
+    for _ in range(3):
+        queue.enqueue_kernel(program, src, dst, 2)
+    ends = [e.end_s for e in queue.events]
+    assert ends == sorted(ends)
+    assert queue.finish() == pytest.approx(ends[-1])
+
+
+def test_buffer_guards() -> None:
+    with pytest.raises(ConfigurationError):
+        Buffer(0)
+    buf = Buffer(64)
+    with pytest.raises(SimulationError):
+        _ = buf.data
+    queue = CommandQueue()
+    with pytest.raises(ConfigurationError):
+        queue.enqueue_write_buffer(buf, np.zeros(32, np.float32))
+
+
+def test_power_sensor_sampling() -> None:
+    sensor = PowerSensor(70.0, ripple_watts=2.0)
+    # averaging many 10 ms samples cancels the ripple
+    avg = sensor.average_over(0.0, 5.0)
+    assert avg == pytest.approx(70.0, abs=0.3)
+    # a window shorter than one interval still yields one sample
+    short = sensor.average_over(0.0, POWER_SAMPLE_INTERVAL_S / 10)
+    assert 67.0 < short < 73.0
+    with pytest.raises(ConfigurationError):
+        sensor.average_over(1.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        PowerSensor(0.0)
+
+
+def test_benchmark_kernel_procedure() -> None:
+    """Five repeats, eq.-3 GCell/s, power averaged over kernel windows."""
+    program = make_program()
+    grid = make_grid((64, 512), "random", seed=2)
+    bench = benchmark_kernel(program, grid, iterations=8, repeats=5)
+    assert bench.repeats == 5
+    cells = grid.size
+    assert bench.gcell_s == pytest.approx(
+        cells * 8 / bench.mean_kernel_s / 1e9
+    )
+    assert bench.gflop_s == pytest.approx(bench.gcell_s * program.spec.flops_per_cell)
+    assert bench.mean_power_w == pytest.approx(program.power_watts(), rel=0.05)
+    assert bench.gflops_per_watt > 0
+    assert np.array_equal(bench.result, reference_run(grid, program.spec, 8))
+    with pytest.raises(ConfigurationError):
+        benchmark_kernel(program, grid, 8, repeats=0)
+
+
+def test_host_device_sensor_uses_design_power() -> None:
+    program = make_program()
+    sensor = HostDevice().sensor_for(program)
+    assert sensor.base_watts == pytest.approx(program.power_watts())

@@ -1,0 +1,120 @@
+"""Tests for serialization and the small shared utilities."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BlockingConfig, StencilSpec
+from repro.errors import ConfigurationError, ValidationError
+from repro.fpga import NALLATECH_385A
+from repro.models import PerformanceModel
+from repro.utils import Timer, assert_allclose, check_in, check_multiple, check_positive, max_abs_diff
+from repro.utils.serialization import (
+    config_from_dict,
+    config_to_dict,
+    estimate_to_dict,
+    from_dict,
+    spec_from_dict,
+    spec_to_dict,
+    to_dict,
+    to_json,
+)
+
+
+# --------------------------- serialization ----------------------------- #
+
+def test_spec_round_trip() -> None:
+    spec = StencilSpec.star(3, 4, shared_coefficients=True)
+    recovered = spec_from_dict(json.loads(to_json(spec)))
+    assert recovered.dims == 3 and recovered.radius == 4
+    assert recovered.shared_coefficients
+    assert np.array_equal(recovered.coefficients, spec.coefficients)
+    assert recovered.center == pytest.approx(spec.center)
+
+
+def test_config_round_trip() -> None:
+    cfg = BlockingConfig(
+        dims=3, radius=2, bsize_x=256, bsize_y=128, parvec=16, partime=6
+    )
+    recovered = config_from_dict(json.loads(to_json(cfg)))
+    assert recovered == cfg
+    cfg2d = BlockingConfig(dims=2, radius=1, bsize_x=64, parvec=4, partime=2)
+    assert config_from_dict(config_to_dict(cfg2d)) == cfg2d
+
+
+def test_estimate_serializes() -> None:
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=4096, parvec=8, partime=36)
+    est = PerformanceModel(NALLATECH_385A).estimate(spec, cfg, (16096, 16096), 1000)
+    payload = estimate_to_dict(est)
+    assert payload["kind"] == "performance_estimate"
+    assert payload["gcell_s"] == pytest.approx(est.gcell_s)
+    json.dumps(payload)  # JSON-safe
+
+
+def test_generic_dispatch() -> None:
+    spec = StencilSpec.star(2, 1)
+    assert to_dict(spec)["kind"] == "stencil_spec"
+    assert isinstance(from_dict(to_dict(spec)), StencilSpec)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=64)
+    assert isinstance(from_dict(to_dict(cfg)), BlockingConfig)
+    with pytest.raises(ConfigurationError):
+        to_dict("a string")
+    with pytest.raises(ConfigurationError):
+        from_dict({"kind": "mystery"})
+
+
+def test_corrupt_payloads_rejected() -> None:
+    with pytest.raises(ConfigurationError):
+        spec_from_dict({"kind": "blocking_config"})
+    with pytest.raises(ConfigurationError):
+        config_from_dict({"kind": "stencil_spec"})
+    # constructor validation still applies
+    bad = spec_to_dict(StencilSpec.star(2, 1))
+    bad["radius"] = 0
+    with pytest.raises(ConfigurationError):
+        spec_from_dict(bad)
+
+
+# ------------------------------ helpers -------------------------------- #
+
+def test_check_positive() -> None:
+    check_positive("x", 1)
+    check_positive("x", 0, strict=False)
+    with pytest.raises(ConfigurationError):
+        check_positive("x", 0)
+    with pytest.raises(ConfigurationError):
+        check_positive("x", -1, strict=False)
+
+
+def test_check_in_and_multiple() -> None:
+    check_in("mode", "a", ("a", "b"))
+    with pytest.raises(ConfigurationError):
+        check_in("mode", "c", ("a", "b"))
+    check_multiple("n", 12, 4)
+    with pytest.raises(ConfigurationError):
+        check_multiple("n", 13, 4)
+    with pytest.raises(ConfigurationError):
+        check_multiple("n", 12, 0)
+
+
+def test_max_abs_diff_and_allclose() -> None:
+    a = np.array([1.0, 2.0], np.float32)
+    b = np.array([1.0, 2.5], np.float32)
+    assert max_abs_diff(a, b) == pytest.approx(0.5)
+    assert max_abs_diff(np.empty(0), np.empty(0)) == 0.0
+    with pytest.raises(ValidationError):
+        max_abs_diff(a, np.zeros(3, np.float32))
+    assert_allclose(a, a)
+    with pytest.raises(ValidationError):
+        assert_allclose(a, b, context="t")
+
+
+def test_timer() -> None:
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
