@@ -7,8 +7,6 @@ a grid the functional validation can afford — and record an
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.cpu_yask import YASKEngine
 from repro.baselines.vector_folding import fold, folded_step
 from repro.core import BlockingConfig, FPGAAccelerator, StencilSpec, make_grid

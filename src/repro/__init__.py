@@ -22,10 +22,12 @@ from repro.core import (
 )
 from repro.errors import (
     ConfigurationError,
+    FaultDetectedError,
     ReproError,
     ResourceExceededError,
     SimulationError,
     ValidationError,
+    WatchdogTimeoutError,
 )
 
 __version__ = "1.0.0"
@@ -42,6 +44,8 @@ __all__ = [
     "ConfigurationError",
     "ResourceExceededError",
     "SimulationError",
+    "FaultDetectedError",
+    "WatchdogTimeoutError",
     "ValidationError",
     "__version__",
 ]

@@ -30,10 +30,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.blocking import BlockDecomposition, BlockingConfig
+from repro.core.channels import Channel
 from repro.core.pe import pe_step, refresh_border_duplicates
 from repro.core.shift_register import shift_register_words
 from repro.core.stencil import StencilSpec
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultDetectedError, WatchdogTimeoutError
+from repro.faults import hooks as fault_hooks
+from repro.faults.checksum import crc32_array
 
 
 @dataclass
@@ -57,6 +60,10 @@ class AcceleratorStats:
     shift_register_words_per_pe: int = 0
     pe_invocations: int = 0
     grid_shape: tuple[int, ...] = field(default_factory=tuple)
+    #: CRC32 of the final output; only computed when a fault plan is armed
+    #: or the caller supplied a golden CRC (the fault-free path stays
+    #: untouched).
+    output_crc32: int | None = None
 
     @property
     def redundancy_ratio(self) -> float:
@@ -97,11 +104,16 @@ class FPGAAccelerator:
     2
     """
 
+    #: Spin attempts a channel transport tolerates before the watchdog
+    #: declares the FIFO wedged (armed mode only).
+    STALL_WATCHDOG = 256
+
     def __init__(
         self,
         spec: StencilSpec,
         config: BlockingConfig,
         boundary: str = "clamp",
+        stall_watchdog: int | None = None,
     ):
         if spec.dims != config.dims:
             raise ConfigurationError(
@@ -115,9 +127,16 @@ class FPGAAccelerator:
             raise ConfigurationError(
                 f"boundary must be 'clamp' or 'periodic', got {boundary!r}"
             )
+        if stall_watchdog is not None and stall_watchdog < 1:
+            raise ConfigurationError(
+                f"stall_watchdog must be >= 1, got {stall_watchdog}"
+            )
         self.spec = spec
         self.config = config
         self.boundary = boundary
+        self.stall_watchdog = (
+            stall_watchdog if stall_watchdog is not None else self.STALL_WATCHDOG
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -125,6 +144,7 @@ class FPGAAccelerator:
         self,
         grid: np.ndarray,
         iterations: int,
+        expected_crc: int | None = None,
     ) -> tuple[np.ndarray, AcceleratorStats]:
         """Advance ``grid`` by ``iterations`` time steps.
 
@@ -132,6 +152,15 @@ class FPGAAccelerator:
         ``iterations`` is not a multiple of ``partime`` the final pass runs
         only the remaining steps (the hardware equivalent: trailing PEs
         forward data unchanged).
+
+        ``expected_crc`` is the golden-CRC check: when given, the CRC32
+        of the float32 result must match it or
+        :class:`~repro.errors.FaultDetectedError` is raised.  While a
+        :class:`repro.faults.FaultPlan` is armed, the run additionally
+        carries per-block checksums across every PE-chain hop (and a
+        stall watchdog on each hop), so injected SEUs, corrupted channel
+        items, and wedged FIFOs are caught before the corrupt block
+        reaches external memory.
         """
         spec, config = self.spec, self.config
         if grid.ndim != spec.dims:
@@ -149,7 +178,9 @@ class FPGAAccelerator:
             grid_shape=grid.shape,
         )
         if iterations == 0:
-            return grid.copy(), stats
+            result = grid.copy()
+            self._golden_check(result, expected_crc, stats)
+            return result, stats
 
         current = grid
         remaining = iterations
@@ -159,7 +190,24 @@ class FPGAAccelerator:
             remaining -= steps
             stats.passes += 1
             stats.steps_executed += steps
+        self._golden_check(current, expected_crc, stats)
         return current, stats
+
+    @staticmethod
+    def _golden_check(
+        result: np.ndarray, expected_crc: int | None, stats: AcceleratorStats
+    ) -> None:
+        """Verify the result against a caller-supplied golden CRC."""
+        if expected_crc is None and fault_hooks.ACTIVE is None:
+            return
+        stats.output_crc32 = crc32_array(result)
+        if expected_crc is not None and stats.output_crc32 != expected_crc:
+            raise fault_hooks.report_detection(
+                FaultDetectedError(
+                    f"golden-CRC mismatch: result CRC {stats.output_crc32:#010x} "
+                    f"!= expected {expected_crc:#010x}"
+                )
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -170,13 +218,30 @@ class FPGAAccelerator:
         steps: int,
         stats: AcceleratorStats,
     ) -> np.ndarray:
-        """One pass: every block flows through ``steps`` chained PE stages."""
+        """One pass: every block flows through ``steps`` chained PE stages.
+
+        When a fault plan is armed, the block payload is moved between
+        stages through real :class:`~repro.core.channels.Channel` objects
+        carrying per-block checksums — the hardened design's detection
+        path.  Disarmed, none of that code runs and the numerics are
+        bit-identical to the unhardened simulator.
+        """
         config = self.config
         spec = self.spec
         halo = config.halo
         out = np.empty_like(src)
         blocked_axes = config.blocked_axes
         extents = [src.shape[ax] for ax in blocked_axes]
+        inj = fault_hooks.ACTIVE
+        chans: list[Channel] | None = None
+        if inj is not None:
+            names = (
+                ["read->pe0"]
+                + [f"pe{i - 1}->pe{i}" for i in range(1, steps)]
+                + [f"pe{steps - 1}->write"]
+            )
+            chans = [Channel(1, name=n) for n in names]
+        crc = 0
 
         for block in decomp:
             # --- read kernel: gather the block footprint with clamped reads
@@ -199,9 +264,15 @@ class FPGAAccelerator:
                     dup_lo.append(max(0, -(start - halo)))
                     dup_hi.append(max(0, (stop + halo) - extent))
             cur = self._gather(src, index_arrays)
+            if inj is not None:
+                crc = crc32_array(cur)  # read kernel's per-block checksum
+                inj.touch_sram(cur, site="block-buffer")
 
             # --- PE chain: one time step per stage over a shrinking window
             for s in range(1, steps + 1):
+                if inj is not None:
+                    assert chans is not None
+                    cur = self._transport(chans[s - 1], cur, crc)
                 window = self._window(block, extents, halo, steps, s, cur.shape)
                 new_vals = pe_step(cur, spec, window, self.boundary)
                 cur[tuple(slice(lo, hi) for lo, hi in window)] = new_vals
@@ -211,6 +282,13 @@ class FPGAAccelerator:
                             cur, axis, dup_lo[local_axis], dup_hi[local_axis]
                         )
                 stats.pe_invocations += 1
+                if inj is not None:
+                    crc = crc32_array(cur)  # re-encode after the update
+                    inj.touch_sram(cur, site="block-buffer")
+
+            if inj is not None:
+                assert chans is not None
+                cur = self._transport(chans[steps], cur, crc)
 
             # --- write kernel: store the compute region
             write_sl = [slice(None)] * src.ndim
@@ -227,6 +305,49 @@ class FPGAAccelerator:
         stats.words_written += decomp.cells_written_per_pass()
         stats.vector_ops += -(-decomp.cells_processed_per_pass() // config.parvec)
         return out
+
+    def _transport(self, chan: Channel, payload: np.ndarray, crc: int) -> np.ndarray:
+        """Move a block through a channel hop with checksum verification.
+
+        Armed-mode only.  The write port spins under back-pressure (a
+        :class:`repro.faults.ChannelStallFault` can wedge it); spinning
+        past ``stall_watchdog`` raises
+        :class:`~repro.errors.WatchdogTimeoutError`.  The consumer
+        re-checksums what arrives, so in-flight corruption (or an SEU
+        injected since the checksum was encoded) raises
+        :class:`~repro.errors.FaultDetectedError`.
+        """
+        spins = 0
+        while not chan.try_write(payload):
+            spins += 1
+            if spins > self.stall_watchdog:
+                raise fault_hooks.report_detection(
+                    WatchdogTimeoutError(
+                        f"channel {chan.name!r} write stalled for {spins} "
+                        f"attempts (watchdog {self.stall_watchdog})"
+                    )
+                )
+        spins = 0
+        while True:
+            ok, item = chan.try_read()
+            if ok:
+                break
+            spins += 1
+            if spins > self.stall_watchdog:
+                raise fault_hooks.report_detection(
+                    WatchdogTimeoutError(
+                        f"channel {chan.name!r} read stalled for {spins} "
+                        f"attempts (watchdog {self.stall_watchdog})"
+                    )
+                )
+        if crc32_array(item) != crc:
+            raise fault_hooks.report_detection(
+                FaultDetectedError(
+                    f"per-block checksum mismatch after {chan.name!r}: "
+                    "block data corrupted in flight or at rest"
+                )
+            )
+        return item
 
     @staticmethod
     def _gather(src: np.ndarray, index_arrays: list[np.ndarray]) -> np.ndarray:

@@ -13,6 +13,7 @@ from collections import deque
 from typing import Any
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults import hooks as fault_hooks
 
 
 class Channel:
@@ -47,16 +48,32 @@ class Channel:
         return not self._queue
 
     def try_write(self, item: Any) -> bool:
-        """Non-blocking write; returns False (and counts a stall) if full."""
+        """Non-blocking write; returns False (and counts a stall) if full.
+
+        When a fault plan is armed, a :class:`repro.faults.ChannelStallFault`
+        can hold the port (the write fails as if the FIFO were wedged) and
+        a :class:`repro.faults.ChannelCorruptFault` can flip a bit in the
+        item in flight.
+        """
+        inj = fault_hooks.ACTIVE
+        if inj is not None and inj.stall_channel(self, "write"):
+            self.write_stalls += 1
+            return False
         if self.full:
             self.write_stalls += 1
             return False
+        if inj is not None:
+            item = inj.on_channel_write(self, item)
         self._queue.append(item)
         self.writes += 1
         return True
 
     def try_read(self) -> tuple[bool, Any]:
         """Non-blocking read; returns ``(False, None)`` if empty."""
+        inj = fault_hooks.ACTIVE
+        if inj is not None and inj.stall_channel(self, "read"):
+            self.read_stalls += 1
+            return False, None
         if self.empty:
             self.read_stalls += 1
             return False, None

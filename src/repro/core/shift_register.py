@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.core.blocking import BlockingConfig
 from repro.errors import ConfigurationError
+from repro.faults import hooks as fault_hooks
+from repro.faults.checksum import crc32_array
 
 
 def shift_register_words(config: BlockingConfig) -> int:
@@ -67,7 +69,20 @@ class ShiftRegister:
         expelled = self._data[:k].copy()
         self._data[:-k] = self._data[k:]
         self._data[-k:] = values
+        inj = fault_hooks.ACTIVE
+        if inj is not None:
+            inj.touch_sram(self._data, site="shift-register")
         return expelled
+
+    def checksum(self) -> int:
+        """CRC32 of the register contents — the ECC scrub primitive.
+
+        A caller that records the checksum after a legitimate ``shift``
+        and re-checks it before the next one detects any SEU injected
+        in between (BRAM ECC-on-read, as modeled by
+        :class:`repro.faults.SEUFault` with ``site="shift-register"``).
+        """
+        return crc32_array(self._data)
 
     def tap(self, offset: int) -> float:
         """Read the word at ``offset`` (0 = oldest)."""

@@ -24,5 +24,21 @@ class SimulationError(ReproError):
     """The functional or cycle simulator reached an inconsistent state."""
 
 
+class FaultDetectedError(SimulationError):
+    """A runtime integrity check caught corrupted or lost data.
+
+    Raised by the detection machinery of :mod:`repro.faults` — block
+    checksum mismatches, buffer-CRC failures on PCIe transfers, DRAM
+    scrub failures, or a power sensor returning no samples.  The host
+    runtime's retry path treats it as transient and re-attempts the
+    operation (see :class:`repro.runtime.host.RetryPolicy`).
+    """
+
+
+class WatchdogTimeoutError(FaultDetectedError):
+    """A watchdog expired: a stalled channel, a kernel running past its
+    deadline, or a cycle simulation that failed to converge."""
+
+
 class ValidationError(ReproError):
     """Numerical validation between two engines failed."""

@@ -45,4 +45,15 @@ EXPERIMENTS = {
     "input-restriction": input_restriction.run,
 }
 
+
+def _resilience(**kwargs):
+    # Imported lazily: repro.analysis.resilience imports the host runtime,
+    # which this package's experiment modules do not otherwise need.
+    from repro.analysis.resilience import run
+
+    return run(**kwargs)
+
+
+EXPERIMENTS["resilience"] = _resilience
+
 __all__ = ["EXPERIMENTS", "ExperimentResult"]

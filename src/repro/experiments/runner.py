@@ -1,10 +1,27 @@
-"""Command-line entry point: ``python -m repro.experiments <id>``."""
+"""Command-line entry point: ``python -m repro.experiments <id>``.
+
+Hardened for long sweeps:
+
+* a crash in one experiment no longer aborts the rest — it is caught,
+  reported as a structured error (type, message, traceback) and the
+  sweep continues;
+* ``--state FILE`` checkpoints every completed experiment to a JSON
+  state file and skips already-completed ones on re-run, so an
+  interrupted ``all`` sweep resumes where it left off;
+* ``--json`` output carries the same structured errors, so automation
+  can distinguish "deviates from the paper" from "crashed".
+"""
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import traceback
+
+#: Format version of the ``--state`` checkpoint file.
+STATE_VERSION = 1
 
 
 def _jsonable(result) -> dict:
@@ -29,7 +46,73 @@ def _jsonable(result) -> dict:
             for c in result.comparisons
         ],
         "text": result.text,
+        "rendered": result.render(),
     }
+
+
+def _error_entry(exp_id: str, err: BaseException) -> dict:
+    """Structured record of a crashed experiment."""
+    return {
+        "id": exp_id,
+        "title": exp_id,
+        "passed": False,
+        "error": {
+            "type": type(err).__name__,
+            "message": str(err),
+            "traceback": traceback.format_exc(),
+        },
+    }
+
+
+def _load_state(path: str | None) -> dict:
+    """Load a checkpoint file; an absent or unreadable file starts fresh."""
+    empty = {"version": STATE_VERSION, "completed": {}}
+    if path is None or not os.path.exists(path):
+        return empty
+    try:
+        with open(path, encoding="utf-8") as fh:
+            state = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return empty
+    if not isinstance(state, dict) or state.get("version") != STATE_VERSION:
+        return empty
+    if not isinstance(state.get("completed"), dict):
+        return empty
+    return state
+
+
+def _save_state(path: str | None, state: dict) -> None:
+    """Atomically write the checkpoint file (crash-safe via rename).
+
+    An unwritable path must not abort the sweep — the checkpoint is a
+    convenience, the results still print; warn and carry on.
+    """
+    if path is None:
+        return
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(state, fh, indent=2)
+        os.replace(tmp, path)
+    except OSError as err:
+        print(f"warning: cannot write state file {path}: {err}", file=sys.stderr)
+
+
+def _render_entry(entry: dict, cached: bool) -> str:
+    """Human-readable rendering of one sweep entry."""
+    prefix = "[cached] " if cached else ""
+    if "error" in entry:
+        err = entry["error"]
+        lines = [
+            f"{prefix}{entry['id']}: CRASHED — {err['type']}: {err['message']}"
+        ]
+        if not cached:
+            lines.append(err["traceback"].rstrip())
+        return "\n".join(lines)
+    if cached:
+        status = "passed" if entry["passed"] else "DEVIATES"
+        return f"{prefix}{entry['id']}: {status} (from state file)"
+    return entry.get("rendered", entry["text"])
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all", "report"],
         help="experiment id (tableN / figN / related-work / ablations / "
-        "beyond-radius4 / projection / ...), 'all', or 'report' (full "
+        "beyond-radius4 / resilience / ...), 'all', or 'report' (full "
         "markdown report)",
     )
     parser.add_argument(
@@ -61,6 +144,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit machine-readable JSON instead of rendered tables",
     )
+    parser.add_argument(
+        "--state",
+        metavar="FILE",
+        default=None,
+        help="checkpoint/resume file: completed experiments are recorded "
+        "here after each step and skipped when the sweep is re-run",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "report":
@@ -70,20 +160,32 @@ def main(argv: list[str] | None = None) -> int:
         print(generate_report(sections=sections))
         return 0 if all_passed(sections) else 1
 
+    state = _load_state(args.state)
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     failed = 0
     json_out = []
     for exp_id in ids:
-        kwargs = {}
-        if exp_id == "table3":
-            kwargs = {"use_tuner": args.tuner, "validate": args.validate}
-        result = EXPERIMENTS[exp_id](**kwargs)
-        if args.json:
-            json_out.append(_jsonable(result))
+        cached = exp_id in state["completed"]
+        if cached:
+            entry = state["completed"][exp_id]
         else:
-            print(result.render())
+            kwargs = {}
+            if exp_id == "table3":
+                kwargs = {"use_tuner": args.tuner, "validate": args.validate}
+            try:
+                entry = _jsonable(EXPERIMENTS[exp_id](**kwargs))
+            except KeyboardInterrupt:
+                raise
+            except Exception as err:  # crash isolation: the sweep goes on
+                entry = _error_entry(exp_id, err)
+            state["completed"][exp_id] = entry
+            _save_state(args.state, state)
+        if args.json:
+            json_out.append(entry)
+        else:
+            print(_render_entry(entry, cached))
             print()
-        if not result.passed:
+        if not entry["passed"]:
             failed += 1
     if args.json:
         print(json.dumps(json_out if args.experiment == "all" else json_out[0], indent=2))

@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 from repro.core.blocking import BlockingConfig
 from repro.core.stencil import StencilSpec
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, WatchdogTimeoutError
+from repro.faults import hooks as fault_hooks
 from repro.fpga.board import Board
 from repro.fpga.memory import SPLIT_COST, DDRModel
 
@@ -129,18 +130,24 @@ class CycleSimulator:
         write_stalls = 0
         cost = self.service_bytes_per_access
         supply = self.memory_bytes_per_cycle
+        inj = fault_hooks.ACTIVE
 
         while written < vectors:
             cycles += 1
             if cycles > max_cycles:
-                raise SimulationError(
-                    f"cycle simulation did not converge within {max_cycles} cycles"
+                raise fault_hooks.report_detection(
+                    WatchdogTimeoutError(
+                        f"cycle simulation did not converge within "
+                        f"{max_cycles} cycles"
+                    )
                 )
             mem_budget = min(mem_budget + supply, 4.0 * supply + 2.0 * cost)
 
             # write kernel (highest priority: draining frees the chain)
             if occupancy[partime] > 0:
-                if mem_budget >= cost:
+                if inj is not None and inj.memory_stall("write", cycles):
+                    write_stalls += 1
+                elif mem_budget >= cost:
                     occupancy[partime] -= 1
                     written += 1
                     mem_budget -= cost
@@ -163,7 +170,9 @@ class CycleSimulator:
 
             # read kernel
             if issued < vectors:
-                if occupancy[0] < depth and mem_budget >= cost:
+                if inj is not None and inj.memory_stall("read", cycles):
+                    read_stalls += 1
+                elif occupancy[0] < depth and mem_budget >= cost:
                     occupancy[0] += 1
                     issued += 1
                     mem_budget -= cost

@@ -6,6 +6,7 @@ from repro.runtime.host import (
     Event,
     HostDevice,
     PowerSensor,
+    RetryPolicy,
     StencilProgram,
     benchmark_kernel,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "Event",
     "HostDevice",
     "PowerSensor",
+    "RetryPolicy",
     "StencilProgram",
     "benchmark_kernel",
 ]

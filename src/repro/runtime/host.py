@@ -27,7 +27,14 @@ from repro.core.accelerator import FPGAAccelerator
 from repro.core.blocking import BlockingConfig
 from repro.core.codegen import generate_opencl_kernel
 from repro.core.stencil import StencilSpec
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    FaultDetectedError,
+    SimulationError,
+    WatchdogTimeoutError,
+)
+from repro.faults import hooks as fault_hooks
+from repro.faults.checksum import crc32_array
 from repro.fpga.board import NALLATECH_385A, Board
 from repro.models.area import AreaModel
 from repro.models.fmax import FmaxModel
@@ -43,13 +50,21 @@ POWER_SAMPLE_INTERVAL_S = 0.010
 
 
 class Buffer:
-    """A device-resident buffer."""
+    """A device-resident buffer with CRC-tracked contents.
+
+    ``write`` is the only sanctioned mutation path: it stores a copy of
+    the payload and records its CRC32 — the ECC the memory controller
+    keeps alongside the data.  ``verify`` re-checks that CRC (a DRAM
+    scrub), and ``view`` hands out the live storage for callers that
+    model hardware-level corruption (the fault injector).
+    """
 
     def __init__(self, nbytes: int):
         if nbytes <= 0:
             raise ConfigurationError(f"buffer size must be positive, got {nbytes}")
         self.nbytes = nbytes
         self._data: np.ndarray | None = None
+        self._crc: int | None = None
 
     @property
     def data(self) -> np.ndarray:
@@ -57,18 +72,90 @@ class Buffer:
             raise SimulationError("reading an unwritten device buffer")
         return self._data
 
+    @property
+    def crc(self) -> int | None:
+        """CRC32 recorded at the last :meth:`write` (``None`` if unwritten)."""
+        return self._crc
+
+    def write(self, array: np.ndarray) -> None:
+        """Store a copy of ``array`` and record its CRC32."""
+        data = np.ascontiguousarray(array, dtype=np.float32)
+        if data.nbytes != self.nbytes:
+            raise ConfigurationError(
+                f"buffer is {self.nbytes} B but payload is {data.nbytes} B"
+            )
+        self._data = data.copy()
+        self._crc = crc32_array(self._data)
+
+    def invalidate(self) -> None:
+        """Discard contents and CRC (e.g. after an aborted transfer)."""
+        self._data = None
+        self._crc = None
+
+    def view(self) -> np.ndarray:
+        """Live storage array — mutations bypass the CRC tracking.
+
+        Exists for hardware-level corruption modeling (DRAM SEUs); the
+        host runtime itself never writes through it.
+        """
+        return self.data
+
+    def verify(self) -> bool:
+        """DRAM scrub: does the stored CRC still match the contents?"""
+        if self._data is None or self._crc is None:
+            return False
+        return crc32_array(self._data) == self._crc
+
 
 @dataclass(frozen=True)
 class Event:
-    """Completion event with simulated timestamps (seconds)."""
+    """Completion event with simulated timestamps (seconds).
+
+    ``attempts`` and ``retry_wait_s`` surface the retry path's overhead:
+    an event with ``attempts > 1`` spans every re-attempt plus the
+    exponential-backoff waits, so kernel-vs-transfer accounting sees
+    exactly what resilience cost.
+    """
 
     name: str
     start_s: float
     end_s: float
+    attempts: int = 1
+    retry_wait_s: float = 0.0
 
     @property
     def duration_s(self) -> float:
         return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry for transient (detected) faults.
+
+    ``max_retries`` counts *re*-attempts: an operation runs at most
+    ``max_retries + 1`` times.  The ``n``-th retry waits
+    ``backoff_s * multiplier ** (n - 1)`` seconds of simulated time.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 100e-6
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigurationError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def backoff_for(self, retry: int) -> float:
+        """Backoff before the ``retry``-th re-attempt (1-based)."""
+        return self.backoff_s * self.multiplier ** (retry - 1)
 
 
 class PowerSensor:
@@ -90,16 +177,34 @@ class PowerSensor:
         return self.base_watts + self.ripple_watts * math.sin(2 * math.pi * 7.3 * t_s)
 
     def average_over(self, start_s: float, end_s: float) -> float:
-        """Average of 10 ms samples across a window (paper §IV.B)."""
+        """Average of 10 ms samples across a window (paper §IV.B).
+
+        Any non-empty window yields at least the sample at ``start_s``
+        (sub-interval windows read the sensor exactly once).  While a
+        fault plan is armed, a :class:`repro.faults.SensorDropoutFault`
+        can lose individual reads — the average is then taken over the
+        surviving samples, and a window with *no* surviving samples
+        raises :class:`~repro.errors.FaultDetectedError`.
+        """
         if end_s <= start_s:
             raise ConfigurationError("empty sampling window")
+        inj = fault_hooks.ACTIVE
         samples = []
+        dropped = 0
         t = start_s
-        while t < end_s:
-            samples.append(self.sample(t))
+        while t < end_s:  # always enters at least once: end_s > start_s
+            if inj is not None and inj.drop_sample(t):
+                dropped += 1
+            else:
+                samples.append(self.sample(t))
             t += POWER_SAMPLE_INTERVAL_S
-        if not samples:  # window shorter than one interval: single read
-            samples.append(self.sample(start_s))
+        if not samples:
+            raise fault_hooks.report_detection(
+                FaultDetectedError(
+                    f"power sensor returned no samples over "
+                    f"[{start_s:.4f}, {end_s:.4f}) s ({dropped} dropped)"
+                )
+            )
         return sum(samples) / len(samples)
 
 
@@ -133,9 +238,19 @@ class StencilProgram:
         self._model = PerformanceModel(board)
 
     def kernel_time_s(self, grid_shape: tuple[int, ...], iterations: int) -> float:
-        """Modeled (measured-equivalent) kernel time for a workload."""
+        """Modeled (measured-equivalent) kernel time for a workload.
+
+        While a fault plan is armed, a :class:`repro.faults.FmaxDerateFault`
+        can derate the clock for one launch (thermal throttling); the
+        host watchdog in :meth:`CommandQueue.enqueue_kernel` is what
+        notices the resulting slowdown.
+        """
+        fmax = self.fmax_mhz
+        inj = fault_hooks.ACTIVE
+        if inj is not None:
+            fmax = inj.derate_fmax(fmax)
         return self._model.predict_measured(
-            self.spec, self.config, grid_shape, iterations, fmax_mhz=self.fmax_mhz
+            self.spec, self.config, grid_shape, iterations, fmax_mhz=fmax
         ).time_s
 
     def execute(self, grid: np.ndarray, iterations: int):
@@ -163,36 +278,149 @@ class HostDevice:
 
 
 class CommandQueue:
-    """In-order command queue with a simulated clock."""
+    """In-order command queue with a simulated clock.
 
-    def __init__(self, device: HostDevice | None = None):
+    Every operation runs under ``retry_policy``: a detected transient
+    fault (CRC mismatch, failed transfer, checksum violation inside the
+    kernel, watchdog expiry) triggers exponential-backoff re-attempts,
+    and the completion :class:`Event` reports ``attempts`` and
+    ``retry_wait_s`` so the overhead stays visible in the accounting.
+    """
+
+    def __init__(
+        self,
+        device: HostDevice | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ):
         self.device = device if device is not None else HostDevice()
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.clock_s = 0.0
         self.events: list[Event] = []
         self.transfer_bytes = 0
+        self._host_mirror: dict[int, np.ndarray] = {}
 
-    def _record(self, name: str, duration_s: float) -> Event:
-        event = Event(name, self.clock_s, self.clock_s + duration_s)
+    def _record(
+        self,
+        name: str,
+        duration_s: float,
+        attempts: int = 1,
+        retry_wait_s: float = 0.0,
+    ) -> Event:
+        event = Event(
+            name,
+            self.clock_s,
+            self.clock_s + duration_s,
+            attempts=attempts,
+            retry_wait_s=retry_wait_s,
+        )
         self.clock_s = event.end_s
         self.events.append(event)
         return event
 
+    def _transfer_time_s(self, nbytes: int) -> float:
+        return nbytes / (PCIE_GBPS * 1e9)
+
     def enqueue_write_buffer(self, buffer: Buffer, host_array: np.ndarray) -> Event:
-        """Host -> device transfer (charged to the clock, not the kernel)."""
+        """Host -> device transfer (charged to the clock, not the kernel).
+
+        The host CRCs the payload before sending; after the (possibly
+        faulty) transfer the device-side CRC must match or the transfer
+        is retried.  The host array is mirrored so a later DRAM scrub
+        failure can re-upload it.
+        """
         data = np.ascontiguousarray(host_array, dtype=np.float32)
         if data.nbytes != buffer.nbytes:
             raise ConfigurationError(
                 f"buffer is {buffer.nbytes} B but host array is {data.nbytes} B"
             )
-        buffer._data = data.copy()
-        self.transfer_bytes += data.nbytes
-        return self._record("write-buffer", data.nbytes / (PCIE_GBPS * 1e9))
+        golden = crc32_array(data)
+        inj = fault_hooks.ACTIVE
+        attempts = 0
+        wait_s = 0.0
+        while True:
+            attempts += 1
+            self.transfer_bytes += data.nbytes
+            try:
+                payload = data if inj is None else inj.on_transfer("write", data)
+                buffer.write(payload)
+                if buffer.crc != golden:
+                    buffer.invalidate()
+                    raise fault_hooks.report_detection(
+                        FaultDetectedError(
+                            "write-transfer CRC mismatch: payload corrupted "
+                            "in flight"
+                        )
+                    )
+                break
+            except FaultDetectedError:
+                if attempts > self.retry_policy.max_retries:
+                    raise
+                wait_s += self.retry_policy.backoff_for(attempts)
+        if attempts > 1:
+            fault_hooks.report_recovery(
+                f"write-buffer recovered after {attempts} attempts"
+            )
+        self._host_mirror[id(buffer)] = data.copy()
+        return self._record(
+            "write-buffer",
+            attempts * self._transfer_time_s(data.nbytes) + wait_s,
+            attempts=attempts,
+            retry_wait_s=wait_s,
+        )
 
     def enqueue_read_buffer(self, buffer: Buffer) -> tuple[np.ndarray, Event]:
-        """Device -> host transfer."""
-        data = buffer.data.copy()
-        self.transfer_bytes += data.nbytes
-        return data, self._record("read-buffer", data.nbytes / (PCIE_GBPS * 1e9))
+        """Device -> host transfer, verified against the device-side CRC."""
+        golden = buffer.crc
+        inj = fault_hooks.ACTIVE
+        attempts = 0
+        wait_s = 0.0
+        while True:
+            attempts += 1
+            self.transfer_bytes += buffer.data.nbytes
+            try:
+                data = buffer.data.copy()
+                if inj is not None:
+                    data = inj.on_transfer("read", data)
+                if golden is not None and crc32_array(data) != golden:
+                    raise fault_hooks.report_detection(
+                        FaultDetectedError(
+                            "read-transfer CRC mismatch: payload corrupted "
+                            "in flight"
+                        )
+                    )
+                break
+            except FaultDetectedError:
+                if attempts > self.retry_policy.max_retries:
+                    raise
+                wait_s += self.retry_policy.backoff_for(attempts)
+        if attempts > 1:
+            fault_hooks.report_recovery(
+                f"read-buffer recovered after {attempts} attempts"
+            )
+        event = self._record(
+            "read-buffer",
+            attempts * self._transfer_time_s(data.nbytes) + wait_s,
+            attempts=attempts,
+            retry_wait_s=wait_s,
+        )
+        return data, event
+
+    def _scrub(self, buffer: Buffer) -> None:
+        """Verify a buffer's CRC; re-upload from the host mirror if stale."""
+        if buffer.verify():
+            return
+        fault_hooks.report_detection(
+            FaultDetectedError("DRAM scrub failed: device buffer corrupted")
+        )
+        mirror = self._host_mirror.get(id(buffer))
+        if mirror is None:
+            raise FaultDetectedError(
+                "DRAM scrub failed and no host mirror exists to re-upload"
+            )
+        buffer.write(mirror)
+        self.transfer_bytes += mirror.nbytes
+        self._record("reupload-buffer", self._transfer_time_s(mirror.nbytes))
+        fault_hooks.report_recovery("device buffer re-uploaded after scrub failure")
 
     def enqueue_kernel(
         self,
@@ -200,13 +428,58 @@ class CommandQueue:
         src: Buffer,
         dst: Buffer,
         iterations: int,
+        watchdog_s: float | None = None,
     ) -> Event:
-        """Run the stencil kernel: real numerics, modeled duration."""
-        grid = src.data
-        result, _ = program.execute(grid, iterations)
-        dst._data = result
-        duration = program.kernel_time_s(grid.shape, iterations)
-        return self._record("stencil-kernel", duration)
+        """Run the stencil kernel: real numerics, modeled duration.
+
+        Before each attempt the source buffer is scrubbed (CRC check,
+        re-uploading from the host mirror on mismatch).  A detected
+        fault inside the kernel — or a modeled duration beyond
+        ``watchdog_s`` — is retried under the queue's policy; failed
+        attempts still charge their wall time, capped at the watchdog.
+        """
+        if watchdog_s is not None and watchdog_s <= 0:
+            raise ConfigurationError(f"watchdog_s must be > 0, got {watchdog_s}")
+        inj = fault_hooks.ACTIVE
+        attempts = 0
+        wait_s = 0.0
+        charged_s = 0.0
+        while True:
+            attempts += 1
+            try:
+                if inj is not None:
+                    inj.touch_sram(src.view(), site="dram")
+                    self._scrub(src)
+                grid = src.data
+                duration = program.kernel_time_s(grid.shape, iterations)
+                if watchdog_s is not None and duration > watchdog_s:
+                    charged_s += watchdog_s  # killed at the deadline
+                    raise fault_hooks.report_detection(
+                        WatchdogTimeoutError(
+                            f"kernel exceeded watchdog: modeled {duration:.4f} s "
+                            f"> {watchdog_s:.4f} s"
+                        )
+                    )
+                result, _ = program.execute(grid, iterations)
+                dst.write(result)
+                break
+            except FaultDetectedError as err:
+                if not isinstance(err, WatchdogTimeoutError):
+                    # detection mid-run: the attempt burned kernel time
+                    charged_s += program.kernel_time_s(src.data.shape, iterations)
+                if attempts > self.retry_policy.max_retries:
+                    raise
+                wait_s += self.retry_policy.backoff_for(attempts)
+        if attempts > 1:
+            fault_hooks.report_recovery(
+                f"stencil-kernel recovered after {attempts} attempts"
+            )
+        return self._record(
+            "stencil-kernel",
+            charged_s + wait_s + duration,
+            attempts=attempts,
+            retry_wait_s=wait_s,
+        )
 
     def finish(self) -> float:
         """Drain the queue; returns the simulated clock."""
@@ -234,12 +507,20 @@ def benchmark_kernel(
     grid: np.ndarray,
     iterations: int,
     repeats: int = 5,
+    retry_policy: RetryPolicy | None = None,
+    watchdog_s: float | None = None,
 ) -> KernelBenchmark:
     """The paper's measurement loop: five repeats, kernel-only timing,
-    10 ms power sampling averaged over each kernel window (§IV.B-C)."""
+    10 ms power sampling averaged over each kernel window (§IV.B-C).
+
+    Resilience: every queue operation retries detected transient faults
+    under ``retry_policy``; a repeat whose power window loses all its
+    sensor samples is re-measured (the re-run lands on a later simulated
+    window, past the dropout).
+    """
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
-    queue = CommandQueue(HostDevice(program.board))
+    queue = CommandQueue(HostDevice(program.board), retry_policy=retry_policy)
     sensor = queue.device.sensor_for(program)
     src = Buffer(grid.astype(np.float32).nbytes)
     dst = Buffer(src.nbytes)
@@ -249,9 +530,24 @@ def benchmark_kernel(
     powers = []
     result: np.ndarray | None = None
     for _ in range(repeats):
-        event = queue.enqueue_kernel(program, src, dst, iterations)
+        attempts = 0
+        while True:
+            attempts += 1
+            event = queue.enqueue_kernel(
+                program, src, dst, iterations, watchdog_s=watchdog_s
+            )
+            try:
+                power = sensor.average_over(event.start_s, event.end_s)
+                break
+            except FaultDetectedError:
+                if attempts > queue.retry_policy.max_retries:
+                    raise
+        if attempts > 1:
+            fault_hooks.report_recovery(
+                f"power measurement recovered after {attempts} attempts"
+            )
         kernel_times.append(event.duration_s)
-        powers.append(sensor.average_over(event.start_s, event.end_s))
+        powers.append(power)
         result = dst.data
     out, _ = queue.enqueue_read_buffer(dst)
     assert result is not None

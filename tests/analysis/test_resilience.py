@@ -1,0 +1,39 @@
+"""The resilience report: full coverage, detection, bit-exact recovery."""
+
+from __future__ import annotations
+
+from repro.analysis import resilience
+
+
+def test_campaign_covers_detects_and_recovers_every_class() -> None:
+    outcomes, golden_gcell = resilience.run_campaign()
+    assert golden_gcell > 0
+    names = [o.name for o in outcomes]
+    assert len(names) == len(set(names)) == 8
+    for outcome in outcomes:
+        assert outcome.injected, f"{outcome.name}: fault never fired"
+        assert outcome.detected, f"{outcome.name}: fault not detected"
+        assert outcome.recovered, f"{outcome.name}: recovery not bit-exact"
+        assert outcome.gcell_s > 0
+        # recovery costs throughput (retries, backoff), never gains it
+        assert outcome.overhead_pct >= 0
+
+
+def test_campaign_is_deterministic() -> None:
+    first, golden_a = resilience.run_campaign()
+    second, golden_b = resilience.run_campaign()
+    assert golden_a == golden_b
+    assert first == second  # frozen dataclasses: field-exact equality
+
+
+def test_report_registers_and_passes() -> None:
+    from repro.experiments import EXPERIMENTS
+
+    assert "resilience" in EXPERIMENTS
+    result = resilience.run()
+    assert result.exp_id == "resilience"
+    assert result.passed
+    assert len(result.comparisons) == 3
+    assert all(c.reproduced == 1.0 for c in result.comparisons)
+    assert "Fault-injection campaign" in result.text
+    assert len(result.data["outcomes"]) == 8

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.apps.imaging import cross_blur_spec, denoise, unsharp_mask
-from repro.core import make_grid
 from repro.errors import ConfigurationError
 
 

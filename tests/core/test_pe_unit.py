@@ -9,7 +9,6 @@ streamed-axis boundary handling).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import StencilSpec, make_grid
 from repro.core.pe import pe_step, refresh_border_duplicates

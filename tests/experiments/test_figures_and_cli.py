@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
-
 from repro.experiments import fig1, fig2
 from repro.experiments.runner import main
 

@@ -1,0 +1,104 @@
+"""Hardened sweep runner: crash isolation, structured errors, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.experiments as experiments_pkg
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import STATE_VERSION, main
+
+
+def _ok(exp_id: str) -> ExperimentResult:
+    return ExperimentResult(exp_id=exp_id, title=exp_id, text=f"{exp_id} fine")
+
+
+def _boom(**_kwargs) -> ExperimentResult:
+    raise RuntimeError("kaboom")
+
+
+@pytest.fixture
+def tiny_registry(monkeypatch):
+    """A three-experiment registry whose middle entry always crashes."""
+    registry = {
+        "alpha": lambda **kw: _ok("alpha"),
+        "boom": _boom,
+        "zeta": lambda **kw: _ok("zeta"),
+    }
+    monkeypatch.setattr(experiments_pkg, "EXPERIMENTS", registry)
+    return registry
+
+
+def test_crash_does_not_abort_the_sweep(tiny_registry, capsys) -> None:
+    assert main(["all"]) == 1  # the crash counts as a failure...
+    out = capsys.readouterr().out
+    assert "alpha fine" in out and "zeta fine" in out  # ...but the rest ran
+    assert "CRASHED — RuntimeError: kaboom" in out
+    assert "Traceback" in out  # fresh crashes print where they happened
+
+
+def test_json_carries_structured_error(tiny_registry, capsys) -> None:
+    assert main(["all", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    by_id = {entry["id"]: entry for entry in payload}
+    assert set(by_id) == {"alpha", "boom", "zeta"}
+    assert by_id["alpha"]["passed"] and "error" not in by_id["alpha"]
+    err = by_id["boom"]["error"]
+    assert err["type"] == "RuntimeError"
+    assert err["message"] == "kaboom"
+    assert "RuntimeError: kaboom" in err["traceback"]
+    assert by_id["boom"]["passed"] is False
+
+
+def test_state_file_checkpoints_every_experiment(tiny_registry, tmp_path, capsys) -> None:
+    state_file = tmp_path / "sweep.json"
+    assert main(["all", "--state", str(state_file)]) == 1
+    capsys.readouterr()
+    state = json.loads(state_file.read_text())
+    assert state["version"] == STATE_VERSION
+    assert set(state["completed"]) == {"alpha", "boom", "zeta"}
+
+
+def test_resume_skips_completed_experiments(tiny_registry, tmp_path, capsys) -> None:
+    state_file = tmp_path / "sweep.json"
+    main(["all", "--state", str(state_file)])
+    capsys.readouterr()
+    # second run: nothing re-executes, cached statuses are reported
+    calls = []
+    tiny_registry["alpha"] = lambda **kw: calls.append("alpha") or _ok("alpha")
+    assert main(["all", "--state", str(state_file)]) == 1  # crash still cached
+    out = capsys.readouterr().out
+    assert calls == []  # alpha was not re-run
+    assert "[cached] alpha: passed" in out
+    assert "[cached] boom: CRASHED — RuntimeError: kaboom" in out
+
+
+def test_resume_runs_only_missing_experiments(tiny_registry, tmp_path, capsys) -> None:
+    state_file = tmp_path / "sweep.json"
+    assert main(["alpha", "--state", str(state_file)]) == 0
+    capsys.readouterr()
+    # fix the crasher, then resume the full sweep
+    tiny_registry["boom"] = lambda **kw: _ok("boom")
+    assert main(["all", "--state", str(state_file)]) == 0
+    out = capsys.readouterr().out
+    assert "[cached] alpha" in out
+    assert "boom fine" in out and "zeta fine" in out
+    state = json.loads(state_file.read_text())
+    assert set(state["completed"]) == {"alpha", "boom", "zeta"}
+
+
+def test_corrupt_state_file_starts_fresh(tiny_registry, tmp_path, capsys) -> None:
+    state_file = tmp_path / "sweep.json"
+    state_file.write_text("{not json")
+    assert main(["alpha", "--state", str(state_file)]) == 0
+    capsys.readouterr()
+    state = json.loads(state_file.read_text())
+    assert state["version"] == STATE_VERSION
+    assert set(state["completed"]) == {"alpha"}
+
+
+def test_stateless_single_run_unchanged(tiny_registry, capsys) -> None:
+    assert main(["alpha"]) == 0
+    assert "alpha fine" in capsys.readouterr().out

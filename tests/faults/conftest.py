@@ -1,0 +1,13 @@
+"""Safety net: never leak an armed fault plan into another test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def always_disarm():
+    yield
+    faults.disarm()

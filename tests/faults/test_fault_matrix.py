@@ -1,0 +1,182 @@
+"""Acceptance fault matrix.
+
+For every fault class — SEU bit-flip, channel corruption, channel stall
+burst, transfer failure, sensor dropout — a seeded injection must be
+
+(a) **detected**: a checksum / CRC / watchdog raises
+    :class:`FaultDetectedError` when no retries are allowed;
+(b) **recovered**: the retry path yields output bit-exact with the
+    fault-free run;
+(c) **deterministic**: two runs with the same seed fire, detect and
+    recover identically.
+
+And with no plan armed, results are bit-identical to the unhardened
+simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockingConfig,
+    FPGAAccelerator,
+    StencilSpec,
+    make_grid,
+    reference_run,
+)
+from repro.errors import FaultDetectedError
+from repro.faults import (
+    ChannelCorruptFault,
+    ChannelStallFault,
+    FaultPlan,
+    SensorDropoutFault,
+    SEUFault,
+    TransferFault,
+    arm,
+)
+from repro.runtime.host import (
+    Buffer,
+    CommandQueue,
+    HostDevice,
+    RetryPolicy,
+    StencilProgram,
+    benchmark_kernel,
+)
+
+SPEC = StencilSpec.star(2, 2)
+CONFIG = BlockingConfig(dims=2, radius=2, bsize_x=64, parvec=4, partime=2)
+GRID = make_grid((24, 96), "mixed", seed=11)
+ITERS = 4
+
+NO_RETRY = RetryPolicy(max_retries=0)
+RETRY = RetryPolicy(max_retries=3, backoff_s=1e-4)
+
+
+def _program() -> StencilProgram:
+    return StencilProgram(SPEC, CONFIG)
+
+
+def _first_kernel_end() -> float:
+    queue = CommandQueue(HostDevice(_program().board))
+    src, dst = Buffer(GRID.nbytes), Buffer(GRID.nbytes)
+    queue.enqueue_write_buffer(src, GRID)
+    return queue.enqueue_kernel(_program(), src, dst, ITERS).end_s
+
+
+def _plans() -> dict[str, FaultPlan]:
+    return {
+        "seu": FaultPlan(seed=101, faults=(SEUFault(site="block-buffer", at_touch=2),)),
+        "channel-corrupt": FaultPlan(
+            seed=102, faults=(ChannelCorruptFault(at_write=1),)
+        ),
+        "channel-stall": FaultPlan(
+            seed=103, faults=(ChannelStallFault(at_op=0, duration=300),)
+        ),
+        "transfer-fail": FaultPlan(
+            seed=104, faults=(TransferFault(direction="write", mode="fail"),)
+        ),
+        "sensor-dropout": FaultPlan(
+            seed=105, faults=(SensorDropoutFault(0.0, _first_kernel_end()),)
+        ),
+    }
+
+
+GOLDEN = reference_run(GRID, SPEC, ITERS)
+
+
+@pytest.mark.parametrize("name", ["seu", "channel-corrupt", "channel-stall"])
+def test_pipeline_faults_detected_without_retry(name: str) -> None:
+    """(a) checksum / watchdog detection inside the accelerator."""
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    with arm(_plans()[name]) as injector:
+        with pytest.raises(FaultDetectedError):
+            acc.run(GRID, ITERS)
+        assert len(injector.fired) == 1
+        assert len(injector.detections) >= 1
+
+
+def test_transfer_failure_detected_without_retry() -> None:
+    with arm(_plans()["transfer-fail"]) as injector:
+        queue = CommandQueue(retry_policy=NO_RETRY)
+        buf = Buffer(GRID.nbytes)
+        with pytest.raises(FaultDetectedError):
+            queue.enqueue_write_buffer(buf, GRID)
+        assert len(injector.fired) == 1
+        assert len(injector.detections) >= 1
+
+
+def test_sensor_dropout_detected_without_retry() -> None:
+    with arm(_plans()["sensor-dropout"]) as injector:
+        with pytest.raises(FaultDetectedError):
+            benchmark_kernel(_program(), GRID, ITERS, repeats=1, retry_policy=NO_RETRY)
+        assert len(injector.fired) == 1
+        assert len(injector.detections) >= 1
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["seu", "channel-corrupt", "channel-stall", "transfer-fail", "sensor-dropout"],
+)
+def test_fault_recovered_bit_exact_and_deterministic(name: str) -> None:
+    """(b) retry recovery and (c) seed determinism, per fault class."""
+    runs = []
+    for _ in range(2):
+        with arm(_plans()[name]) as injector:
+            bench = benchmark_kernel(
+                _program(), GRID, ITERS, repeats=1, retry_policy=RETRY
+            )
+            runs.append(
+                {
+                    "result": bench.result,
+                    "fired": [r.description for r in injector.fired],
+                    "detections": list(injector.detections),
+                    "recoveries": list(injector.recoveries),
+                    "mean_kernel_s": bench.mean_kernel_s,
+                    "power": bench.mean_power_w,
+                }
+            )
+    for run in runs:
+        assert np.array_equal(run["result"], GOLDEN)  # (b) bit-exact
+        assert len(run["fired"]) == 1
+        assert len(run["detections"]) >= 1
+        assert len(run["recoveries"]) >= 1
+    # (c) byte-identical behaviour across the two seeded runs
+    assert runs[0]["fired"] == runs[1]["fired"]
+    assert runs[0]["detections"] == runs[1]["detections"]
+    assert runs[0]["recoveries"] == runs[1]["recoveries"]
+    assert runs[0]["mean_kernel_s"] == runs[1]["mean_kernel_s"]
+    assert runs[0]["power"] == runs[1]["power"]
+
+
+def test_no_plan_armed_is_bit_identical_to_seed_behaviour() -> None:
+    """Injection hooks must not perturb the fault-free path at all."""
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    out, stats = acc.run(GRID, ITERS)
+    assert np.array_equal(out, GOLDEN)
+    assert stats.output_crc32 is None  # no armed-mode bookkeeping ran
+    bench = benchmark_kernel(_program(), GRID, ITERS, repeats=2)
+    assert np.array_equal(bench.result, GOLDEN)
+
+
+def test_armed_but_empty_plan_is_bit_identical() -> None:
+    """Checksums alone (no faults) never change the numerics."""
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    with arm(FaultPlan(seed=0)) as injector:
+        out, stats = acc.run(GRID, ITERS)
+        assert not injector.fired and not injector.detections
+    assert np.array_equal(out, GOLDEN)
+    assert stats.output_crc32 is not None
+
+
+def test_golden_crc_check_in_run() -> None:
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    with arm(FaultPlan(seed=0)):
+        _, stats = acc.run(GRID, ITERS)
+    golden_crc = stats.output_crc32
+    # matching golden CRC passes, disarmed
+    out, stats2 = acc.run(GRID, ITERS, expected_crc=golden_crc)
+    assert np.array_equal(out, GOLDEN) and stats2.output_crc32 == golden_crc
+    with pytest.raises(FaultDetectedError):
+        acc.run(GRID, ITERS, expected_crc=golden_crc ^ 1)

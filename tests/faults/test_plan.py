@@ -1,0 +1,88 @@
+"""Validation and arming semantics of fault plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ChannelCorruptFault,
+    ChannelStallFault,
+    FaultPlan,
+    FmaxDerateFault,
+    MemoryStallFault,
+    SensorDropoutFault,
+    SEUFault,
+    TransferFault,
+    active,
+    arm,
+    disarm,
+)
+
+
+def test_plan_accepts_every_fault_class() -> None:
+    plan = FaultPlan(
+        seed=1,
+        faults=(
+            SEUFault(),
+            ChannelCorruptFault(),
+            ChannelStallFault(),
+            TransferFault(),
+            SensorDropoutFault(0.0, 1.0),
+            FmaxDerateFault(),
+            MemoryStallFault(),
+        ),
+    )
+    assert len(plan) == 7
+
+
+def test_plan_rejects_unknown_payloads() -> None:
+    with pytest.raises(ConfigurationError):
+        FaultPlan(seed=0, faults=("not-a-fault",))
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        lambda: SEUFault(site="cache"),
+        lambda: SEUFault(at_touch=-1),
+        lambda: SEUFault(bit=32),
+        lambda: SEUFault(word=-1),
+        lambda: ChannelCorruptFault(at_write=-1),
+        lambda: ChannelCorruptFault(bit=-1),
+        lambda: ChannelStallFault(op="peek"),
+        lambda: ChannelStallFault(duration=0),
+        lambda: ChannelStallFault(at_op=-1),
+        lambda: TransferFault(direction="sideways"),
+        lambda: TransferFault(mode="melt"),
+        lambda: TransferFault(at_transfer=-1),
+        lambda: SensorDropoutFault(1.0, 1.0),
+        lambda: FmaxDerateFault(factor=0.0),
+        lambda: FmaxDerateFault(factor=1.5),
+        lambda: FmaxDerateFault(at_kernel=-1),
+        lambda: MemoryStallFault(port="dma"),
+        lambda: MemoryStallFault(duration=0),
+        lambda: MemoryStallFault(at_cycle=-1),
+    ],
+)
+def test_fault_spec_validation(bad) -> None:
+    with pytest.raises(ConfigurationError):
+        bad()
+
+
+def test_arm_is_exclusive_and_always_disarms() -> None:
+    assert active() is None
+    plan = FaultPlan(seed=0)
+    with arm(plan) as injector:
+        assert active() is injector
+        with pytest.raises(ConfigurationError):
+            with arm(plan):
+                pass
+    assert active() is None
+    # disarms even when the body raises
+    with pytest.raises(RuntimeError):
+        with arm(plan):
+            raise RuntimeError("boom")
+    assert active() is None
+    disarm()  # idempotent
+    assert active() is None

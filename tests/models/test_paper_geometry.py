@@ -12,7 +12,6 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.paper_data import PAPER_TABLE_III
-from repro.core.blocking import BlockingConfig
 from repro.experiments.table3 import paper_config
 
 

@@ -1,0 +1,85 @@
+"""Property-based invariants of the on-chip channel FIFO.
+
+Under any interleaving of non-blocking writes and reads:
+
+* items leave in exactly the order they entered (FIFO);
+* ``writes - reads == len(channel)`` at every step;
+* stall counters only ever grow;
+* occupancy never exceeds ``depth``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.channels import Channel
+
+# An op sequence: True = try_write(next value), False = try_read().
+OPS = st.lists(st.booleans(), max_size=200)
+DEPTHS = st.integers(min_value=1, max_value=16)
+
+
+@given(depth=DEPTHS, ops=OPS)
+def test_fifo_order_preserved(depth: int, ops: list[bool]) -> None:
+    chan = Channel(depth=depth, name="prop")
+    sent: list[int] = []
+    received: list[int] = []
+    next_value = 0
+    for is_write in ops:
+        if is_write:
+            if chan.try_write(next_value):
+                sent.append(next_value)
+            next_value += 1
+        else:
+            ok, item = chan.try_read()
+            if ok:
+                received.append(item)
+    # everything read so far is exactly the prefix of what was accepted
+    assert received == sent[: len(received)]
+    # draining the FIFO yields the rest, still in order
+    while True:
+        ok, item = chan.try_read()
+        if not ok:
+            break
+        received.append(item)
+    assert received == sent
+
+
+@given(depth=DEPTHS, ops=OPS)
+def test_occupancy_accounting_invariants(depth: int, ops: list[bool]) -> None:
+    chan = Channel(depth=depth, name="prop")
+    prev_write_stalls = prev_read_stalls = 0
+    for is_write in ops:
+        if is_write:
+            chan.try_write(1.0)
+        else:
+            chan.try_read()
+        # conservation: accepted writes minus reads is what's in flight
+        assert chan.writes - chan.reads == len(chan)
+        # bounded: never more than depth in flight
+        assert 0 <= len(chan) <= chan.depth
+        # stall counters are monotone non-decreasing
+        assert chan.write_stalls >= prev_write_stalls
+        assert chan.read_stalls >= prev_read_stalls
+        prev_write_stalls = chan.write_stalls
+        prev_read_stalls = chan.read_stalls
+        # full/empty flags agree with occupancy
+        assert chan.full == (len(chan) == chan.depth)
+        assert chan.empty == (len(chan) == 0)
+
+
+@given(depth=DEPTHS, ops=OPS)
+def test_stalls_only_on_failed_ops(depth: int, ops: list[bool]) -> None:
+    chan = Channel(depth=depth, name="prop")
+    failed_writes = failed_reads = 0
+    for is_write in ops:
+        if is_write:
+            if not chan.try_write(1.0):
+                failed_writes += 1
+        else:
+            ok, _ = chan.try_read()
+            if not ok:
+                failed_reads += 1
+    assert chan.write_stalls == failed_writes
+    assert chan.read_stalls == failed_reads

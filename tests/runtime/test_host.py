@@ -108,6 +108,25 @@ def test_power_sensor_sampling() -> None:
         PowerSensor(0.0)
 
 
+def test_power_sensor_subinterval_window_boundaries() -> None:
+    """Windows shorter than the 10 ms sampling interval (regression for
+    the unreachable fallback branch this code used to carry): the sample
+    at ``start_s`` is always taken, and the window end is exclusive."""
+    sensor = PowerSensor(70.0, ripple_watts=2.0)
+    t0 = 0.0137
+    # any sub-interval window reads the sensor exactly once, at start_s
+    for width in (1e-9, POWER_SAMPLE_INTERVAL_S / 2, POWER_SAMPLE_INTERVAL_S * 0.999):
+        assert sensor.average_over(t0, t0 + width) == sensor.sample(t0)
+    # a window of exactly one interval still holds a single sample
+    # (end is exclusive, so the sample at t0 + interval is not taken)
+    one = sensor.average_over(t0, t0 + POWER_SAMPLE_INTERVAL_S)
+    assert one == sensor.sample(t0)
+    # just past one interval, the second sample enters the average
+    two = sensor.average_over(t0, t0 + POWER_SAMPLE_INTERVAL_S * 1.001)
+    expected = (sensor.sample(t0) + sensor.sample(t0 + POWER_SAMPLE_INTERVAL_S)) / 2
+    assert two == pytest.approx(expected)
+
+
 def test_benchmark_kernel_procedure() -> None:
     """Five repeats, eq.-3 GCell/s, power averaged over kernel windows."""
     program = make_program()

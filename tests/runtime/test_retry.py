@@ -1,0 +1,218 @@
+"""Retry policy, buffer CRC API and the hardened command queue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BlockingConfig, StencilSpec, make_grid, reference_run
+from repro.errors import ConfigurationError, FaultDetectedError, WatchdogTimeoutError
+from repro.faults import (
+    FaultPlan,
+    FmaxDerateFault,
+    SEUFault,
+    TransferFault,
+    arm,
+    crc32_array,
+)
+from repro.runtime.host import (
+    Buffer,
+    CommandQueue,
+    HostDevice,
+    RetryPolicy,
+    StencilProgram,
+)
+
+GRID = make_grid((24, 96), "mixed", seed=7)
+
+
+def make_program() -> StencilProgram:
+    spec = StencilSpec.star(2, 2)
+    cfg = BlockingConfig(dims=2, radius=2, bsize_x=64, parvec=4, partime=2)
+    return StencilProgram(spec, cfg)
+
+
+# -- Buffer public API ---------------------------------------------------- #
+
+
+def test_buffer_write_tracks_crc() -> None:
+    buf = Buffer(GRID.nbytes)
+    assert buf.crc is None
+    buf.write(GRID)
+    assert buf.crc == crc32_array(GRID)
+    assert np.array_equal(buf.data, GRID)
+    assert buf.verify()
+
+
+def test_buffer_write_copies_payload() -> None:
+    buf = Buffer(GRID.nbytes)
+    host = GRID.copy()
+    buf.write(host)
+    host[0, 0] += 1.0
+    assert np.array_equal(buf.data, GRID)  # device copy unaffected
+
+
+def test_buffer_write_rejects_size_mismatch() -> None:
+    buf = Buffer(GRID.nbytes)
+    with pytest.raises(ConfigurationError):
+        buf.write(GRID[:-1])
+
+
+def test_buffer_invalidate_and_verify() -> None:
+    buf = Buffer(GRID.nbytes)
+    assert not buf.verify()  # unwritten buffers never verify
+    buf.write(GRID)
+    buf.invalidate()
+    assert buf.crc is None
+    assert not buf.verify()
+
+
+def test_buffer_view_bypasses_crc() -> None:
+    buf = Buffer(GRID.nbytes)
+    buf.write(GRID)
+    buf.view().reshape(-1)[0] += 1.0  # hardware-level corruption
+    assert not buf.verify()  # ...which the scrub notices
+
+
+# -- RetryPolicy ----------------------------------------------------------- #
+
+
+def test_retry_policy_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(backoff_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(multiplier=0.5)
+
+
+def test_retry_policy_backoff_is_exponential() -> None:
+    policy = RetryPolicy(max_retries=3, backoff_s=1e-4, multiplier=2.0)
+    assert policy.backoff_for(1) == pytest.approx(1e-4)
+    assert policy.backoff_for(2) == pytest.approx(2e-4)
+    assert policy.backoff_for(3) == pytest.approx(4e-4)
+
+
+# -- Event metadata --------------------------------------------------------- #
+
+
+def test_events_default_to_single_attempt() -> None:
+    queue = CommandQueue()
+    buf = Buffer(GRID.nbytes)
+    event = queue.enqueue_write_buffer(buf, GRID)
+    assert event.attempts == 1 and event.retry_wait_s == 0.0
+
+
+def test_write_transfer_corruption_retried_with_backoff() -> None:
+    policy = RetryPolicy(max_retries=2, backoff_s=1e-4, multiplier=2.0)
+    plan = FaultPlan(seed=1, faults=(TransferFault(direction="write", mode="corrupt"),))
+    with arm(plan) as inj:
+        queue = CommandQueue(retry_policy=policy)
+        buf = Buffer(GRID.nbytes)
+        event = queue.enqueue_write_buffer(buf, GRID)
+        assert len(inj.fired) == 1
+        assert inj.detections and inj.recoveries
+    assert event.attempts == 2
+    assert event.retry_wait_s == pytest.approx(policy.backoff_for(1))
+    assert event.duration_s > event.retry_wait_s  # plus two transfer charges
+    assert queue.transfer_bytes == 2 * GRID.nbytes  # both attempts billed
+    assert np.array_equal(buf.data, GRID)
+    assert buf.verify()
+
+
+def test_read_transfer_corruption_retried() -> None:
+    plan = FaultPlan(seed=2, faults=(TransferFault(direction="read", mode="corrupt"),))
+    queue = CommandQueue()
+    buf = Buffer(GRID.nbytes)
+    queue.enqueue_write_buffer(buf, GRID)
+    with arm(plan) as inj:
+        data, event = queue.enqueue_read_buffer(buf)
+        assert len(inj.fired) == 1
+    assert event.attempts == 2
+    assert np.array_equal(data, GRID)
+
+
+def test_transfer_retries_exhausted_raises() -> None:
+    plan = FaultPlan(seed=3, faults=(TransferFault(direction="write", mode="fail"),))
+    with arm(plan):
+        queue = CommandQueue(retry_policy=RetryPolicy(max_retries=0))
+        buf = Buffer(GRID.nbytes)
+        with pytest.raises(FaultDetectedError):
+            queue.enqueue_write_buffer(buf, GRID)
+    with pytest.raises(Exception):
+        _ = buf.data  # the aborted transfer left nothing behind
+
+
+# -- DRAM scrub + re-upload -------------------------------------------------- #
+
+
+def test_dram_seu_scrubbed_and_reuploaded_before_kernel() -> None:
+    program = make_program()
+    plan = FaultPlan(seed=4, faults=(SEUFault(site="dram", at_touch=0),))
+    with arm(plan) as inj:
+        queue = CommandQueue(HostDevice(program.board))
+        src, dst = Buffer(GRID.nbytes), Buffer(GRID.nbytes)
+        queue.enqueue_write_buffer(src, GRID)
+        queue.enqueue_kernel(program, src, dst, 4)
+        assert len(inj.fired) == 1
+        assert any("scrub" in d for d in inj.detections)
+        assert any("re-uploaded" in r for r in inj.recoveries)
+    assert [e.name for e in queue.events] == [
+        "write-buffer",
+        "reupload-buffer",
+        "stencil-kernel",
+    ]
+    out, _ = queue.enqueue_read_buffer(dst)
+    assert np.array_equal(out, reference_run(GRID, program.spec, 4))
+
+
+def test_scrub_without_mirror_raises() -> None:
+    queue = CommandQueue()
+    buf = Buffer(GRID.nbytes)
+    buf.write(GRID)  # written directly: the queue holds no mirror
+    buf.view().reshape(-1)[0] += 1.0
+    with pytest.raises(FaultDetectedError):
+        queue._scrub(buf)
+
+
+# -- Watchdog + fmax derate --------------------------------------------------- #
+
+
+def test_watchdog_catches_derated_kernel_and_retry_recovers() -> None:
+    program = make_program()
+    nominal = program.kernel_time_s(GRID.shape, 4)
+    plan = FaultPlan(seed=5, faults=(FmaxDerateFault(factor=0.5, at_kernel=0),))
+    with arm(plan) as inj:
+        queue = CommandQueue(HostDevice(program.board))
+        src, dst = Buffer(GRID.nbytes), Buffer(GRID.nbytes)
+        queue.enqueue_write_buffer(src, GRID)
+        event = queue.enqueue_kernel(
+            program, src, dst, 4, watchdog_s=1.5 * nominal
+        )
+        assert len(inj.fired) == 1
+        assert any("watchdog" in d for d in inj.detections)
+    assert event.attempts == 2
+    # killed attempt charged at the deadline, then backoff, then clean run
+    assert event.duration_s == pytest.approx(
+        1.5 * nominal + event.retry_wait_s + nominal
+    )
+    assert np.array_equal(dst.data, reference_run(GRID, program.spec, 4))
+
+
+def test_watchdog_exhausted_raises_timeout() -> None:
+    program = make_program()
+    nominal = program.kernel_time_s(GRID.shape, 4)
+    queue = CommandQueue(retry_policy=RetryPolicy(max_retries=0))
+    src, dst = Buffer(GRID.nbytes), Buffer(GRID.nbytes)
+    queue.enqueue_write_buffer(src, GRID)
+    with pytest.raises(WatchdogTimeoutError):
+        queue.enqueue_kernel(program, src, dst, 4, watchdog_s=nominal / 2)
+
+
+def test_watchdog_rejects_nonpositive_deadline() -> None:
+    program = make_program()
+    queue = CommandQueue()
+    src, dst = Buffer(GRID.nbytes), Buffer(GRID.nbytes)
+    queue.enqueue_write_buffer(src, GRID)
+    with pytest.raises(ConfigurationError):
+        queue.enqueue_kernel(program, src, dst, 4, watchdog_s=0.0)
