@@ -57,6 +57,43 @@ def test_accelerator_sim_3d(benchmark) -> None:
     _record_rate(benchmark, GRID_3D.size, steps=2)
 
 
+# The ISSUE's motivating case: high-order 3D (radius 4), many iterations.
+SPEC_3D_R4 = StencilSpec.star(3, 4)
+CFG_3D_R4 = BlockingConfig(
+    dims=3, radius=4, bsize_x=96, bsize_y=64, parvec=4, partime=2
+)
+GRID_3D_R4 = make_grid((96, 192, 192), "random", seed=0)
+ITERS_3D_R4 = 16
+
+
+def test_accelerator_sim_3d_radius4(benchmark) -> None:
+    """Default (auto) engine on the hot-path headline case."""
+    acc = FPGAAccelerator(SPEC_3D_R4, CFG_3D_R4)
+    out, stats = benchmark.pedantic(
+        acc.run, args=(GRID_3D_R4, ITERS_3D_R4), rounds=3, iterations=1
+    )
+    assert stats.passes == 8
+    _record_rate(benchmark, GRID_3D_R4.size, steps=ITERS_3D_R4)
+
+
+def test_accelerator_sim_3d_radius4_numpy_engine(benchmark) -> None:
+    """Pure-NumPy fallback engine (what runs without a C compiler)."""
+    acc = FPGAAccelerator(SPEC_3D_R4, CFG_3D_R4, engine="numpy")
+    out, _ = benchmark.pedantic(
+        acc.run, args=(GRID_3D_R4, ITERS_3D_R4), rounds=3, iterations=1
+    )
+    _record_rate(benchmark, GRID_3D_R4.size, steps=ITERS_3D_R4)
+
+
+def test_accelerator_sim_3d_radius4_workers(benchmark) -> None:
+    """Block-parallel schedule (threads; deterministic write-back)."""
+    acc = FPGAAccelerator(SPEC_3D_R4, CFG_3D_R4, workers=4)
+    out, _ = benchmark.pedantic(
+        acc.run, args=(GRID_3D_R4, ITERS_3D_R4), rounds=3, iterations=1
+    )
+    _record_rate(benchmark, GRID_3D_R4.size, steps=ITERS_3D_R4)
+
+
 def test_yask_engine_2d(benchmark) -> None:
     engine = YASKEngine(SPEC_2D)
     out = benchmark(engine.run, GRID_2D, 1)

@@ -21,17 +21,37 @@ reference_run` (a tested invariant).  Alongside the numerics it counts the
 architectural quantities (cells processed incl. redundant halo work, memory
 words moved, vector operations, shift-register footprint) that feed the
 performance model.
+
+Execution is plan-driven: a :class:`repro.core.plan.PassPlan` (cached per
+``(config, grid_shape, boundary)``) carries the per-block gather segments,
+clamp-duplicate counts, per-stage shrink windows and write slices, so a
+pass is pure execution — slice copies into a preallocated stream-padded
+scratch buffer, in-place stencil accumulation, no per-stage ``np.pad`` and
+no fancy-indexing gathers.  Blocks within a pass are independent, so the
+optional ``workers=N`` mode fans them out over a thread pool with
+deterministic (disjoint-slice) write-back.  While a fault plan is armed
+the simulator instead runs the hardened per-block path, hopping each block
+through real channels with per-stage checksums.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.blocking import BlockDecomposition, BlockingConfig
+from repro.core.blocking import BlockingConfig
 from repro.core.channels import Channel
-from repro.core.pe import pe_step, refresh_border_duplicates
+from repro.core.native import native_kernel_for
+from repro.core.pe import (
+    fill_stream_halo,
+    pe_step,
+    pe_step_padded,
+    refresh_border_duplicates,
+    stencil_terms,
+)
+from repro.core.plan import BlockPlan, PassPlan, get_pass_plan
 from repro.core.shift_register import shift_register_words
 from repro.core.stencil import StencilSpec
 from repro.errors import ConfigurationError, FaultDetectedError, WatchdogTimeoutError
@@ -47,6 +67,15 @@ class AcceleratorStats:
     ``cells_processed`` uses the hardware's fixed block footprint (each
     block occupies ``bsize`` pipeline slots per blocked axis regardless of
     clamping), which is what the performance model needs.
+
+    **Partial final pass.** When ``iterations % partime != 0`` the last
+    pass advances only the remaining time steps, but the hardware still
+    runs the *full* pipeline: all ``partime`` PEs are instantiated and the
+    trailing ones forward data unchanged.  The counters follow the
+    hardware: ``pe_invocations``, ``cells_processed``, ``words_read`` /
+    ``words_written`` and ``vector_ops`` charge every pass at its full
+    fixed footprint (``blocks x partime`` PE slots), while
+    ``steps_executed`` counts the time steps actually advanced.
     """
 
     passes: int = 0
@@ -78,6 +107,27 @@ class AcceleratorStats:
         return 4 * (self.words_read + self.words_written)
 
 
+class _Scratch:
+    """Per-worker pool of preallocated, shape-exact scratch buffers.
+
+    Keyed by ``(role, shape)`` so every buffer handed to the hot loop is
+    C-contiguous (a strided view into one max-sized buffer would knock
+    NumPy off its contiguous ufunc fast paths).  A plan has only a
+    handful of distinct block footprints and window shapes, so the pool
+    stays tiny and every pass after the first allocates nothing.
+    """
+
+    def __init__(self) -> None:
+        self._bufs: dict[tuple, np.ndarray] = {}
+
+    def get(self, role: str, shape: tuple[int, ...]) -> np.ndarray:
+        buf = self._bufs.get((role, shape))
+        if buf is None:
+            buf = np.empty(shape, dtype=np.float32)
+            self._bufs[(role, shape)] = buf
+        return buf
+
+
 class FPGAAccelerator:
     """Functional model of the blocked, PE-chained stencil accelerator.
 
@@ -88,6 +138,24 @@ class FPGAAccelerator:
     config:
         Blocking/vectorization/temporal-parallelism knobs; must agree with
         ``spec`` on ``dims`` and ``radius``.
+    boundary:
+        ``"clamp"`` (the paper's) or ``"periodic"``.
+    workers:
+        Blocks within a pass are independent; ``workers > 1`` executes
+        them on a thread pool (each worker owns its scratch buffers, and
+        write-back targets disjoint output slices, so results are
+        deterministic and bit-identical to the serial schedule).  Armed
+        fault-injection runs always execute serially — the channel
+        transport and injector bookkeeping are deliberately sequential.
+    engine:
+        ``"auto"`` (default) executes PE stages through the generated
+        native microkernel (:mod:`repro.core.native`) when a C compiler
+        is available and falls back to the pure-NumPy path otherwise;
+        ``"numpy"`` forces the fallback; ``"native"`` requires the
+        microkernel and raises :class:`ConfigurationError` if it cannot
+        be built.  All engines are bit-identical (tested); the knob
+        exists for benchmarking and for environments without a
+        toolchain.
 
     Examples
     --------
@@ -114,6 +182,8 @@ class FPGAAccelerator:
         config: BlockingConfig,
         boundary: str = "clamp",
         stall_watchdog: int | None = None,
+        workers: int = 1,
+        engine: str = "auto",
     ):
         if spec.dims != config.dims:
             raise ConfigurationError(
@@ -131,12 +201,27 @@ class FPGAAccelerator:
             raise ConfigurationError(
                 f"stall_watchdog must be >= 1, got {stall_watchdog}"
             )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if engine not in ("auto", "numpy", "native"):
+            raise ConfigurationError(
+                f"engine must be 'auto', 'numpy' or 'native', got {engine!r}"
+            )
         self.spec = spec
         self.config = config
         self.boundary = boundary
+        self.workers = workers
         self.stall_watchdog = (
             stall_watchdog if stall_watchdog is not None else self.STALL_WATCHDOG
         )
+        self._terms = stencil_terms(spec, spec.dims)
+        self.engine = engine
+        self._native = None if engine == "numpy" else native_kernel_for(spec)
+        if engine == "native" and self._native is None:
+            raise ConfigurationError(
+                "engine='native' but no native kernel could be built "
+                "(no C compiler, compile failure, or REPRO_NO_NATIVE set)"
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -171,9 +256,9 @@ class FPGAAccelerator:
             raise ConfigurationError(f"iterations must be >= 0, got {iterations}")
         grid = np.ascontiguousarray(grid, dtype=np.float32)
 
-        decomp = BlockDecomposition(config, grid.shape)
+        plan = get_pass_plan(config, grid.shape, self.boundary)
         stats = AcceleratorStats(
-            blocks_per_pass=len(decomp),
+            blocks_per_pass=len(plan.blocks),
             shift_register_words_per_pe=shift_register_words(config),
             grid_shape=grid.shape,
         )
@@ -182,14 +267,24 @@ class FPGAAccelerator:
             self._golden_check(result, expected_crc, stats)
             return result, stats
 
-        current = grid
-        remaining = iterations
-        while remaining > 0:
-            steps = min(config.partime, remaining)
-            current = self._run_pass(current, decomp, steps, stats)
-            remaining -= steps
-            stats.passes += 1
-            stats.steps_executed += steps
+        armed = fault_hooks.ACTIVE is not None
+        n_workers = 1 if armed else min(self.workers, len(plan.blocks))
+        scratches = [_Scratch() for _ in range(n_workers)]
+        pool = ThreadPoolExecutor(n_workers) if n_workers > 1 else None
+        try:
+            current = grid
+            remaining = iterations
+            while remaining > 0:
+                steps = min(config.partime, remaining)
+                current = self._run_pass(
+                    current, plan, steps, stats, scratches, pool
+                )
+                remaining -= steps
+                stats.passes += 1
+                stats.steps_executed += steps
+        finally:
+            if pool is not None:
+                pool.shutdown()
         self._golden_check(current, expected_crc, stats)
         return current, stats
 
@@ -214,97 +309,171 @@ class FPGAAccelerator:
     def _run_pass(
         self,
         src: np.ndarray,
-        decomp: BlockDecomposition,
+        plan: PassPlan,
         steps: int,
         stats: AcceleratorStats,
+        scratches: list[_Scratch],
+        pool: ThreadPoolExecutor | None,
     ) -> np.ndarray:
         """One pass: every block flows through ``steps`` chained PE stages.
 
-        When a fault plan is armed, the block payload is moved between
+        Disarmed, blocks execute the cached plan against preallocated
+        scratch buffers (optionally fanned out over ``pool``).  When a
+        fault plan is armed, the pass instead moves each block between
         stages through real :class:`~repro.core.channels.Channel` objects
         carrying per-block checksums — the hardened design's detection
-        path.  Disarmed, none of that code runs and the numerics are
-        bit-identical to the unhardened simulator.
+        path; the numerics are bit-identical either way.
         """
-        config = self.config
-        spec = self.spec
-        halo = config.halo
         out = np.empty_like(src)
-        blocked_axes = config.blocked_axes
-        extents = [src.shape[ax] for ax in blocked_axes]
+        windows = plan.windows(steps)
         inj = fault_hooks.ACTIVE
-        chans: list[Channel] | None = None
         if inj is not None:
-            names = (
-                ["read->pe0"]
-                + [f"pe{i - 1}->pe{i}" for i in range(1, steps)]
-                + [f"pe{steps - 1}->write"]
+            self._run_pass_armed(src, out, plan, windows, steps, inj)
+        elif pool is not None:
+            n = len(scratches)
+            futures = [
+                pool.submit(
+                    self._exec_blocks,
+                    src,
+                    out,
+                    plan,
+                    windows,
+                    range(w, len(plan.blocks), n),
+                    scratches[w],
+                )
+                for w in range(n)
+            ]
+            for f in futures:
+                f.result()
+        else:
+            self._exec_blocks(
+                src, out, plan, windows, range(len(plan.blocks)), scratches[0]
             )
-            chans = [Channel(1, name=n) for n in names]
-        crc = 0
 
-        for block in decomp:
-            # --- read kernel: gather the block footprint with clamped reads
-            index_arrays = []
-            dup_lo: list[int] = []
-            dup_hi: list[int] = []
-            periodic = self.boundary == "periodic"
-            for (start, stop), extent in zip(
-                zip(block.starts, block.stops), extents
-            ):
-                raw = np.arange(start - halo, stop + halo)
-                if periodic:
-                    # wrapped halo cells are *real* data: no duplicates,
-                    # no window pinning at the grid border
-                    index_arrays.append(np.mod(raw, extent))
-                    dup_lo.append(0)
-                    dup_hi.append(0)
+        # The hardware runs the full fixed footprint every pass — all
+        # partime PE slots, all bsize pipeline slots — even on a partial
+        # final pass (see AcceleratorStats).
+        stats.cells_written += plan.cells_written_per_pass
+        stats.cells_processed += plan.cells_processed_per_pass
+        stats.words_read += plan.cells_processed_per_pass
+        stats.words_written += plan.cells_written_per_pass
+        stats.vector_ops += plan.vector_ops_per_pass
+        stats.pe_invocations += len(plan.blocks) * self.config.partime
+        return out
+
+    #: Target cells per streamed-axis chunk of one stage update (~256 KiB
+    #: of float32): keeps the per-term scratch traffic inside the cache
+    #: hierarchy instead of streaming the whole block once per term.
+    CHUNK_CELLS = 65536
+
+    def _exec_blocks(
+        self,
+        src: np.ndarray,
+        out: np.ndarray,
+        plan: PassPlan,
+        windows,
+        block_indices,
+        scratch: _Scratch,
+    ) -> None:
+        """Execute a subset of a pass's blocks against one scratch pool.
+
+        Each stage accumulates into a window-shaped contiguous buffer,
+        chunked along the streamed axis (all chunks read the stage input
+        ``padded`` and only then overwrite the block, so chunking never
+        perturbs neighbor reads — and per-element FLOP order is exactly
+        the reference's).
+        """
+        spec = self.spec
+        rad = self.config.radius
+        blocked_axes = self.config.blocked_axes
+        periodic = plan.periodic
+        boundary = self.boundary
+        terms = self._terms
+        native = self._native
+        for bi in block_indices:
+            bp = plan.blocks[bi]
+            n0 = bp.footprint[0]
+            padded = scratch.get("padded", (n0 + 2 * rad,) + bp.footprint[1:])
+            cur = padded[rad : rad + n0]
+            # --- read kernel: segment copies straight into the scratch
+            bp.gather_into(src, cur)
+            slab_cells = 1
+            for extent in bp.footprint[1:]:
+                slab_cells *= extent
+            chunk = max(1, self.CHUNK_CELLS // slab_cells)
+            # --- PE chain: one time step per stage, shrinking window
+            for window in windows[bi]:
+                fill_stream_halo(padded, n0, rad, boundary)
+                wshape = tuple(hi - lo for lo, hi in window)
+                acc = scratch.get("acc", wshape)
+                if native is not None:
+                    native.stage(padded, window, acc)
                 else:
-                    index_arrays.append(np.clip(raw, 0, extent - 1))
-                    dup_lo.append(max(0, -(start - halo)))
-                    dup_hi.append(max(0, (stop + halo) - extent))
-            cur = self._gather(src, index_arrays)
-            if inj is not None:
-                crc = crc32_array(cur)  # read kernel's per-block checksum
-                inj.touch_sram(cur, site="block-buffer")
+                    z_lo, z_hi = window[0]
+                    for z0 in range(z_lo, z_hi, chunk):
+                        z1 = min(z0 + chunk, z_hi)
+                        pe_step_padded(
+                            padded,
+                            spec,
+                            ((z0, z1),) + window[1:],
+                            out=acc[z0 - z_lo : z1 - z_lo],
+                            tmp=scratch.get("tmp", (z1 - z0,) + wshape[1:]),
+                            terms=terms,
+                        )
+                cur[tuple(slice(lo, hi) for lo, hi in window)] = acc
+                if not periodic:
+                    for local_axis, axis in enumerate(blocked_axes):
+                        refresh_border_duplicates(
+                            cur, axis, bp.dup_lo[local_axis], bp.dup_hi[local_axis]
+                        )
+            # --- write kernel: store the compute region
+            out[bp.write_sl] = cur[bp.read_sl]
 
-            # --- PE chain: one time step per stage over a shrinking window
-            for s in range(1, steps + 1):
-                if inj is not None:
-                    assert chans is not None
-                    cur = self._transport(chans[s - 1], cur, crc)
-                window = self._window(block, extents, halo, steps, s, cur.shape)
+    def _run_pass_armed(
+        self,
+        src: np.ndarray,
+        out: np.ndarray,
+        plan: PassPlan,
+        windows,
+        steps: int,
+        inj,
+    ) -> None:
+        """Hardened pass: per-block checksums hop across every chain stage.
+
+        Uses the same cached plan geometry as the fast path but moves the
+        block payload through real channels between stages (read kernel ->
+        PE_0 -> ... -> write kernel), re-encoding the checksum after every
+        PE update so in-flight corruption and SEUs at rest are detected at
+        the next hop.
+        """
+        spec = self.spec
+        blocked_axes = self.config.blocked_axes
+        periodic = plan.periodic
+        names = (
+            ["read->pe0"]
+            + [f"pe{i - 1}->pe{i}" for i in range(1, steps)]
+            + [f"pe{steps - 1}->write"]
+        )
+        chans = [Channel(1, name=n) for n in names]
+        for bi, bp in enumerate(plan.blocks):
+            # contiguous private buffer: the injector flips bits in place
+            cur = np.empty(bp.footprint, dtype=np.float32)
+            bp.gather_into(src, cur)
+            crc = crc32_array(cur)  # read kernel's per-block checksum
+            inj.touch_sram(cur, site="block-buffer")
+            for s, window in enumerate(windows[bi], start=1):
+                cur = self._transport(chans[s - 1], cur, crc)
                 new_vals = pe_step(cur, spec, window, self.boundary)
                 cur[tuple(slice(lo, hi) for lo, hi in window)] = new_vals
                 if not periodic:
                     for local_axis, axis in enumerate(blocked_axes):
                         refresh_border_duplicates(
-                            cur, axis, dup_lo[local_axis], dup_hi[local_axis]
+                            cur, axis, bp.dup_lo[local_axis], bp.dup_hi[local_axis]
                         )
-                stats.pe_invocations += 1
-                if inj is not None:
-                    crc = crc32_array(cur)  # re-encode after the update
-                    inj.touch_sram(cur, site="block-buffer")
-
-            if inj is not None:
-                assert chans is not None
-                cur = self._transport(chans[steps], cur, crc)
-
-            # --- write kernel: store the compute region
-            write_sl = [slice(None)] * src.ndim
-            read_sl = [slice(None)] * src.ndim
-            for local_axis, axis in enumerate(blocked_axes):
-                start, stop = block.starts[local_axis], block.stops[local_axis]
-                write_sl[axis] = slice(start, stop)
-                read_sl[axis] = slice(halo, halo + (stop - start))
-            out[tuple(write_sl)] = cur[tuple(read_sl)]
-
-        stats.cells_written += decomp.cells_written_per_pass()
-        stats.cells_processed += decomp.cells_processed_per_pass()
-        stats.words_read += decomp.cells_processed_per_pass()
-        stats.words_written += decomp.cells_written_per_pass()
-        stats.vector_ops += -(-decomp.cells_processed_per_pass() // config.parvec)
-        return out
+                crc = crc32_array(cur)  # re-encode after the update
+                inj.touch_sram(cur, site="block-buffer")
+            cur = self._transport(chans[steps], cur, crc)
+            out[bp.write_sl] = cur[bp.read_sl]
 
     def _transport(self, chan: Channel, payload: np.ndarray, crc: int) -> np.ndarray:
         """Move a block through a channel hop with checksum verification.
@@ -351,48 +520,24 @@ class FPGAAccelerator:
 
     @staticmethod
     def _gather(src: np.ndarray, index_arrays: list[np.ndarray]) -> np.ndarray:
-        """Gather the (clamped) block footprint; axis 0 streams in full."""
+        """Gather the (clamped) block footprint; axis 0 streams in full.
+
+        Fancy indexing already materializes a fresh array, so the result
+        never aliases ``src`` — no extra copy is needed (the hardened
+        armed path mutates the returned block in place between hops).
+        """
         if src.ndim == 2:
             (ix,) = index_arrays
-            return src[:, ix].copy()
+            return src[:, ix]
         iy, ix = index_arrays
-        return src[:, iy[:, None], ix[None, :]].copy()
+        return src[:, iy[:, None], ix[None, :]]
 
-    def _window(
-        self,
-        block,
-        extents: list[int],
-        halo: int,
-        steps: int,
-        s: int,
-        cur_shape: tuple[int, ...],
-    ) -> tuple[tuple[int, int], ...]:
-        """Local update window at chain stage ``s`` (1-based) of ``steps``.
 
-        Along blocked axes the window shrinks by ``radius`` per remaining
-        stage relative to the read footprint; at global borders it pins to
-        the border (the clamp boundary condition makes border cells
-        computable at every stage).  Along the streamed axis it spans the
-        full extent.  The shrink schedule guarantees that every neighbor
-        read at stage ``s`` lands inside the stage ``s - 1`` window (or in
-        the refreshed clamp duplicates), which is the overlapped-blocking
-        correctness invariant.
-        """
-        rad = self.config.radius
-        window: list[tuple[int, int]] = [(0, cur_shape[0])]
-        remaining = (steps - s) * rad
-        periodic = self.boundary == "periodic"
-        for local_axis, extent in enumerate(extents):
-            start = block.starts[local_axis]
-            stop = block.stops[local_axis]
-            if periodic:
-                # wrapped halos are real data: the window shrinks on both
-                # sides like an interior block, never pinning to a border
-                lo_global = start - remaining
-                hi_global = stop + remaining
-            else:
-                lo_global = max(0, start - remaining)
-                hi_global = min(extent, stop + remaining)
-            base = start - halo  # local index 0 maps to this global coord
-            window.append((lo_global - base, hi_global - base))
-        return tuple(window)
+#: Re-exported for introspection/tests: the plan types the engine executes.
+__all__ = [
+    "AcceleratorStats",
+    "FPGAAccelerator",
+    "BlockPlan",
+    "PassPlan",
+    "get_pass_plan",
+]

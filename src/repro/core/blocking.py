@@ -123,14 +123,41 @@ class BlockingConfig:
             raise ConfigurationError(f"iterations must be >= 0, got {iterations}")
         return math.ceil(iterations / self.partime)
 
-    def aligned_input_size(self, requested: int, axis_index: int = 0) -> int:
+    def aligned_input_size(self, requested: int, axis: str = "x") -> int:
         """Round ``requested`` up to a multiple of csize for a blocked axis.
 
         The paper sets input dimensions to multiples of the compute-block
         size to avoid redundant computation in the last block (§IV.C).
+
+        ``axis`` names the blocked axis (``"x"`` or, in 3D, ``"y"``) —
+        named rather than indexed because :attr:`csize` is ordered
+        ``(y, x)`` in 3D, where a bare index ``0`` reads as x but means y.
         """
-        cs = self.csize[axis_index]
+        if axis == "x":
+            cs = self.csize[-1]
+        elif axis == "y" and self.dims == 3:
+            cs = self.csize[0]
+        else:
+            raise ConfigurationError(
+                f"axis must be 'x' or (3D only) 'y', got {axis!r} "
+                f"for a {self.dims}D config"
+            )
         return math.ceil(requested / cs) * cs
+
+    def aligned_shape(self, requested: tuple[int, ...]) -> tuple[int, ...]:
+        """Round a grid shape up to §IV.C-aligned blocked extents.
+
+        Blocked extents become csize multiples (so the last block is
+        never partial); the streamed extent is returned unchanged (the
+        hardware streams any length).  ``requested`` is in grid-array
+        order: ``(y, x)`` in 2D, ``(z, y, x)`` in 3D.
+        """
+        self._check_shape(requested)
+        shape = list(int(s) for s in requested)
+        shape[-1] = self.aligned_input_size(shape[-1], "x")
+        if self.dims == 3:
+            shape[1] = self.aligned_input_size(shape[1], "y")
+        return tuple(shape)
 
     def _check_shape(self, grid_shape: tuple[int, ...]) -> None:
         if len(grid_shape) != self.dims:

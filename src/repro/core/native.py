@@ -1,0 +1,266 @@
+"""Generated native microkernels for the pass-plan engine.
+
+The paper's host program *generates* the OpenCL device code from the
+stencil parameters (radius, dimensionality, coefficients) and compiles it
+offline; the FPGA then executes a fixed-function pipeline.  This module
+mirrors that structure for the functional simulator: from a
+:class:`~repro.core.stencil.StencilSpec` it generates a tiny C translation
+unit with the coefficients baked in as exact float literals, compiles it
+once with the system C compiler, and executes PE stages through ``ctypes``
+— one fused pass over the window instead of two NumPy ufunc passes per
+stencil term.
+
+Bit-exactness is preserved by construction:
+
+* coefficients are emitted as C99 hexadecimal-float literals
+  (``float.hex()``), which reconstruct the exact float32 value;
+* the per-element accumulation chain is the paper's fixed order —
+  ``acc = c0 * x`` then ``acc += c_i * x_i`` per
+  :meth:`StencilSpec.offsets` — each multiply and add a separately
+  rounded float32 operation;
+* ``-ffp-contract=off`` forbids the compiler from fusing the multiply
+  and add into an FMA (which rounds once and would change the bits), and
+  auto-vectorization only batches *across* elements, never reassociating
+  within an element's chain.
+
+Everything is best-effort: no compiler, a failed compile, or
+``REPRO_NO_NATIVE=1`` in the environment simply yields ``None`` and the
+engine falls back to the pure-NumPy path (same bits, more wall-clock).
+Compiled libraries are content-addressed by source hash and cached in the
+user's temp directory, so each ``(dims, radius, coefficients)`` spec
+compiles at most once per machine.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+from repro.core.pe import Window, stencil_terms
+from repro.core.stencil import StencilSpec
+
+#: Environment variable that disables native kernels when set to a
+#: non-empty value (the pure-NumPy path is used instead).
+DISABLE_ENV = "REPRO_NO_NATIVE"
+
+
+def _c_literal(value: float) -> str:
+    """Exact C float literal for a float32 value (hex-float, ``f`` suffix)."""
+    return f"{float(np.float32(value)).hex()}f"
+
+
+def kernel_source(spec: StencilSpec) -> str:
+    """C source of the fused PE-stage kernel for ``spec``.
+
+    The function computes ``out[window] = stencil(padded)`` where
+    ``padded`` is the block padded by ``radius`` slabs along the streamed
+    axis (axis 0) only — exactly the layout
+    :func:`repro.core.pe.pe_step_padded` operates on.  Window bounds
+    arrive in padded coordinates for axis 0 and interior coordinates for
+    the other axes; the innermost axis must be unit-stride for both
+    arrays (the caller guarantees it).
+    """
+    terms = stencil_terms(spec, spec.dims)
+    center = _c_literal(spec.center)
+    body: list[str] = []
+    if spec.dims == 2:
+        body += [
+            "void pe_stage(const float *restrict p, float *restrict out,",
+            "              long ps0,",
+            "              long y0, long y1, long x0, long x1,",
+            "              long os0) {",
+            "  for (long y = y0; y < y1; ++y) {",
+            "    const float *row = p + y * ps0;",
+            "    float *orow = out + (y - y0) * os0;",
+            "    for (long x = x0; x < x1; ++x) {",
+            f"      float acc = {center} * row[x];",
+        ]
+        for axis, off, coeff in terms:
+            step = "ps0" if axis == 0 else "1"
+            body.append(
+                f"      acc += {_c_literal(coeff)} * row[x + ({off}) * {step}];"
+            )
+        body += [
+            "      orow[x - x0] = acc;",
+            "    }",
+            "  }",
+            "}",
+        ]
+    else:
+        body += [
+            "void pe_stage(const float *restrict p, float *restrict out,",
+            "              long ps0, long ps1,",
+            "              long z0, long z1, long y0, long y1,",
+            "              long x0, long x1,",
+            "              long os0, long os1) {",
+            "  for (long z = z0; z < z1; ++z) {",
+            "    for (long y = y0; y < y1; ++y) {",
+            "      const float *row = p + z * ps0 + y * ps1;",
+            "      float *orow = out + (z - z0) * os0 + (y - y0) * os1;",
+            "      for (long x = x0; x < x1; ++x) {",
+            f"        float acc = {center} * row[x];",
+        ]
+        for axis, off, coeff in terms:
+            step = {0: "ps0", 1: "ps1", 2: "1"}[axis]
+            body.append(
+                f"        acc += {_c_literal(coeff)} * row[x + ({off}) * {step}];"
+            )
+        body += [
+            "        orow[x - x0] = acc;",
+            "      }",
+            "    }",
+            "  }",
+            "}",
+        ]
+    return "\n".join(body) + "\n"
+
+
+def _find_compiler() -> str | None:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _compile(source: str) -> str | None:
+    """Compile ``source`` to a cached shared library; return its path.
+
+    Content-addressed: the same source always maps to the same ``.so``
+    in the temp directory, built at most once (atomic rename, so racing
+    processes are safe).  Returns ``None`` on any failure.
+    """
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    cache = os.path.join(tempfile.gettempdir(), f"repro_native_{digest}.so")
+    if os.path.exists(cache):
+        return cache
+    workdir = tempfile.mkdtemp(prefix="repro_native_build_")
+    try:
+        c_path = os.path.join(workdir, "kernel.c")
+        so_path = os.path.join(workdir, "kernel.so")
+        with open(c_path, "w") as fh:
+            fh.write(source)
+        base = [compiler, "-O3", "-ffp-contract=off", "-shared", "-fPIC"]
+        for extra in (["-march=native"], []):
+            proc = subprocess.run(
+                base + extra + ["-o", so_path, c_path],
+                capture_output=True,
+                timeout=120,
+            )
+            if proc.returncode == 0:
+                os.replace(so_path, cache)
+                return cache
+        return None
+    except (OSError, subprocess.SubprocessError):
+        return None
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+class NativeStencil:
+    """A compiled fused PE-stage kernel for one stencil spec.
+
+    Calling :meth:`stage` is bit-identical to
+    :func:`repro.core.pe.pe_step_padded` over the same window (asserted
+    by the equivalence tests) — a single C pass instead of ~2 NumPy
+    passes per term.  The ctypes call releases the GIL, so block workers
+    genuinely overlap when ``workers > 1``.
+    """
+
+    def __init__(self, spec: StencilSpec, lib_path: str):
+        self.spec = spec
+        self.lib_path = lib_path
+        lib = ctypes.CDLL(lib_path)
+        fn = lib.pe_stage
+        n_longs = 6 if spec.dims == 2 else 10
+        fn.argtypes = [ctypes.c_void_p, ctypes.c_void_p] + [
+            ctypes.c_long
+        ] * n_longs
+        fn.restype = None
+        self._fn = fn
+
+    def stage(
+        self, padded: np.ndarray, window: Window, out: np.ndarray
+    ) -> np.ndarray:
+        """Compute one PE stage of ``window`` from ``padded`` into ``out``.
+
+        ``window`` is in interior coordinates (as produced by
+        :meth:`PassPlan.windows`); ``out`` must be float32 with the
+        window's shape and unit stride on the innermost axis.
+        """
+        rad = self.spec.radius
+        itemsize = padded.itemsize
+        if self.spec.dims == 2:
+            (y0, y1), (x0, x1) = window
+            self._fn(
+                padded.ctypes.data,
+                out.ctypes.data,
+                padded.strides[0] // itemsize,
+                y0 + rad,
+                y1 + rad,
+                x0,
+                x1,
+                out.strides[0] // itemsize,
+            )
+        else:
+            (z0, z1), (y0, y1), (x0, x1) = window
+            self._fn(
+                padded.ctypes.data,
+                out.ctypes.data,
+                padded.strides[0] // itemsize,
+                padded.strides[1] // itemsize,
+                z0 + rad,
+                z1 + rad,
+                y0,
+                y1,
+                x0,
+                x1,
+                out.strides[0] // itemsize,
+                out.strides[1] // itemsize,
+            )
+        return out
+
+
+def native_available() -> bool:
+    """True if native kernels are enabled and a C compiler is present."""
+    return not os.environ.get(DISABLE_ENV) and _find_compiler() is not None
+
+
+_KERNELS: dict[tuple, NativeStencil | None] = {}
+
+
+def native_kernel_for(spec: StencilSpec) -> NativeStencil | None:
+    """The compiled kernel for ``spec``, or ``None`` when unavailable.
+
+    Cached on the spec's numeric content (``StencilSpec`` holds a NumPy
+    coefficient array, so the spec itself is not hashable); failures (no
+    compiler, compile error, :envvar:`REPRO_NO_NATIVE` set) are cached
+    too, so the fallback decision is made once per spec.
+    """
+    if os.environ.get(DISABLE_ENV):
+        return None
+    key = (
+        spec.dims,
+        spec.radius,
+        float(np.float32(spec.center)),
+        spec.coefficients.tobytes(),
+    )
+    if key in _KERNELS:
+        return _KERNELS[key]
+    lib_path = _compile(kernel_source(spec))
+    kernel: NativeStencil | None = None
+    if lib_path is not None:
+        try:
+            kernel = NativeStencil(spec, lib_path)
+        except OSError:
+            kernel = None
+    _KERNELS[key] = kernel
+    return kernel

@@ -12,6 +12,15 @@ condition keeps the window pinned to the border.
 fully vectorized; :func:`refresh_border_duplicates` re-establishes the
 clamp duplicates that represent out-of-grid neighbor reads, which must
 track the border cell's *current* value between steps.
+
+The hot path of the pass-plan engine avoids per-stage allocation: the
+block lives inside a persistent scratch buffer pre-padded by ``rad`` along
+the streamed axis, :func:`fill_stream_halo` refreshes only the pad slabs
+(instead of ``np.pad`` copying the whole block), and
+:func:`pe_step_padded` accumulates in place via ``np.multiply(...,
+out=)`` / ``+=`` — the identical elementwise operation sequence as the
+allocating form, so float32 results stay bit-for-bit equal to
+:func:`repro.core.reference.reference_step`.
 """
 
 from __future__ import annotations
@@ -23,6 +32,101 @@ from repro.core.stencil import StencilSpec
 
 #: Type alias: per-axis (lo, hi) local window bounds.
 Window = tuple[tuple[int, int], ...]
+
+
+def fill_stream_halo(
+    padded: np.ndarray, interior: int, rad: int, boundary: str = "clamp"
+) -> None:
+    """Refresh the streamed-axis pad slabs of ``padded`` in place.
+
+    ``padded`` holds ``interior`` live rows/planes at ``padded[rad:rad +
+    interior]`` plus ``rad`` pad slabs on each end.  Clamp duplicates the
+    border slab (``np.pad`` edge mode); periodic wraps the opposite end
+    (wrap mode).  Must run before every :func:`pe_step_padded` call,
+    since the interior changes between chain stages.
+    """
+    lo = padded[:rad]
+    hi = padded[rad + interior :]
+    live = padded[rad : rad + interior]
+    if boundary == "clamp":
+        lo[...] = live[:1]
+        hi[...] = live[interior - 1 :]
+    elif interior >= rad:
+        lo[...] = live[interior - rad :]
+        hi[...] = live[:rad]
+    else:
+        # extent smaller than the radius: wrap slab by slab (np.pad's
+        # periodic-tiling semantics)
+        for i in range(rad):
+            lo[i] = live[(interior - rad + i) % interior]
+            hi[i] = live[i % interior]
+
+
+def stencil_terms(
+    spec: StencilSpec, ndim: int
+) -> tuple[tuple[int, int, np.float32], ...]:
+    """Precompiled ``(axis, signed offset, float32 coeff)`` per neighbor term.
+
+    In the paper's fixed accumulation order (:meth:`StencilSpec.offsets`).
+    Deriving these once per run keeps enum/attribute lookups out of the
+    per-chunk hot loop.
+    """
+    return tuple(
+        (
+            _axis_of(direction, ndim),
+            direction.sign * distance,
+            np.float32(spec.coefficient(direction, distance)),
+        )
+        for direction, distance in spec.offsets()
+    )
+
+
+def pe_step_padded(
+    padded: np.ndarray,
+    spec: StencilSpec,
+    window: Window,
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+    terms: tuple[tuple[int, int, np.float32], ...] | None = None,
+) -> np.ndarray:
+    """One stencil step over ``window`` of an already stream-padded block.
+
+    ``padded`` is the extended block padded by ``spec.radius`` slabs on
+    the streamed axis only (axis 0), with the pad slabs already filled
+    (:func:`fill_stream_halo` or ``np.pad``); ``window`` is in *interior*
+    coordinates (local index 0 = first live slab).  When ``out`` and
+    ``tmp`` are given (window-shaped float32 scratch, non-aliasing with
+    ``padded``), the accumulation runs in place with zero allocation;
+    both forms execute the identical elementwise sequence ``acc = c0 *
+    v0; acc += c_i * v_i ...`` so the float32 bits never differ.
+    """
+    ndim = padded.ndim
+    rad = spec.radius
+    if terms is None:
+        terms = stencil_terms(spec, ndim)
+
+    def view(offset_axis: int = -1, offset: int = 0) -> np.ndarray:
+        slices = []
+        for ax in range(ndim):
+            lo, hi = window[ax]
+            base = rad if ax == 0 else 0
+            shift = offset if ax == offset_axis else 0
+            slices.append(slice(lo + base + shift, hi + base + shift))
+        return padded[tuple(slices)]
+
+    center = np.float32(spec.center)
+    if out is None:
+        acc = center * view()
+    else:
+        acc = np.multiply(view(), center, out=out)
+    for axis, offset, coeff in terms:
+        neighbor = view(axis, offset)
+        if tmp is None:
+            acc += coeff * neighbor
+        else:
+            np.multiply(neighbor, coeff, out=tmp)
+            acc += tmp
+    return acc
 
 
 def pe_step(
@@ -43,28 +147,14 @@ def pe_step(
     Returns the new values for the window (a new array of the window's
     shape).  The accumulation order matches :func:`reference_step`
     elementwise, so float32 results are bit-identical to the reference.
+    (This is the allocating convenience form; the pass-plan engine calls
+    :func:`pe_step_padded` directly on a persistent scratch buffer.)
     """
-    ndim = cur.ndim
     rad = spec.radius
-    pad_width = [(rad, rad) if ax == 0 else (0, 0) for ax in range(ndim)]
+    pad_width = [(rad, rad) if ax == 0 else (0, 0) for ax in range(cur.ndim)]
     mode = "edge" if boundary == "clamp" else "wrap"
     padded = np.pad(cur, pad_width, mode=mode)
-
-    def view(offset_axis: int = -1, offset: int = 0) -> np.ndarray:
-        slices = []
-        for ax in range(ndim):
-            lo, hi = window[ax]
-            base = rad if ax == 0 else 0
-            shift = offset if ax == offset_axis else 0
-            slices.append(slice(lo + base + shift, hi + base + shift))
-        return padded[tuple(slices)]
-
-    acc = np.float32(spec.center) * view()
-    for direction, distance in spec.offsets():
-        axis = _axis_of(direction, ndim)
-        coeff = np.float32(spec.coefficient(direction, distance))
-        acc += coeff * view(axis, direction.sign * distance)
-    return acc
+    return pe_step_padded(padded, spec, window)
 
 
 def refresh_border_duplicates(

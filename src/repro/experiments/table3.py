@@ -96,12 +96,13 @@ def validate_row(row: dict, scale_iterations: int = 4) -> dict:
     """
     config: BlockingConfig = row["config"]
     spec: StencilSpec = row["spec"]
-    # smallest csize-aligned blocked extents covering 2 blocks; modest
-    # streamed extent
-    if spec.dims == 2:
-        shape = (48, 2 * config.csize[0])
-    else:
-        shape = (12, 2 * config.csize[0], 2 * config.csize[1])
+    # smallest csize-aligned blocked extents covering 2 blocks (ask for
+    # one cell past a single block and let §IV.C alignment round up);
+    # modest streamed extent
+    stream = 48 if spec.dims == 2 else 12
+    shape = config.aligned_shape(
+        (stream,) + tuple(cs + 1 for cs in config.csize)
+    )
     grid = make_grid(shape, "mixed", seed=spec.radius)
     expected = reference_run(grid, spec, scale_iterations)
     actual, stats = FPGAAccelerator(spec, config).run(grid, scale_iterations)

@@ -51,13 +51,20 @@ def _flip_float_bit(value: float, bit: int) -> float:
 
 
 def _flip_array_bit(array: np.ndarray, word: int, bit: int) -> int:
-    """Flip bit ``bit`` of element ``word % size`` in-place; returns the index."""
+    """Flip bit ``bit`` of element ``word % size`` in-place; returns the index.
+
+    Works for any memory layout: ``reshape(-1)`` of a non-contiguous
+    array returns a *copy*, so the flip must then go through the original
+    array's multi-index (otherwise the strike would silently vanish).
+    """
+    idx = word % array.size
     flat = array.reshape(-1)
-    idx = word % flat.size
-    if flat.dtype == np.float32 and flat.flags["C_CONTIGUOUS"]:
+    is_view = flat is array or flat.base is not None
+    if is_view and flat.dtype == np.float32 and flat.flags["C_CONTIGUOUS"]:
         flat.view(np.uint32)[idx] ^= np.uint32(1 << bit)
     else:
-        flat[idx] = _flip_float_bit(float(flat[idx]), bit)
+        coords = np.unravel_index(idx, array.shape)
+        array[coords] = _flip_float_bit(float(array[coords]), bit)
     return idx
 
 

@@ -42,6 +42,17 @@ class PerformanceEstimate:
     ``gbs`` is the *effective* computation throughput the paper reports:
     cell updates x 8 bytes per second — with temporal blocking this
     exceeds the physical memory bandwidth (the paper's headline claim).
+
+    **Two pass accountings.** The *hardware* runs an integer number of
+    passes — ``passes = ceil(iterations / partime)``, exactly what
+    :meth:`BlockingConfig.passes` returns and what
+    :class:`~repro.core.accelerator.AcceleratorStats` counts.  The
+    *model* normalizes per iteration with fractional passes
+    (``model_passes = iterations / partime``), which is what the paper's
+    throughput formulas use; ``time_s``, ``cycles`` and ``dram_bytes``
+    derive from ``model_passes``.  At the paper's 1000 iterations the
+    two differ by < 1 %; both are carried explicitly so no consumer has
+    to guess which accounting a number came from.
     """
 
     time_s: float
@@ -50,6 +61,7 @@ class PerformanceEstimate:
     gbs: float
     cycles: int
     passes: int
+    model_passes: float
     fmax_mhz: float
     compute_bound: bool
     pipeline_efficiency: float
@@ -64,6 +76,7 @@ class PerformanceEstimate:
             gbs=self.gbs * eta,
             cycles=self.cycles,
             passes=self.passes,
+            model_passes=self.model_passes,
             fmax_mhz=self.fmax_mhz,
             compute_bound=self.compute_bound,
             pipeline_efficiency=eta,
@@ -116,19 +129,20 @@ class PerformanceModel:
         cells = 1
         for s in grid_shape:
             cells *= int(s)
-        # The model normalizes per iteration (fractional passes); the
-        # hardware runs ceil(iterations / partime) full passes, a <1 %
-        # difference at the paper's 1000 iterations.
-        passes = iterations / config.partime
+        # Two accountings (see PerformanceEstimate): the model normalizes
+        # per iteration with fractional passes; the hardware runs
+        # BlockingConfig.passes() = ceil(iterations / partime) full ones.
+        model_passes = iterations / config.partime
+        hw_passes = config.passes(iterations)  # already an int ceil
         cells_per_pass = decomp.model_cells_per_pass()
         cycles_per_pass = cells_per_pass / config.parvec
-        t_compute = passes * cycles_per_pass / fmax_hz
+        t_compute = model_passes * cycles_per_pass / fmax_hz
 
         bytes_per_pass = 4 * field_count * (
             cells_per_pass + decomp.cells_written_per_pass()
         )
         bw = self.board.effective_bandwidth_gbps(fmax_mhz) * 1e9
-        t_memory = passes * bytes_per_pass / bw
+        t_memory = model_passes * bytes_per_pass / bw
 
         t = max(t_compute, t_memory)
         updates = cells * iterations
@@ -138,12 +152,13 @@ class PerformanceModel:
             gcell_s=gcell,
             gflop_s=gcell * spec.flops_per_cell,
             gbs=gcell * spec.bytes_per_cell,
-            cycles=math.ceil(passes * cycles_per_pass),
-            passes=math.ceil(config.passes(iterations)),
+            cycles=math.ceil(model_passes * cycles_per_pass),
+            passes=hw_passes,
+            model_passes=model_passes,
             fmax_mhz=fmax_mhz,
             compute_bound=t_compute >= t_memory,
             pipeline_efficiency=1.0,
-            dram_bytes=math.ceil(passes * bytes_per_pass),
+            dram_bytes=math.ceil(model_passes * bytes_per_pass),
         )
 
     def predict_measured(

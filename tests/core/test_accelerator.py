@@ -155,3 +155,70 @@ def test_large_partime_deep_chain() -> None:
     actual, stats = FPGAAccelerator(spec, cfg).run(grid, 16)
     assert np.array_equal(expected, actual)
     assert stats.passes == 1
+
+
+def test_gather_does_not_alias_src() -> None:
+    """The fancy-indexing gather already materializes a fresh array; the
+    block must not alias the source grid (the armed path mutates it)."""
+    src = make_grid((6, 20), "random", seed=0)
+    ix = np.clip(np.arange(-2, 12), 0, 19)
+    block = FPGAAccelerator._gather(src, [ix])
+    assert block.base is None or block.base is not src
+    assert not np.shares_memory(block, src)
+    before = src.copy()
+    block[:] = -1.0
+    assert np.array_equal(src, before)
+
+    src3 = make_grid((4, 10, 12), "random", seed=1)
+    iy = np.clip(np.arange(-1, 7), 0, 9)
+    ix3 = np.clip(np.arange(3, 13), 0, 11)
+    block3 = FPGAAccelerator._gather(src3, [iy, ix3])
+    assert not np.shares_memory(block3, src3)
+    assert block3.shape == (4, len(iy), len(ix3))
+
+
+def test_partial_final_pass_charges_full_pipeline() -> None:
+    """steps < partime: the hardware still runs all partime PE slots
+    (trailing PEs forward), so every per-pass counter charges the full
+    fixed footprint while steps_executed counts real time steps."""
+    spec, cfg = build(2, 2, bsize=32, parvec=4, partime=3)
+    grid = make_grid((8, 48), "random", seed=13)
+    _, full = FPGAAccelerator(spec, cfg).run(grid, 3)  # one full pass
+    _, part = FPGAAccelerator(spec, cfg).run(grid, 4)  # full + partial
+
+    assert part.passes == 2 and part.steps_executed == 4
+    blocks = full.blocks_per_pass
+    # pe_invocations charge partime slots per block on EVERY pass
+    assert full.pe_invocations == blocks * 3
+    assert part.pe_invocations == 2 * blocks * 3
+    # the other counters scale with passes the same way
+    assert part.cells_processed == 2 * full.cells_processed
+    assert part.vector_ops == 2 * full.vector_ops
+    assert part.words_read == 2 * full.words_read
+    # and the numerics still match the reference for the odd iteration
+    expected = reference_run(grid, spec, 4)
+    actual, _ = FPGAAccelerator(spec, cfg).run(grid, 4)
+    assert np.array_equal(expected, actual)
+
+
+@pytest.mark.parametrize("boundary", ["clamp", "periodic"])
+def test_partial_blocks_odd_iterations_bit_exact(boundary: str) -> None:
+    """The ISSUE's pinned edge-class: partial last blocks AND
+    iterations % partime != 0, under both boundaries."""
+    spec = StencilSpec.star(2, 2)
+    cfg = BlockingConfig(dims=2, radius=2, bsize_x=32, parvec=4, partime=3)
+    grid = make_grid((9, 70), "mixed", seed=21)  # csize 20 -> partial block
+    expected = reference_run(grid, spec, 7, boundary=boundary)  # 7 % 3 != 0
+    actual, stats = FPGAAccelerator(spec, cfg, boundary=boundary).run(grid, 7)
+    assert np.array_equal(expected, actual)
+    assert stats.passes == 3
+
+
+def test_workers_bit_identical_and_validated() -> None:
+    spec, cfg = build(2, 2, bsize=32, partime=2)
+    grid = make_grid((10, 100), "mixed", seed=8)
+    serial, _ = FPGAAccelerator(spec, cfg).run(grid, 5)
+    threaded, _ = FPGAAccelerator(spec, cfg, workers=3).run(grid, 5)
+    assert np.array_equal(serial, threaded)
+    with pytest.raises(ConfigurationError):
+        FPGAAccelerator(spec, cfg, workers=0)

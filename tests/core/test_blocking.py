@@ -83,6 +83,31 @@ def test_aligned_input_size() -> None:
     assert cfg.aligned_input_size(104) == 104
 
 
+def test_aligned_input_size_axis_semantics() -> None:
+    """Regression: in 3D ``csize`` is ordered (y, x), so a positional
+    axis index of 0 silently meant the *y* axis.  The axis is now named."""
+    cfg = cfg3d(bsize_x=64, bsize_y=48, partime=2, radius=2)  # csize (40, 56)
+    assert cfg.aligned_input_size(100, "x") == 112  # 2 * 56
+    assert cfg.aligned_input_size(100, "y") == 120  # 3 * 40
+    # default stays the contiguous x axis
+    assert cfg.aligned_input_size(100) == 112
+    with pytest.raises(ConfigurationError):
+        cfg.aligned_input_size(100, "z")  # streamed axis needs no alignment
+    with pytest.raises(ConfigurationError):
+        cfg2d().aligned_input_size(100, "y")  # 2D has no blocked y axis
+
+
+def test_aligned_shape() -> None:
+    cfg3 = cfg3d(bsize_x=64, bsize_y=48, partime=2, radius=2)  # csize (40, 56)
+    assert cfg3.aligned_shape((10, 100, 100)) == (10, 120, 112)
+    # already aligned -> unchanged; streamed axis never padded
+    assert cfg3.aligned_shape((7, 120, 112)) == (7, 120, 112)
+    cfg2 = cfg2d(bsize_x=64, partime=3, radius=2)  # csize 52
+    assert cfg2.aligned_shape((9, 100)) == (9, 104)
+    with pytest.raises(ConfigurationError):
+        cfg2.aligned_shape((9, 100, 3))
+
+
 def test_decomposition_partitions_grid_2d() -> None:
     cfg = cfg2d(bsize_x=64, partime=3, radius=2)  # csize 52
     decomp = BlockDecomposition(cfg, (40, 130))

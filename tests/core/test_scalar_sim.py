@@ -55,6 +55,26 @@ def test_scalar_matches_vectorized_accelerator_bits() -> None:
     assert np.array_equal(fast, slow)
 
 
+@pytest.mark.parametrize("boundary", ["clamp", "periodic"])
+def test_scalar_cross_checks_every_plan_engine(boundary: str) -> None:
+    """The streaming shift-register sim anchors the pass-plan engine: the
+    NumPy fallback, the native microkernel (when present) and the
+    block-parallel schedule must all match its bits."""
+    spec = StencilSpec.star(2, 2)
+    cfg = BlockingConfig(dims=2, radius=2, bsize_x=20, parvec=4, partime=2)
+    grid = make_grid((7, 30), "mixed", seed=9)
+    anchor = scalar_run(grid, spec, cfg, 3, boundary=boundary)
+    for kwargs in (
+        dict(engine="numpy"),
+        dict(engine="auto"),
+        dict(workers=3),
+    ):
+        out, _ = FPGAAccelerator(spec, cfg, boundary=boundary, **kwargs).run(
+            grid, 3
+        )
+        assert np.array_equal(anchor, out), kwargs
+
+
 def test_streaming_pe_register_size_is_eq7() -> None:
     spec = StencilSpec.star(2, 3)
     pe = StreamingPE(spec, (6, 16), (0, -2), (6, 12), parvec=4)

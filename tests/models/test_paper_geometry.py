@@ -43,11 +43,10 @@ def test_aligned_input_size_recovers_paper_shapes(dims: int, radius: int) -> Non
     16096/15712/15680 in 2D and 696x728 in 3D exactly."""
     config, shape = paper_config(dims, radius)
     minimum = 15500 if dims == 2 else 600
-    x_index = len(config.blocked_axes) - 1
-    x_extent = config.aligned_input_size(minimum, x_index)
-    assert x_extent == shape[config.blocked_axes[x_index]]
+    x_extent = config.aligned_input_size(minimum, "x")
+    assert x_extent == shape[config.blocked_axes[-1]]
     if dims == 3:
-        y_extent = config.aligned_input_size(x_extent, 0)
+        y_extent = config.aligned_input_size(x_extent, "y")
         assert y_extent == shape[config.blocked_axes[0]]
 
 

@@ -131,3 +131,52 @@ def test_invalid_inputs() -> None:
         model.estimate(spec, cfg, shape, 0)
     with pytest.raises(ConfigurationError):
         model.estimate(StencilSpec.star(2, 2), cfg, shape, 10)
+
+
+def test_two_pass_accountings_are_explicit() -> None:
+    """Regression for the double-ceil bug: ``passes`` is the hardware's
+    integer ceil, ``model_passes`` the paper's fractional normalization,
+    and time/cycles/dram_bytes derive from the fractional one."""
+    spec = StencilSpec.star(2, 2)
+    cfg = BlockingConfig(dims=2, radius=2, bsize_x=256, parvec=4, partime=7)
+    shape = (1024, 1024)
+    model = PerformanceModel(NALLATECH_385A)
+    est = model.estimate(spec, cfg, shape, 10, fmax_mhz=300.0)
+
+    assert est.passes == cfg.passes(10) == 2  # ceil(10/7)
+    assert est.model_passes == pytest.approx(10 / 7)
+    # throughput uses the fractional accounting, so halving the partime
+    # remainder does NOT quantize time to whole passes
+    est9 = model.estimate(spec, cfg, shape, 9, fmax_mhz=300.0)
+    assert est9.passes == 2
+    assert est9.time_s < est.time_s  # 9/7 < 10/7 even at equal hw passes
+    # cycles and dram_bytes scale with model_passes (ceil'd to ints),
+    # not with the hardware pass count
+    est7 = model.estimate(spec, cfg, shape, 7, fmax_mhz=300.0)
+    assert est.cycles == pytest.approx(est7.cycles * 10 / 7, abs=1.0)
+    assert est.dram_bytes == pytest.approx(est7.dram_bytes * 10 / 7, abs=1.0)
+    # the hardware accounting would have doubled them instead
+    assert est.cycles < 2 * est7.cycles
+
+
+def test_exact_multiple_iterations_accountings_agree() -> None:
+    """When iterations % partime == 0 both accountings coincide."""
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=128, parvec=4, partime=5)
+    est = PerformanceModel(NALLATECH_385A).estimate(
+        spec, cfg, (512, 512), 20, fmax_mhz=300.0
+    )
+    assert est.passes == 4
+    assert est.model_passes == 4.0
+
+
+def test_scaled_by_efficiency_preserves_both_accountings() -> None:
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=128, parvec=4, partime=3)
+    est = PerformanceModel(NALLATECH_385A).estimate(
+        spec, cfg, (512, 512), 10, fmax_mhz=300.0
+    )
+    derated = est.scaled_by_efficiency(0.85)
+    assert derated.passes == est.passes
+    assert derated.model_passes == est.model_passes
+    assert derated.time_s == pytest.approx(est.time_s / 0.85)

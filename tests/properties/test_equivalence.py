@@ -37,7 +37,8 @@ def config_2d(draw):
     nx = draw(st.integers(1, 90))
     iters = draw(st.integers(0, 2 * partime + 1))
     seed = draw(st.integers(0, 2**16))
-    return cfg, (ny, nx), iters, seed
+    boundary = draw(st.sampled_from(["clamp", "periodic"]))
+    return cfg, (ny, nx), iters, seed, boundary
 
 
 @st.composite
@@ -61,28 +62,48 @@ def config_3d(draw):
     nx = draw(st.integers(1, 40))
     iters = draw(st.integers(0, 2 * partime))
     seed = draw(st.integers(0, 2**16))
-    return cfg, (nz, ny, nx), iters, seed
+    boundary = draw(st.sampled_from(["clamp", "periodic"]))
+    return cfg, (nz, ny, nx), iters, seed, boundary
 
 
 @given(config_2d())
 def test_accelerator_equals_reference_2d(params) -> None:
-    cfg, shape, iters, seed = params
+    cfg, shape, iters, seed, boundary = params
     spec = StencilSpec.star(2, cfg.radius)
     grid = make_grid(shape, "random", seed=seed)
-    expected = reference_run(grid, spec, iters)
-    actual, _ = FPGAAccelerator(spec, cfg).run(grid, iters)
+    expected = reference_run(grid, spec, iters, boundary=boundary)
+    actual, _ = FPGAAccelerator(spec, cfg, boundary=boundary).run(grid, iters)
     assert np.array_equal(expected, actual)
 
 
 @settings(max_examples=25)
 @given(config_3d())
 def test_accelerator_equals_reference_3d(params) -> None:
-    cfg, shape, iters, seed = params
+    cfg, shape, iters, seed, boundary = params
     spec = StencilSpec.star(3, cfg.radius)
     grid = make_grid(shape, "random", seed=seed)
-    expected = reference_run(grid, spec, iters)
-    actual, _ = FPGAAccelerator(spec, cfg).run(grid, iters)
+    expected = reference_run(grid, spec, iters, boundary=boundary)
+    actual, _ = FPGAAccelerator(spec, cfg, boundary=boundary).run(grid, iters)
     assert np.array_equal(expected, actual)
+
+
+@settings(max_examples=20)
+@given(config_2d(), st.integers(2, 4))
+def test_engines_and_workers_bit_identical(params, workers) -> None:
+    """The NumPy fallback, the native microkernel (when available) and the
+    block-parallel schedule are pure execution choices: same bits."""
+    cfg, shape, iters, seed, boundary = params
+    spec = StencilSpec.star(2, cfg.radius)
+    grid = make_grid(shape, "random", seed=seed)
+    base, _ = FPGAAccelerator(spec, cfg, boundary=boundary).run(grid, iters)
+    via_numpy, _ = FPGAAccelerator(
+        spec, cfg, boundary=boundary, engine="numpy"
+    ).run(grid, iters)
+    parallel, _ = FPGAAccelerator(
+        spec, cfg, boundary=boundary, workers=workers
+    ).run(grid, iters)
+    assert np.array_equal(base, via_numpy)
+    assert np.array_equal(base, parallel)
 
 
 @given(
