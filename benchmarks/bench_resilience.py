@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core import BlockingConfig, FPGAAccelerator, StencilSpec, make_grid
 from repro.faults import FaultPlan, arm
+from repro.runtime.checkpoint import CheckpointPolicy
 
 SPEC = StencilSpec.star(2, 2)
 CONFIG = BlockingConfig(dims=2, radius=2, bsize_x=512, parvec=4, partime=4)
@@ -75,3 +76,44 @@ def test_disarmed_path_is_near_free() -> None:
         f"disarmed path ({disarmed:.3f}s) should not cost more than the "
         f"armed-empty path ({armed:.3f}s): hooks are leaking work"
     )
+
+
+def _run_checkpointed() -> np.ndarray:
+    out, _ = FPGAAccelerator(SPEC, CONFIG).run(
+        GRID, ITERS, checkpoint=CheckpointPolicy(every=1)
+    )
+    return out
+
+
+def test_checkpoint_none_is_the_zero_overhead_path() -> None:
+    """``checkpoint=None`` must stay byte-for-byte the pre-checkpoint
+    loop: no snapshots, no grid copies, recovery counters untouched.
+    Same lenient style as the disarmed-hooks gate — it catches the
+    ``None`` path starting to do checkpoint work, not timing noise."""
+    import time
+
+    def _best_of(fn, n=3) -> float:
+        times = []
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    out, stats = acc.run(GRID, ITERS)  # warm-up doubles as the stats check
+    assert stats.rollbacks == 0
+    assert stats.replayed_passes == 0
+    assert stats.checkpoints == 0
+
+    plain = _best_of(_run_disarmed)
+    every_pass = _best_of(_run_checkpointed)
+    # every-pass snapshots copy the whole grid each pass; the None path
+    # must stay clearly below that ceiling
+    assert plain < every_pass * 1.10, (
+        f"checkpoint=None path ({plain:.3f}s) should not cost more than "
+        f"snapshot-every-pass ({every_pass:.3f}s): the disarmed hook is "
+        "leaking checkpoint work"
+    )
+    # and checkpointed runs produce identical bits
+    assert np.array_equal(out, _run_checkpointed())

@@ -11,6 +11,16 @@ what the recovery cost in effective GCell/s.
 Registered as experiment id ``resilience``; the whole campaign is
 deterministic, so the report doubles as a regression gate on the
 fault-injection subsystem.
+
+A second experiment, ``chaos``, drives *randomized* fault schedules
+through the multi-device :class:`~repro.runtime.StencilScheduler` and
+checks the end-to-end invariant: every admitted job either completes
+bit-identical to :func:`repro.core.reference_run` or fails with a typed
+error — never silently wrong.  It also measures the recovery-cost claim
+of pass-granular checkpointing: replaying the tail since the last
+snapshot must beat a whole-run retry by at least 3x in replayed passes
+on a long run faulted near the end (the numbers behind
+``BENCH_recovery.json``).
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ import numpy as np
 
 from repro.analysis.compare import compare_values
 from repro.analysis.tables import render_table
-from repro.core import BlockingConfig, StencilSpec, make_grid
+from repro.core import BlockingConfig, StencilSpec, make_grid, reference_run
 from repro.errors import FaultDetectedError
 from repro.experiments.base import ExperimentResult
 from repro.faults import (
@@ -34,6 +44,7 @@ from repro.faults import (
     TransferFault,
     arm,
 )
+from repro.runtime.checkpoint import CheckpointPolicy
 from repro.runtime.host import (
     Buffer,
     CommandQueue,
@@ -42,6 +53,7 @@ from repro.runtime.host import (
     StencilProgram,
     benchmark_kernel,
 )
+from repro.runtime.scheduler import StencilJob, StencilScheduler
 
 #: Campaign workload: small enough for CI, large enough for several
 #: blocks per pass (so block-level faults have real structure to hit).
@@ -227,5 +239,265 @@ def run() -> ExperimentResult:
                 }
                 for o in outcomes
             ],
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# chaos: randomized fault schedules through the scheduler
+# --------------------------------------------------------------------- #
+
+#: Chaos workload: single-digit-millisecond jobs, two blocks per pass.
+CHAOS_SPEC = StencilSpec.star(2, 1)
+CHAOS_CONFIG = BlockingConfig(dims=2, radius=1, bsize_x=64, parvec=4, partime=2)
+CHAOS_GRID_SHAPE = (16, 64)
+
+#: Error types an admitted job may legitimately fail with.  Anything
+#: else — or a completed job whose bits differ from the reference —
+#: violates the chaos invariant.
+TYPED_FAILURES = frozenset(
+    {
+        "FaultDetectedError",
+        "WatchdogTimeoutError",
+        "DeadlineExceededError",
+        "SchedulerSaturatedError",
+        "ConfigurationError",
+    }
+)
+
+
+def _random_fault_plan(rng: np.random.Generator) -> FaultPlan:
+    """A seeded random fault schedule: 1-2 faults, random class/position."""
+    menu = (
+        lambda: SEUFault(
+            site="block-buffer", at_touch=int(rng.integers(0, 40))
+        ),
+        lambda: SEUFault(site="dram", at_touch=int(rng.integers(0, 3))),
+        lambda: ChannelCorruptFault(at_write=int(rng.integers(0, 30))),
+        lambda: ChannelStallFault(
+            at_op=int(rng.integers(0, 20)),
+            duration=int(rng.integers(100, 400)),  # straddles the watchdog
+        ),
+        lambda: TransferFault(
+            at_transfer=int(rng.integers(0, 3)),
+            direction=str(rng.choice(["write", "read"])),
+            mode=str(rng.choice(["corrupt", "fail"])),
+        ),
+    )
+    n_faults = int(rng.integers(1, 3))
+    faults = tuple(menu[int(rng.integers(0, len(menu)))]() for _ in range(n_faults))
+    return FaultPlan(seed=int(rng.integers(0, 2**31)), faults=faults)
+
+
+@dataclass(frozen=True)
+class ChaosBatch:
+    """One armed batch of scheduled jobs."""
+
+    seed: int
+    fault_names: tuple[str, ...]
+    completed: int
+    failed_typed: int
+    violations: int
+
+
+def run_chaos_campaign(
+    seed: int = SEED,
+    batches: int = 4,
+    jobs_per_batch: int = 3,
+    devices: int = 2,
+) -> list[ChaosBatch]:
+    """Randomized fault schedules through the multi-device scheduler.
+
+    Each batch arms a fresh random :class:`FaultPlan` (derived from
+    ``seed`` — the whole campaign is reproducible), submits a few jobs
+    and drains the scheduler.  Every result is checked against the
+    invariant: completed jobs must be bit-identical to
+    :func:`reference_run`; failed jobs must carry a typed error.
+    """
+    rng = np.random.default_rng(seed)
+    grid = make_grid(CHAOS_GRID_SHAPE, "mixed", seed=seed % 1000)
+    references: dict[int, np.ndarray] = {}
+    outcomes: list[ChaosBatch] = []
+    for b in range(batches):
+        plan = _random_fault_plan(rng)
+        sched = StencilScheduler(
+            devices=devices,
+            retry_policy=RETRY_POLICY,
+            default_checkpoint=CheckpointPolicy(every=4),
+        )
+        iters: list[int] = []
+        for j in range(jobs_per_batch):
+            n = int(rng.choice([4, 6, 10]))
+            iters.append(n)
+            sched.submit(
+                StencilJob(
+                    job_id=f"b{b}-j{j}",
+                    spec=CHAOS_SPEC,
+                    config=CHAOS_CONFIG,
+                    grid=grid,
+                    iterations=n,
+                )
+            )
+        with arm(plan):
+            results = sched.run_until_idle()
+        completed = failed_typed = violations = 0
+        for res, n in zip(results, iters):
+            if res.status == "completed":
+                if n not in references:
+                    references[n] = reference_run(grid, CHAOS_SPEC, n)
+                if np.array_equal(res.result, references[n]):
+                    completed += 1
+                else:
+                    violations += 1  # silently wrong: the cardinal sin
+            elif res.error_type in TYPED_FAILURES:
+                failed_typed += 1
+            else:
+                violations += 1
+        outcomes.append(
+            ChaosBatch(
+                seed=plan.seed,
+                fault_names=tuple(type(f).__name__ for f in plan.faults),
+                completed=completed,
+                failed_typed=failed_typed,
+                violations=violations,
+            )
+        )
+    return outcomes
+
+
+def run_replay_cost(
+    iterations: int = 1000,
+    fault_at_fraction: float = 0.9,
+    checkpoint_every: int = 25,
+) -> dict:
+    """Tail replay vs whole-run retry on a long run faulted near the end.
+
+    Runs the same workload twice with the same mid-pass SEU at
+    ``fault_at_fraction`` of the run: once with ``checkpoint_every``
+    snapshots (tail replay) and once with an interval no run ever
+    reaches (the whole-run-retry baseline: rollback lands on pass 0).
+    Returns replayed-pass counts, clock overheads, and their ratio.
+    """
+    program = StencilProgram(CHAOS_SPEC, CHAOS_CONFIG)
+    grid = make_grid(CHAOS_GRID_SHAPE, "mixed", seed=11)
+    passes = -(-iterations // CHAOS_CONFIG.partime)
+    fault_pass = int(passes * fault_at_fraction)
+    if fault_pass % checkpoint_every == 0:
+        fault_pass += checkpoint_every // 2  # keep a real tail to replay
+    # armed block-buffer touches per pass: blocks x (1 + steps)
+    _, probe = program.execute(grid, CHAOS_CONFIG.partime)
+    touches_per_pass = probe.blocks_per_pass * (1 + CHAOS_CONFIG.partime)
+    seu = SEUFault(
+        site="block-buffer", at_touch=fault_pass * touches_per_pass + 1
+    )
+
+    def measure(every: int) -> dict:
+        queue = CommandQueue(HostDevice(program.board), retry_policy=RETRY_POLICY)
+        src = Buffer(grid.nbytes)
+        dst = Buffer(grid.nbytes)
+        with arm(FaultPlan(seed=SEED, faults=(seu,))):
+            queue.enqueue_write_buffer(src, grid)
+            event = queue.enqueue_kernel(
+                program,
+                src,
+                dst,
+                iterations,
+                checkpoint=CheckpointPolicy(every=every),
+            )
+            out, _ = queue.enqueue_read_buffer(dst)
+        return {
+            "every": every,
+            "replayed_passes": event.replayed_passes,
+            "rollbacks": event.rollbacks,
+            "checkpoint_overhead_s": event.checkpoint_overhead_s,
+            "kernel_event_s": event.duration_s,
+            "bit_exact": bool(
+                np.array_equal(out, reference_run(grid, CHAOS_SPEC, iterations))
+            ),
+        }
+
+    whole = measure(10**9)  # only the pass-0 base snapshot exists
+    tail = measure(checkpoint_every)
+    ratio = whole["replayed_passes"] / max(1, tail["replayed_passes"])
+    return {
+        "iterations": iterations,
+        "passes": passes,
+        "fault_pass": fault_pass,
+        "checkpoint_every": checkpoint_every,
+        "whole_run": whole,
+        "tail_replay": tail,
+        "replay_cost_ratio": ratio,
+        "meets_3x_target": bool(ratio >= 3.0),
+    }
+
+
+def run_chaos() -> ExperimentResult:
+    """Build the chaos report (experiment id ``chaos``)."""
+    batches = run_chaos_campaign()
+    replay = run_replay_cost()
+
+    rows = [
+        (
+            f"{i}",
+            "+".join(b.fault_names),
+            f"{b.completed}",
+            f"{b.failed_typed}",
+            f"{b.violations}",
+        )
+        for i, b in enumerate(batches)
+    ]
+    table = render_table(
+        ["batch", "faults", "bit-exact", "failed typed", "violations"],
+        rows,
+        title=f"Chaos campaign (seed {SEED}, scheduler with 2 devices, "
+        "checkpoint every 4 passes)",
+    )
+    tail = replay["tail_replay"]
+    whole = replay["whole_run"]
+    table += (
+        f"\n\nRecovery cost, {replay['iterations']}-iteration run faulted at "
+        f"pass {replay['fault_pass']}/{replay['passes']}:\n"
+        f"  whole-run retry : {whole['replayed_passes']} replayed passes\n"
+        f"  tail replay     : {tail['replayed_passes']} replayed passes "
+        f"(checkpoint every {replay['checkpoint_every']})\n"
+        f"  ratio           : {replay['replay_cost_ratio']:.1f}x "
+        "(target >= 3x)\n"
+    )
+
+    total = sum(b.completed + b.failed_typed + b.violations for b in batches)
+    ok = sum(b.completed + b.failed_typed for b in batches)
+    violations = sum(b.violations for b in batches)
+    comparisons = [
+        compare_values("jobs completed or failed typed", 1.0, ok / total, 0.0),
+        compare_values(
+            "invariant intact (no silent corruption, no untyped failure)",
+            1.0,
+            1.0 if violations == 0 else 0.0,
+            0.0,
+        ),
+        compare_values(
+            "tail replay >= 3x cheaper than whole-run retry",
+            1.0,
+            1.0 if replay["meets_3x_target"] else 0.0,
+            0.0,
+        ),
+    ]
+    return ExperimentResult(
+        exp_id="chaos",
+        title="Chaos scheduling: typed-failure invariant and recovery cost",
+        text=table,
+        comparisons=comparisons,
+        data={
+            "batches": [
+                {
+                    "seed": b.seed,
+                    "faults": list(b.fault_names),
+                    "completed": b.completed,
+                    "failed_typed": b.failed_typed,
+                    "violations": b.violations,
+                }
+                for b in batches
+            ],
+            "replay_cost": replay,
         },
     )

@@ -93,6 +93,16 @@ class AcceleratorStats:
     #: or the caller supplied a golden CRC (the fault-free path stays
     #: untouched).
     output_crc32: int | None = None
+    #: Pass-granular recovery accounting (``checkpoint=`` hook of
+    #: :meth:`FPGAAccelerator.run`).  ``rollbacks`` counts restores from
+    #: a checkpoint, ``replayed_passes`` the completed passes that were
+    #: discarded and re-executed (the tail cost of each rollback), and
+    #: ``checkpoints`` the periodic snapshots taken.  All three stay 0
+    #: when ``checkpoint=None``; the ordinary counters above are restored
+    #: on rollback, so a recovered run's totals equal a fault-free run's.
+    rollbacks: int = 0
+    replayed_passes: int = 0
+    checkpoints: int = 0
 
     @property
     def redundancy_ratio(self) -> float:
@@ -230,6 +240,7 @@ class FPGAAccelerator:
         grid: np.ndarray,
         iterations: int,
         expected_crc: int | None = None,
+        checkpoint=None,
     ) -> tuple[np.ndarray, AcceleratorStats]:
         """Advance ``grid`` by ``iterations`` time steps.
 
@@ -246,6 +257,17 @@ class FPGAAccelerator:
         stall watchdog on each hop), so injected SEUs, corrupted channel
         items, and wedged FIFOs are caught before the corrupt block
         reaches external memory.
+
+        ``checkpoint`` enables pass-granular recovery: a
+        :class:`~repro.runtime.checkpoint.CheckpointPolicy` (or an int
+        ``k``, shorthand for ``CheckpointPolicy(every=k)``) snapshots the
+        grid every ``k`` completed passes, and a detected fault rolls
+        back to the last good snapshot and re-executes only the tail
+        (cost surfaced via ``stats.rollbacks`` / ``stats.replayed_passes``
+        / ``stats.checkpoints``).  With ``checkpoint=None`` (default) the
+        run takes exactly the pre-checkpoint path — no snapshots, no
+        copies, no overhead — and detected faults propagate to the
+        caller as before.
         """
         spec, config = self.spec, self.config
         if grid.ndim != spec.dims:
@@ -267,6 +289,16 @@ class FPGAAccelerator:
             self._golden_check(result, expected_crc, stats)
             return result, stats
 
+        mgr = None
+        if checkpoint is not None:
+            # Imported lazily: repro.runtime imports this module, so a
+            # top-level import would cycle — and the checkpoint=None hot
+            # path must not even pay for the import.
+            from repro.runtime.checkpoint import as_manager
+
+            mgr = as_manager(checkpoint)
+            mgr.seed(grid, stats)
+
         armed = fault_hooks.ACTIVE is not None
         n_workers = 1 if armed else min(self.workers, len(plan.blocks))
         scratches = [_Scratch() for _ in range(n_workers)]
@@ -274,18 +306,30 @@ class FPGAAccelerator:
         try:
             current = grid
             remaining = iterations
-            while remaining > 0:
-                steps = min(config.partime, remaining)
-                current = self._run_pass(
-                    current, plan, steps, stats, scratches, pool
-                )
-                remaining -= steps
-                stats.passes += 1
-                stats.steps_executed += steps
+            while True:
+                try:
+                    while remaining > 0:
+                        steps = min(config.partime, remaining)
+                        current = self._run_pass(
+                            current, plan, steps, stats, scratches, pool
+                        )
+                        remaining -= steps
+                        stats.passes += 1
+                        stats.steps_executed += steps
+                        if mgr is not None:
+                            mgr.maybe_snapshot(current, stats, remaining)
+                    self._golden_check(current, expected_crc, stats)
+                    break
+                except FaultDetectedError as err:
+                    # WatchdogTimeoutError is a FaultDetectedError, so a
+                    # wedged-channel watchdog mid-pass rolls back too.
+                    if mgr is None:
+                        raise
+                    current = mgr.rollback(stats, err)
+                    remaining = iterations - stats.steps_executed
         finally:
             if pool is not None:
                 pool.shutdown()
-        self._golden_check(current, expected_crc, stats)
         return current, stats
 
     @staticmethod

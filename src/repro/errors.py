@@ -40,5 +40,28 @@ class WatchdogTimeoutError(FaultDetectedError):
     deadline, or a cycle simulation that failed to converge."""
 
 
+class SchedulerError(ReproError):
+    """Base class for errors raised by the multi-device scheduler."""
+
+
+class SchedulerSaturatedError(SchedulerError):
+    """The scheduler's bounded admission queue is full.
+
+    Raised by :meth:`repro.runtime.scheduler.StencilScheduler.submit`
+    instead of letting the pending queue grow without bound; callers are
+    expected to back off and resubmit.
+    """
+
+
+class DeadlineExceededError(SchedulerError):
+    """A job's per-job deadline (simulated clock) cannot be or was not met.
+
+    Raised either before dispatch (the modeled execution time already
+    exceeds the deadline) or after execution (retries and rollbacks
+    pushed the elapsed simulated time past the budget).  A late result is
+    discarded: a job never *silently* misses its deadline.
+    """
+
+
 class ValidationError(ReproError):
     """Numerical validation between two engines failed."""

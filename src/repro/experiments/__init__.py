@@ -54,6 +54,13 @@ def _resilience(**kwargs):
     return run(**kwargs)
 
 
+def _chaos(**kwargs):
+    from repro.analysis.resilience import run_chaos
+
+    return run_chaos(**kwargs)
+
+
 EXPERIMENTS["resilience"] = _resilience
+EXPERIMENTS["chaos"] = _chaos
 
 __all__ = ["EXPERIMENTS", "ExperimentResult"]

@@ -1,5 +1,6 @@
 """OpenCL-like host runtime emulation (paper §IV.B-C methodology)."""
 
+from repro.runtime.checkpoint import CheckpointManager, CheckpointPolicy
 from repro.runtime.host import (
     Buffer,
     CommandQueue,
@@ -10,14 +11,26 @@ from repro.runtime.host import (
     StencilProgram,
     benchmark_kernel,
 )
+from repro.runtime.scheduler import (
+    CircuitBreaker,
+    JobResult,
+    StencilJob,
+    StencilScheduler,
+)
 
 __all__ = [
     "Buffer",
+    "CheckpointManager",
+    "CheckpointPolicy",
+    "CircuitBreaker",
     "CommandQueue",
     "Event",
     "HostDevice",
+    "JobResult",
     "PowerSensor",
     "RetryPolicy",
+    "StencilJob",
     "StencilProgram",
+    "StencilScheduler",
     "benchmark_kernel",
 ]

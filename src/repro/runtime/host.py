@@ -19,6 +19,7 @@ including the distinction between transfer time and kernel time.
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -114,7 +115,16 @@ class Event:
     ``attempts`` and ``retry_wait_s`` surface the retry path's overhead:
     an event with ``attempts > 1`` spans every re-attempt plus the
     exponential-backoff waits, so kernel-vs-transfer accounting sees
-    exactly what resilience cost.
+    exactly what resilience cost.  ``rollbacks``, ``replayed_passes``
+    and ``checkpoint_overhead_s`` do the same for pass-granular
+    checkpointed recovery: a kernel event that healed a fault in-place
+    reports how many passes were replayed and what the periodic
+    snapshots cost on the clock.
+
+    An operation that exhausts its retries still records a terminal
+    ``*-failed`` event (spanning every attempt plus the backoff waits)
+    before raising, so the clock, the event log and the byte counters
+    always agree.
     """
 
     name: str
@@ -122,6 +132,9 @@ class Event:
     end_s: float
     attempts: int = 1
     retry_wait_s: float = 0.0
+    rollbacks: int = 0
+    replayed_passes: int = 0
+    checkpoint_overhead_s: float = 0.0
 
     @property
     def duration_s(self) -> float:
@@ -191,13 +204,21 @@ class PowerSensor:
         inj = fault_hooks.ACTIVE
         samples = []
         dropped = 0
-        t = start_s
-        while t < end_s:  # always enters at least once: end_s > start_s
+        # Sample times are indexed (start + i * interval), not accumulated
+        # (t += interval): float accumulation drifts by one ulp per step,
+        # which over multi-second windows walks the last sample across the
+        # end boundary — an off-by-one sample count vs the paper's 10 ms
+        # grid.
+        i = 0
+        while True:
+            t = start_s + i * POWER_SAMPLE_INTERVAL_S
+            if i > 0 and t >= end_s:
+                break  # i == 0 always samples: end_s > start_s
             if inj is not None and inj.drop_sample(t):
                 dropped += 1
             else:
                 samples.append(self.sample(t))
-            t += POWER_SAMPLE_INTERVAL_S
+            i += 1
         if not samples:
             raise fault_hooks.report_detection(
                 FaultDetectedError(
@@ -221,10 +242,12 @@ class StencilProgram:
         spec: StencilSpec,
         config: BlockingConfig,
         board: Board = NALLATECH_385A,
+        engine: str = "auto",
     ):
         self.spec = spec
         self.config = config
         self.board = board
+        self.engine = engine
         self.area = AreaModel(board.device).report(spec, config)
         if not self.area.fits:
             raise ConfigurationError(
@@ -234,7 +257,7 @@ class StencilProgram:
             )
         self.fmax_mhz = FmaxModel().fmax_mhz(config.dims, config.radius)
         self.source = generate_opencl_kernel(spec, config)
-        self._engine = FPGAAccelerator(spec, config)
+        self._engine = FPGAAccelerator(spec, config, engine=engine)
         self._model = PerformanceModel(board)
 
     def kernel_time_s(self, grid_shape: tuple[int, ...], iterations: int) -> float:
@@ -253,9 +276,13 @@ class StencilProgram:
             self.spec, self.config, grid_shape, iterations, fmax_mhz=fmax
         ).time_s
 
-    def execute(self, grid: np.ndarray, iterations: int):
-        """Numerically execute the kernel (functional simulator)."""
-        return self._engine.run(grid, iterations)
+    def execute(self, grid: np.ndarray, iterations: int, checkpoint=None):
+        """Numerically execute the kernel (functional simulator).
+
+        ``checkpoint`` is forwarded to :meth:`FPGAAccelerator.run`
+        (pass-granular recovery; ``None`` keeps the zero-overhead path).
+        """
+        return self._engine.run(grid, iterations, checkpoint=checkpoint)
 
     def power_watts(self) -> float:
         """Modeled board power while this kernel runs."""
@@ -297,7 +324,14 @@ class CommandQueue:
         self.clock_s = 0.0
         self.events: list[Event] = []
         self.transfer_bytes = 0
-        self._host_mirror: dict[int, np.ndarray] = {}
+        # Keyed by the Buffer object itself through weak references: a
+        # garbage-collected buffer drops its mirror with it.  (An id()
+        # key outlives the buffer, and CPython reuses ids — a stale
+        # mirror would then resurrect the *wrong* data on scrub
+        # recovery.)
+        self._host_mirror: weakref.WeakKeyDictionary[Buffer, np.ndarray] = (
+            weakref.WeakKeyDictionary()
+        )
 
     def _record(
         self,
@@ -305,6 +339,9 @@ class CommandQueue:
         duration_s: float,
         attempts: int = 1,
         retry_wait_s: float = 0.0,
+        rollbacks: int = 0,
+        replayed_passes: int = 0,
+        checkpoint_overhead_s: float = 0.0,
     ) -> Event:
         event = Event(
             name,
@@ -312,6 +349,9 @@ class CommandQueue:
             self.clock_s + duration_s,
             attempts=attempts,
             retry_wait_s=retry_wait_s,
+            rollbacks=rollbacks,
+            replayed_passes=replayed_passes,
+            checkpoint_overhead_s=checkpoint_overhead_s,
         )
         self.clock_s = event.end_s
         self.events.append(event)
@@ -354,13 +394,22 @@ class CommandQueue:
                 break
             except FaultDetectedError:
                 if attempts > self.retry_policy.max_retries:
+                    # Terminal failure: the attempts moved bytes and time
+                    # passed — pin both to the clock and the event log so
+                    # they agree with transfer_bytes, then propagate.
+                    self._record(
+                        "write-buffer-failed",
+                        attempts * self._transfer_time_s(data.nbytes) + wait_s,
+                        attempts=attempts,
+                        retry_wait_s=wait_s,
+                    )
                     raise
                 wait_s += self.retry_policy.backoff_for(attempts)
         if attempts > 1:
             fault_hooks.report_recovery(
                 f"write-buffer recovered after {attempts} attempts"
             )
-        self._host_mirror[id(buffer)] = data.copy()
+        self._host_mirror[buffer] = data.copy()
         return self._record(
             "write-buffer",
             attempts * self._transfer_time_s(data.nbytes) + wait_s,
@@ -391,6 +440,13 @@ class CommandQueue:
                 break
             except FaultDetectedError:
                 if attempts > self.retry_policy.max_retries:
+                    self._record(
+                        "read-buffer-failed",
+                        attempts * self._transfer_time_s(buffer.data.nbytes)
+                        + wait_s,
+                        attempts=attempts,
+                        retry_wait_s=wait_s,
+                    )
                     raise
                 wait_s += self.retry_policy.backoff_for(attempts)
         if attempts > 1:
@@ -412,7 +468,7 @@ class CommandQueue:
         fault_hooks.report_detection(
             FaultDetectedError("DRAM scrub failed: device buffer corrupted")
         )
-        mirror = self._host_mirror.get(id(buffer))
+        mirror = self._host_mirror.get(buffer)
         if mirror is None:
             raise FaultDetectedError(
                 "DRAM scrub failed and no host mirror exists to re-upload"
@@ -429,6 +485,7 @@ class CommandQueue:
         dst: Buffer,
         iterations: int,
         watchdog_s: float | None = None,
+        checkpoint=None,
     ) -> Event:
         """Run the stencil kernel: real numerics, modeled duration.
 
@@ -437,6 +494,20 @@ class CommandQueue:
         fault inside the kernel — or a modeled duration beyond
         ``watchdog_s`` — is retried under the queue's policy; failed
         attempts still charge their wall time, capped at the watchdog.
+        Retry exhaustion records a terminal ``stencil-kernel-failed``
+        event (the burned time stays on the clock) before raising.
+
+        ``checkpoint`` (a :class:`~repro.runtime.checkpoint
+        .CheckpointPolicy` or int ``k``) arms pass-granular recovery
+        *inside* the kernel: mid-run faults roll back to the last
+        snapshot and replay only the tail, so the queue-level retry only
+        sees faults the rollback budget could not absorb.  The clock is
+        charged for the replayed passes (at the modeled per-pass time)
+        plus the snapshot traffic (``grid bytes / PCIe bandwidth`` per
+        checkpoint), surfaced on the event as ``rollbacks`` /
+        ``replayed_passes`` / ``checkpoint_overhead_s``.  Each queue
+        attempt gets a fresh rollback budget.  ``checkpoint=None`` keeps
+        the exact pre-checkpoint accounting.
         """
         if watchdog_s is not None and watchdog_s <= 0:
             raise ConfigurationError(f"watchdog_s must be > 0, got {watchdog_s}")
@@ -460,7 +531,9 @@ class CommandQueue:
                             f"> {watchdog_s:.4f} s"
                         )
                     )
-                result, _ = program.execute(grid, iterations)
+                result, stats = program.execute(
+                    grid, iterations, checkpoint=checkpoint
+                )
                 dst.write(result)
                 break
             except FaultDetectedError as err:
@@ -468,17 +541,33 @@ class CommandQueue:
                     # detection mid-run: the attempt burned kernel time
                     charged_s += program.kernel_time_s(src.data.shape, iterations)
                 if attempts > self.retry_policy.max_retries:
+                    self._record(
+                        "stencil-kernel-failed",
+                        charged_s + wait_s,
+                        attempts=attempts,
+                        retry_wait_s=wait_s,
+                    )
                     raise
                 wait_s += self.retry_policy.backoff_for(attempts)
         if attempts > 1:
             fault_hooks.report_recovery(
                 f"stencil-kernel recovered after {attempts} attempts"
             )
+        replay_s = ckpt_s = 0.0
+        if checkpoint is not None:
+            # Tail replay at the modeled per-pass time, snapshots at PCIe
+            # cost: recovery charges scale with the tail, not the run.
+            per_pass_s = duration / max(1, stats.passes)
+            replay_s = stats.replayed_passes * per_pass_s
+            ckpt_s = stats.checkpoints * self._transfer_time_s(grid.nbytes)
         return self._record(
             "stencil-kernel",
-            charged_s + wait_s + duration,
+            charged_s + wait_s + duration + replay_s + ckpt_s,
             attempts=attempts,
             retry_wait_s=wait_s,
+            rollbacks=stats.rollbacks if checkpoint is not None else 0,
+            replayed_passes=stats.replayed_passes if checkpoint is not None else 0,
+            checkpoint_overhead_s=ckpt_s,
         )
 
     def finish(self) -> float:
@@ -509,6 +598,7 @@ def benchmark_kernel(
     repeats: int = 5,
     retry_policy: RetryPolicy | None = None,
     watchdog_s: float | None = None,
+    checkpoint=None,
 ) -> KernelBenchmark:
     """The paper's measurement loop: five repeats, kernel-only timing,
     10 ms power sampling averaged over each kernel window (§IV.B-C).
@@ -534,7 +624,8 @@ def benchmark_kernel(
         while True:
             attempts += 1
             event = queue.enqueue_kernel(
-                program, src, dst, iterations, watchdog_s=watchdog_s
+                program, src, dst, iterations, watchdog_s=watchdog_s,
+                checkpoint=checkpoint,
             )
             try:
                 power = sensor.average_over(event.start_s, event.end_s)

@@ -1,0 +1,575 @@
+"""Fault-tolerant multi-device stencil scheduler with degraded-mode execution.
+
+StencilFlow treats large stencil programs as schedules over a *fleet* of
+spatial devices and SASA schedules many independent PE groups; both imply
+that when long jobs and transient faults overlap, the failure domain
+should be a pass or a device — never the whole job queue.  This module
+puts a resilient scheduler in front of a fleet of simulated
+:class:`~repro.runtime.host.HostDevice` boards:
+
+* **dispatch** — a FIFO of :class:`StencilJob`\\ s is drained onto the
+  healthy device with the smallest simulated clock (deterministic
+  load-balancing; ties break by device index);
+* **admission control** — the pending queue is bounded:
+  :meth:`StencilScheduler.submit` raises
+  :class:`~repro.errors.SchedulerSaturatedError` instead of growing
+  without bound;
+* **health tracking & quarantine** — each device tracks the fault rate
+  over a sliding window of recent jobs; a device whose rate exceeds the
+  threshold is quarantined, and re-admitted only after a *probe* job
+  (a tiny known-good stencil run) completes fault-free;
+* **per-job deadlines** — enforced on the simulated clock: a job whose
+  modeled time already exceeds its deadline fails fast, and a job whose
+  retries/rollbacks push it past the budget fails typed
+  (:class:`~repro.errors.DeadlineExceededError`) with the late result
+  discarded — never silently late;
+* **degraded mode** — a per-device circuit breaker around the native
+  microkernel engine: repeated faulted kernels on a device (or a native
+  compile failure when ``engine="native"`` is requested) trip the device
+  to the conservative NumPy engine, so its jobs complete slower rather
+  than fail.  All engines are bit-identical, so degradation never
+  changes results;
+* **re-dispatch** — a job that fails with a transient fault on one
+  device is retried once on a different device before its typed failure
+  is reported.
+
+The end-to-end invariant (pinned by the chaos harness,
+``tests/faults/test_chaos.py``): every admitted job either completes
+bit-identical to :func:`repro.core.reference_run` or fails with a typed
+error — never silently wrong.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.blocking import BlockingConfig
+from repro.core.grid import make_grid
+from repro.core.stencil import StencilSpec
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    FaultDetectedError,
+    SchedulerSaturatedError,
+)
+from repro.faults import hooks as fault_hooks
+from repro.runtime.checkpoint import CheckpointPolicy
+from repro.runtime.host import (
+    Buffer,
+    CommandQueue,
+    HostDevice,
+    RetryPolicy,
+    StencilProgram,
+)
+
+
+@dataclass(frozen=True)
+class StencilJob:
+    """One unit of scheduled work: a stencil workload plus its SLOs.
+
+    ``deadline_s`` is a per-job time budget on the executing device's
+    simulated clock (transfers + kernel + recovery overheads).
+    ``checkpoint`` arms pass-granular recovery for the kernel (a
+    :class:`~repro.runtime.checkpoint.CheckpointPolicy` or int ``k``);
+    ``watchdog_factor`` sets the kernel watchdog to
+    ``factor * modeled_time``.
+    """
+
+    job_id: str
+    spec: StencilSpec
+    config: BlockingConfig
+    grid: np.ndarray = field(repr=False)
+    iterations: int = 1
+    deadline_s: float | None = None
+    checkpoint: CheckpointPolicy | int | None = None
+    watchdog_factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ConfigurationError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+        if self.watchdog_factor is not None and self.watchdog_factor <= 0:
+            raise ConfigurationError(
+                f"watchdog_factor must be > 0, got {self.watchdog_factor}"
+            )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one admitted job.
+
+    ``status`` is ``"completed"`` (result present, bit-exact) or
+    ``"failed"`` (``error_type``/``error`` name the typed failure; the
+    result is ``None``).  ``engine`` records what the executing device
+    actually ran (``"numpy"`` once its circuit breaker tripped);
+    ``dispatches`` counts devices tried.
+    """
+
+    job_id: str
+    status: str
+    device: int | None
+    engine: str | None
+    result: np.ndarray | None = field(repr=False, default=None)
+    error_type: str | None = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    attempts: int = 0
+    dispatches: int = 1
+    rollbacks: int = 0
+    replayed_passes: int = 0
+
+
+class CircuitBreaker:
+    """Per-device breaker that degrades the execution engine.
+
+    Counts *consecutive* kernel launches that needed fault recovery
+    (queue retries or checkpoint rollbacks) or failed outright; at
+    ``threshold`` it trips and the device pins its engine to the
+    conservative pure-NumPy path.  A native compile failure trips it
+    immediately.  Tripping is one-way for the device's lifetime — a
+    board that keeps corrupting its fast path does not get it back.
+    """
+
+    def __init__(self, threshold: int = 2):
+        if threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.consecutive_faults = 0
+        self.tripped = False
+        self.reason: str | None = None
+
+    def trip(self, reason: str) -> None:
+        if not self.tripped:
+            self.tripped = True
+            self.reason = reason
+
+    def record_fault(self) -> None:
+        self.consecutive_faults += 1
+        if self.consecutive_faults >= self.threshold:
+            self.trip(
+                f"{self.consecutive_faults} consecutive faulted kernel launches"
+            )
+
+    def record_success(self) -> None:
+        self.consecutive_faults = 0
+
+
+class _Worker:
+    """Scheduler-internal per-device state: queue, health, breaker."""
+
+    def __init__(
+        self,
+        index: int,
+        device: HostDevice,
+        retry_policy: RetryPolicy | None,
+        breaker_threshold: int,
+        health_window: int,
+    ):
+        self.index = index
+        self.device = device
+        self.queue = CommandQueue(device, retry_policy=retry_policy)
+        self.breaker = CircuitBreaker(breaker_threshold)
+        self.window: deque[bool] = deque(maxlen=health_window)
+        self.jobs_run = 0
+        self.quarantined = False
+        self.quarantined_at_job: int | None = None  # global job counter
+        self.events: list[str] = []
+
+    def engine(self, preferred: str) -> str:
+        return "numpy" if self.breaker.tripped else preferred
+
+    def fault_rate(self) -> float:
+        if not self.window:
+            return 0.0
+        return sum(self.window) / len(self.window)
+
+    def log(self, message: str) -> None:
+        self.events.append(f"device {self.index}: {message}")
+
+
+#: Probe workload for re-admission: tiny, known-good, fast.
+_PROBE_SPEC_ARGS = (2, 1)
+_PROBE_CONFIG = dict(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+_PROBE_SHAPE = (8, 64)
+_PROBE_ITERATIONS = 2
+
+
+class StencilScheduler:
+    """Dispatch a bounded queue of stencil jobs across N simulated devices.
+
+    Parameters
+    ----------
+    devices:
+        Either a device count (each a default
+        :class:`~repro.runtime.host.HostDevice`) or an explicit list.
+    retry_policy:
+        Queue-level retry policy shared by all devices.
+    max_pending:
+        Admission bound: :meth:`submit` raises
+        :class:`~repro.errors.SchedulerSaturatedError` beyond it.
+    engine:
+        Preferred execution engine for healthy devices (``"auto"``,
+        ``"numpy"`` or ``"native"``); a device whose circuit breaker has
+        tripped always runs ``"numpy"``.
+    quarantine_threshold / health_window / min_health_samples:
+        A device is quarantined when its fault rate over the last
+        ``health_window`` jobs exceeds the threshold (once at least
+        ``min_health_samples`` jobs have been observed).
+    probe_after_jobs:
+        Number of jobs the rest of the fleet must complete before a
+        quarantined device is probed for re-admission.  (If every device
+        is quarantined, probes run immediately — the scheduler always
+        makes progress.)
+    max_dispatches:
+        Devices tried per job before its fault failure is final
+        (deadline failures are never re-dispatched: an identical board
+        models the identical time).
+    breaker_threshold:
+        Consecutive faulted launches that trip a device's breaker.
+    default_checkpoint:
+        Checkpoint policy applied to jobs that do not carry their own.
+    """
+
+    def __init__(
+        self,
+        devices: int | list[HostDevice] = 2,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        max_pending: int = 64,
+        engine: str = "auto",
+        quarantine_threshold: float = 0.5,
+        health_window: int = 4,
+        min_health_samples: int = 2,
+        probe_after_jobs: int = 2,
+        max_dispatches: int = 2,
+        breaker_threshold: int = 2,
+        default_checkpoint: CheckpointPolicy | int | None = None,
+    ):
+        if isinstance(devices, int):
+            if devices < 1:
+                raise ConfigurationError(
+                    f"device count must be >= 1, got {devices}"
+                )
+            devices = [HostDevice() for _ in range(devices)]
+        if not devices:
+            raise ConfigurationError("scheduler needs at least one device")
+        if max_pending < 1:
+            raise ConfigurationError(f"max_pending must be >= 1, got {max_pending}")
+        if not 0.0 < quarantine_threshold <= 1.0:
+            raise ConfigurationError(
+                f"quarantine_threshold must be in (0, 1], got {quarantine_threshold}"
+            )
+        if engine not in ("auto", "numpy", "native"):
+            raise ConfigurationError(
+                f"engine must be 'auto', 'numpy' or 'native', got {engine!r}"
+            )
+        if max_dispatches < 1:
+            raise ConfigurationError(
+                f"max_dispatches must be >= 1, got {max_dispatches}"
+            )
+        self.engine = engine
+        self.max_pending = max_pending
+        self.quarantine_threshold = quarantine_threshold
+        self.min_health_samples = min_health_samples
+        self.probe_after_jobs = probe_after_jobs
+        self.max_dispatches = max_dispatches
+        self.default_checkpoint = default_checkpoint
+        self.workers = [
+            _Worker(i, dev, retry_policy, breaker_threshold, health_window)
+            for i, dev in enumerate(devices)
+        ]
+        self._pending: deque[tuple[StencilJob, int, frozenset[int]]] = deque()
+        self._submitted: set[str] = set()
+        self._jobs_completed = 0
+        self._probe_grid = make_grid(_PROBE_SHAPE, "mixed", seed=3)
+
+    # -- admission --------------------------------------------------------- #
+
+    def submit(self, job: StencilJob) -> None:
+        """Admit a job, or raise :class:`SchedulerSaturatedError`."""
+        if len(self._pending) >= self.max_pending:
+            raise SchedulerSaturatedError(
+                f"pending queue is full ({self.max_pending} jobs); "
+                "back off and resubmit"
+            )
+        if job.job_id in self._submitted:
+            raise ConfigurationError(f"duplicate job id {job.job_id!r}")
+        self._submitted.add(job.job_id)
+        self._pending.append((job, 0, frozenset()))
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    # -- dispatch ---------------------------------------------------------- #
+
+    def run_until_idle(self) -> list[JobResult]:
+        """Drain the pending queue; returns one result per admitted job."""
+        results: list[JobResult] = []
+        while self._pending:
+            job, dispatches, tried = self._pending.popleft()
+            worker = self._pick_worker(tried)
+            result = self._execute(worker, job, dispatches + 1)
+            retryable = (
+                result.status == "failed"
+                and result.error_type != "DeadlineExceededError"
+                and result.dispatches < self.max_dispatches
+                and any(
+                    w.index not in (tried | {worker.index}) for w in self.workers
+                )
+            )
+            if retryable:
+                self._pending.appendleft(
+                    (job, result.dispatches, tried | {worker.index})
+                )
+                continue
+            results.append(result)
+            self._jobs_completed += 1
+        return results
+
+    def _pick_worker(self, excluded: frozenset[int]) -> _Worker:
+        """Healthy device with the smallest clock; probes quarantined ones.
+
+        Falls back to quarantined devices (probing them first) when no
+        healthy one is available — the scheduler never deadlocks; jobs
+        then either succeed (faults are transient) or fail typed.
+        """
+        self._probe_due_workers(force=False)
+        candidates = [
+            w
+            for w in self.workers
+            if not w.quarantined and w.index not in excluded
+        ]
+        if not candidates:
+            self._probe_due_workers(force=True)
+            candidates = [
+                w
+                for w in self.workers
+                if not w.quarantined and w.index not in excluded
+            ]
+        if not candidates:
+            candidates = [w for w in self.workers if w.index not in excluded]
+        if not candidates:
+            candidates = list(self.workers)
+        return min(candidates, key=lambda w: (w.queue.clock_s, w.index))
+
+    # -- health / quarantine ----------------------------------------------- #
+
+    def _record_health(self, worker: _Worker, faulty: bool) -> None:
+        worker.window.append(faulty)
+        worker.jobs_run += 1
+        if (
+            not worker.quarantined
+            and len(worker.window) >= self.min_health_samples
+            and worker.fault_rate() > self.quarantine_threshold
+        ):
+            worker.quarantined = True
+            worker.quarantined_at_job = self._jobs_completed
+            worker.log(
+                f"quarantined (fault rate {worker.fault_rate():.0%} over "
+                f"last {len(worker.window)} jobs)"
+            )
+
+    def _probe_due_workers(self, force: bool) -> None:
+        for worker in self.workers:
+            if not worker.quarantined:
+                continue
+            due = (
+                force
+                or self._jobs_completed
+                >= (worker.quarantined_at_job or 0) + self.probe_after_jobs
+            )
+            if due:
+                self._probe(worker)
+
+    def _probe(self, worker: _Worker) -> None:
+        """Re-admission probe: a tiny known-good run on the sick device."""
+        spec = StencilSpec.star(*_PROBE_SPEC_ARGS)
+        config = BlockingConfig(**_PROBE_CONFIG)
+        try:
+            program = self._build_program(worker, spec, config)
+            src = Buffer(self._probe_grid.nbytes)
+            dst = Buffer(self._probe_grid.nbytes)
+            worker.queue.enqueue_write_buffer(src, self._probe_grid)
+            event = worker.queue.enqueue_kernel(
+                program, src, dst, _PROBE_ITERATIONS
+            )
+            worker.queue.enqueue_read_buffer(dst)
+        except FaultDetectedError as err:
+            # still sick: stay quarantined, push the next probe out
+            worker.quarantined_at_job = self._jobs_completed
+            worker.log(f"probe failed ({type(err).__name__}); stays quarantined")
+            return
+        if event.attempts > 1:
+            worker.quarantined_at_job = self._jobs_completed
+            worker.log("probe needed retries; stays quarantined")
+            return
+        worker.quarantined = False
+        worker.quarantined_at_job = None
+        worker.window.clear()
+        worker.log("probe clean; re-admitted")
+
+    # -- execution ---------------------------------------------------------- #
+
+    def _build_program(
+        self, worker: _Worker, spec: StencilSpec, config: BlockingConfig
+    ) -> StencilProgram:
+        """Build a program for the worker's current engine.
+
+        A native compile failure (``engine="native"`` requested but no
+        toolchain / failed build) trips the breaker and degrades to the
+        NumPy engine instead of failing the job.
+        """
+        engine = worker.engine(self.engine)
+        if engine == "native":
+            try:
+                return StencilProgram(
+                    spec, config, worker.device.board, engine="native"
+                )
+            except ConfigurationError as err:
+                worker.breaker.trip(f"native engine unavailable: {err}")
+                worker.log(
+                    "degraded to numpy engine (native compile failure)"
+                )
+                engine = "numpy"
+        return StencilProgram(spec, config, worker.device.board, engine=engine)
+
+    def _execute(
+        self, worker: _Worker, job: StencilJob, dispatches: int
+    ) -> JobResult:
+        inj = fault_hooks.ACTIVE
+        detections_before = len(inj.detections) if inj is not None else 0
+        queue = worker.queue
+        start_s = queue.clock_s
+        engine_used = worker.engine(self.engine)
+
+        def _failed(err: BaseException, attempts: int = 0) -> JobResult:
+            return JobResult(
+                job_id=job.job_id,
+                status="failed",
+                device=worker.index,
+                engine=engine_used,
+                error_type=type(err).__name__,
+                error=str(err),
+                elapsed_s=queue.clock_s - start_s,
+                attempts=attempts,
+                dispatches=dispatches,
+            )
+
+        try:
+            program = self._build_program(worker, job.spec, job.config)
+        except ConfigurationError as err:
+            # a misconfigured job is rejected typed, and is not the
+            # device's fault: no health penalty
+            return _failed(err)
+
+        grid = np.ascontiguousarray(job.grid, dtype=np.float32)
+        nominal_s = program.kernel_time_s(grid.shape, job.iterations)
+        estimate_s = nominal_s + 2 * queue._transfer_time_s(grid.nbytes)
+        if job.deadline_s is not None and estimate_s > job.deadline_s:
+            return _failed(
+                DeadlineExceededError(
+                    f"job {job.job_id!r}: modeled time {estimate_s:.4f} s "
+                    f"exceeds deadline {job.deadline_s:.4f} s; not dispatched"
+                )
+            )
+        watchdog_s = (
+            job.watchdog_factor * nominal_s
+            if job.watchdog_factor is not None
+            else None
+        )
+        checkpoint = (
+            job.checkpoint if job.checkpoint is not None else self.default_checkpoint
+        )
+
+        try:
+            src = Buffer(grid.nbytes)
+            dst = Buffer(grid.nbytes)
+            queue.enqueue_write_buffer(src, grid)
+            event = queue.enqueue_kernel(
+                program,
+                src,
+                dst,
+                job.iterations,
+                watchdog_s=watchdog_s,
+                checkpoint=checkpoint,
+            )
+            out, _ = queue.enqueue_read_buffer(dst)
+        except FaultDetectedError as err:
+            worker.breaker.record_fault()
+            self._record_health(worker, faulty=True)
+            worker.log(f"job {job.job_id!r} failed: {type(err).__name__}")
+            return _failed(err, attempts=queue.retry_policy.max_retries + 1)
+
+        detections_after = len(inj.detections) if inj is not None else 0
+        faulty = (
+            detections_after > detections_before
+            or event.attempts > 1
+            or event.rollbacks > 0
+        )
+        if faulty:
+            worker.breaker.record_fault()
+        else:
+            worker.breaker.record_success()
+        self._record_health(worker, faulty=faulty)
+
+        elapsed_s = queue.clock_s - start_s
+        if job.deadline_s is not None and elapsed_s > job.deadline_s:
+            worker.log(
+                f"job {job.job_id!r} missed deadline "
+                f"({elapsed_s:.4f} s > {job.deadline_s:.4f} s); result discarded"
+            )
+            return JobResult(
+                job_id=job.job_id,
+                status="failed",
+                device=worker.index,
+                engine=engine_used,
+                error_type="DeadlineExceededError",
+                error=(
+                    f"job {job.job_id!r}: elapsed {elapsed_s:.4f} s "
+                    f"exceeds deadline {job.deadline_s:.4f} s"
+                ),
+                elapsed_s=elapsed_s,
+                attempts=event.attempts,
+                dispatches=dispatches,
+                rollbacks=event.rollbacks,
+                replayed_passes=event.replayed_passes,
+            )
+        return JobResult(
+            job_id=job.job_id,
+            status="completed",
+            device=worker.index,
+            engine=engine_used,
+            result=out,
+            elapsed_s=elapsed_s,
+            attempts=event.attempts,
+            dispatches=dispatches,
+            rollbacks=event.rollbacks,
+            replayed_passes=event.replayed_passes,
+        )
+
+    # -- introspection ------------------------------------------------------ #
+
+    def device_report(self) -> list[dict]:
+        """Per-device health snapshot (for reports and tests)."""
+        return [
+            {
+                "device": w.index,
+                "jobs_run": w.jobs_run,
+                "fault_rate": w.fault_rate(),
+                "quarantined": w.quarantined,
+                "breaker_tripped": w.breaker.tripped,
+                "breaker_reason": w.breaker.reason,
+                "clock_s": w.queue.clock_s,
+                "events": list(w.events),
+            }
+            for w in self.workers
+        ]

@@ -1,0 +1,207 @@
+"""Pass-granular checkpointed recovery (repro.runtime.checkpoint)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockingConfig,
+    FPGAAccelerator,
+    StencilSpec,
+    make_grid,
+    reference_run,
+)
+from repro.errors import ConfigurationError, FaultDetectedError
+from repro.faults import FaultPlan, SEUFault, arm, crc32_array
+from repro.runtime.checkpoint import (
+    CURSOR_FIELDS,
+    CheckpointManager,
+    CheckpointPolicy,
+    as_manager,
+)
+
+SPEC = StencilSpec.star(2, 1)
+CONFIG = BlockingConfig(dims=2, radius=1, bsize_x=64, parvec=4, partime=2)
+GRID = make_grid((16, 64), "mixed", seed=7)
+
+# The armed accelerator touches the block buffer (1 + steps) times per
+# block per full pass, so `TOUCHES_PER_PASS * p + 1` lands mid-pass `p`
+# (0-based).  Blocks-per-pass comes from a dry run (halo overlap means
+# it is not simply Nx / bsize_x).
+_BLOCKS = FPGAAccelerator(SPEC, CONFIG).run(GRID, CONFIG.partime)[1].blocks_per_pass
+TOUCHES_PER_PASS = _BLOCKS * (1 + CONFIG.partime)
+
+
+def mid_pass_seu(pass_idx: int, seed: int = 11) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            SEUFault(
+                at_touch=pass_idx * TOUCHES_PER_PASS + 1, site="block-buffer"
+            ),
+        ),
+    )
+
+
+# -- policy / coercion ------------------------------------------------------ #
+
+
+def test_policy_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        CheckpointPolicy(every=0)
+    with pytest.raises(ConfigurationError):
+        CheckpointPolicy(max_rollbacks=-1)
+
+
+def test_as_manager_coercions() -> None:
+    mgr = CheckpointManager(CheckpointPolicy(every=3))
+    assert as_manager(mgr) is mgr
+    assert as_manager(CheckpointPolicy(every=3)).policy.every == 3
+    assert as_manager(5).policy.every == 5
+    with pytest.raises(ConfigurationError):
+        as_manager(True)  # bool is not a cadence
+    with pytest.raises(ConfigurationError):
+        as_manager("8")
+
+
+# -- disarmed / checkpoint=None path ---------------------------------------- #
+
+
+def test_checkpoint_none_leaves_recovery_counters_zero() -> None:
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    out, stats = acc.run(GRID, 10)
+    assert stats.rollbacks == 0
+    assert stats.replayed_passes == 0
+    assert stats.checkpoints == 0
+    assert np.array_equal(out, reference_run(GRID, SPEC, 10))
+
+
+def test_checkpointed_faultfree_run_matches_plain_run() -> None:
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    plain, plain_stats = acc.run(GRID, 10)
+    ckpt, stats = acc.run(GRID, 10, checkpoint=CheckpointPolicy(every=2))
+    assert np.array_equal(plain, ckpt)
+    assert stats.rollbacks == 0 and stats.replayed_passes == 0
+    # 5 passes, snapshot after passes 2 and 4 (never after the last pass)
+    assert stats.checkpoints == 2
+    assert stats.passes == plain_stats.passes
+    assert stats.cells_written == plain_stats.cells_written
+
+
+def test_int_shorthand_equals_policy() -> None:
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    _, a = acc.run(GRID, 10, checkpoint=2)
+    _, b = acc.run(GRID, 10, checkpoint=CheckpointPolicy(every=2))
+    assert a.checkpoints == b.checkpoints == 2
+
+
+# -- rollback mechanics ------------------------------------------------------ #
+
+
+def test_seu_rolls_back_and_result_is_bit_exact() -> None:
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    ref = reference_run(GRID, SPEC, 100)
+    with arm(mid_pass_seu(pass_idx=30)) as inj:
+        out, stats = acc.run(GRID, 100, checkpoint=CheckpointPolicy(every=8))
+        assert inj.detections and inj.recoveries
+    assert np.array_equal(out, ref)
+    assert stats.rollbacks == 1
+    # fault at pass 30 (0-based), last snapshot at stats.passes == 24:
+    # the discarded tail is small and bounded by the cadence
+    assert 0 < stats.replayed_passes <= 8
+
+
+def test_recovered_stats_equal_faultfree_stats() -> None:
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    _, clean = acc.run(GRID, 100, checkpoint=CheckpointPolicy(every=8))
+    with arm(mid_pass_seu(pass_idx=30)):
+        _, recovered = acc.run(GRID, 100, checkpoint=CheckpointPolicy(every=8))
+    # ordinary counters are restored on rollback: the recovered run's
+    # totals equal a fault-free run's; only the recovery fields differ
+    for name in CURSOR_FIELDS:
+        assert getattr(recovered, name) == getattr(clean, name), name
+    assert recovered.rollbacks == 1
+    assert clean.rollbacks == 0
+
+
+def test_replay_cost_scales_with_tail_not_run_length() -> None:
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    # whole-run retry == a checkpoint interval no run ever reaches:
+    # rollback always lands on the pass-0 base snapshot
+    with arm(mid_pass_seu(pass_idx=45)):
+        _, whole = acc.run(GRID, 100, checkpoint=CheckpointPolicy(every=10**9))
+    with arm(mid_pass_seu(pass_idx=45)):
+        _, tail = acc.run(GRID, 100, checkpoint=CheckpointPolicy(every=5))
+    assert whole.replayed_passes == 45  # the entire prefix
+    assert tail.replayed_passes <= 5  # just the tail since the snapshot
+    assert whole.replayed_passes >= 3 * tail.replayed_passes
+
+
+def test_rollback_budget_exhaustion_escalates() -> None:
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    with arm(mid_pass_seu(pass_idx=30)):
+        with pytest.raises(FaultDetectedError):
+            acc.run(
+                GRID,
+                100,
+                checkpoint=CheckpointPolicy(every=8, max_rollbacks=0),
+            )
+
+
+def test_corrupt_snapshot_falls_back_to_base() -> None:
+    mgr = CheckpointManager(CheckpointPolicy(every=1))
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    ref = reference_run(GRID, SPEC, 100)
+    with arm(mid_pass_seu(pass_idx=30)) as inj:
+        orig_rollback = mgr.rollback
+
+        def corrupt_then_rollback(stats, err):
+            # rot the periodic snapshot before it is restored
+            mgr._last.grid.reshape(-1)[0] += 1.0
+            return orig_rollback(stats, err)
+
+        mgr.rollback = corrupt_then_rollback
+        out, stats = acc.run(GRID, 100, checkpoint=mgr)
+        assert any("falling back to pass 0" in d for d in inj.detections)
+    assert np.array_equal(out, ref)
+    assert stats.rollbacks == 1
+    assert stats.replayed_passes == 30  # rolled all the way back to pass 0
+
+
+def test_corrupt_base_snapshot_escalates() -> None:
+    mgr = CheckpointManager(CheckpointPolicy(every=10**9))
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    with arm(mid_pass_seu(pass_idx=30)):
+        orig_rollback = mgr.rollback
+
+        def corrupt_then_rollback(stats, err):
+            mgr._base.grid.reshape(-1)[0] += 1.0
+            return orig_rollback(stats, err)
+
+        mgr.rollback = corrupt_then_rollback
+        with pytest.raises(FaultDetectedError):
+            acc.run(GRID, 100, checkpoint=mgr)
+
+
+def test_snapshot_intact_checks_crc() -> None:
+    mgr = CheckpointManager(CheckpointPolicy(every=1))
+
+    class _Stats:
+        pass
+
+    stats = _Stats()
+    for name in CURSOR_FIELDS:
+        setattr(stats, name, 0)
+    stats.checkpoints = 0
+    mgr.seed(GRID, stats)
+    assert mgr._base.intact()
+    assert mgr._base.crc == crc32_array(GRID)
+    mgr._base.grid.reshape(-1)[0] += 1.0
+    assert not mgr._base.intact()
+
+
+def test_run_rejects_bad_checkpoint_argument() -> None:
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    with pytest.raises(ConfigurationError):
+        acc.run(GRID, 10, checkpoint="every-8")

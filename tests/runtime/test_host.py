@@ -127,6 +127,30 @@ def test_power_sensor_subinterval_window_boundaries() -> None:
     assert two == pytest.approx(expected)
 
 
+def test_power_sensor_long_window_sample_count_is_exact() -> None:
+    """Sample times are indexed, not accumulated (regression: ``t +=
+    interval`` drifts by one ulp per step, and over a multi-second window
+    the accumulated error walks an extra sample across the exclusive end
+    boundary — 361 samples where the paper's 10 ms grid holds 360)."""
+    sensor = PowerSensor(70.0, ripple_watts=2.0)
+    sampled_at: list[float] = []
+    orig = sensor.sample
+
+    def counting_sample(t: float) -> float:
+        sampled_at.append(t)
+        return orig(t)
+
+    sensor.sample = counting_sample  # type: ignore[method-assign]
+    for n_intervals in (360, 1000, 7200):
+        sampled_at.clear()
+        window = n_intervals * POWER_SAMPLE_INTERVAL_S
+        avg = sensor.average_over(0.0, window)
+        assert len(sampled_at) == n_intervals
+        # and each sample sits exactly on the grid
+        assert sampled_at[-1] == (n_intervals - 1) * POWER_SAMPLE_INTERVAL_S
+        assert avg == pytest.approx(sum(orig(t) for t in sampled_at) / n_intervals)
+
+
 def test_benchmark_kernel_procedure() -> None:
     """Five repeats, eq.-3 GCell/s, power averaged over kernel windows."""
     program = make_program()

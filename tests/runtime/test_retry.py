@@ -5,9 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import gc
+
 from repro.core import BlockingConfig, StencilSpec, make_grid, reference_run
 from repro.errors import ConfigurationError, FaultDetectedError, WatchdogTimeoutError
 from repro.faults import (
+    ChannelStallFault,
     FaultPlan,
     FmaxDerateFault,
     SEUFault,
@@ -15,6 +18,7 @@ from repro.faults import (
     arm,
     crc32_array,
 )
+from repro.runtime.checkpoint import CheckpointPolicy
 from repro.runtime.host import (
     Buffer,
     CommandQueue,
@@ -216,3 +220,172 @@ def test_watchdog_rejects_nonpositive_deadline() -> None:
     queue.enqueue_write_buffer(src, GRID)
     with pytest.raises(ConfigurationError):
         queue.enqueue_kernel(program, src, dst, 4, watchdog_s=0.0)
+
+
+# -- terminal *-failed events (clock / event-log / byte agreement) ----------- #
+
+
+def test_write_exhaustion_records_terminal_event() -> None:
+    plan = FaultPlan(
+        seed=21,
+        faults=(
+            TransferFault(at_transfer=0, direction="write", mode="fail"),
+            TransferFault(at_transfer=1, direction="write", mode="fail"),
+        ),
+    )
+    policy = RetryPolicy(max_retries=1, backoff_s=1e-4)
+    with arm(plan):
+        queue = CommandQueue(retry_policy=policy)
+        buf = Buffer(GRID.nbytes)
+        with pytest.raises(FaultDetectedError):
+            queue.enqueue_write_buffer(buf, GRID)
+    # the failed attempts moved bytes and burned time: the terminal event
+    # pins both so the clock, event log and byte counters agree
+    (event,) = queue.events
+    assert event.name == "write-buffer-failed"
+    assert event.attempts == 2
+    assert event.retry_wait_s == pytest.approx(policy.backoff_for(1))
+    assert queue.transfer_bytes == 2 * GRID.nbytes
+    expected = 2 * GRID.nbytes / (6.0 * 1e9) + event.retry_wait_s
+    assert event.duration_s == pytest.approx(expected)
+    assert queue.clock_s == pytest.approx(event.end_s)
+
+
+def test_read_exhaustion_records_terminal_event() -> None:
+    plan = FaultPlan(
+        seed=22,
+        faults=(
+            TransferFault(at_transfer=0, direction="read", mode="corrupt"),
+            TransferFault(at_transfer=1, direction="read", mode="corrupt"),
+        ),
+    )
+    queue = CommandQueue(retry_policy=RetryPolicy(max_retries=1))
+    buf = Buffer(GRID.nbytes)
+    queue.enqueue_write_buffer(buf, GRID)
+    clock_before = queue.clock_s
+    with arm(plan):
+        with pytest.raises(FaultDetectedError):
+            queue.enqueue_read_buffer(buf)
+    event = queue.events[-1]
+    assert event.name == "read-buffer-failed"
+    assert event.attempts == 2
+    assert queue.clock_s > clock_before
+
+
+def test_kernel_exhaustion_records_terminal_event() -> None:
+    program = make_program()
+    plan = FaultPlan(seed=23, faults=(SEUFault(site="block-buffer", at_touch=1),))
+    with arm(plan):
+        queue = CommandQueue(retry_policy=RetryPolicy(max_retries=0))
+        src, dst = Buffer(GRID.nbytes), Buffer(GRID.nbytes)
+        queue.enqueue_write_buffer(src, GRID)
+        clock_before = queue.clock_s
+        with pytest.raises(FaultDetectedError):
+            queue.enqueue_kernel(program, src, dst, 4)
+    event = queue.events[-1]
+    assert event.name == "stencil-kernel-failed"
+    assert event.attempts == 1
+    # the failed attempt burned a full modeled kernel run
+    assert event.duration_s == pytest.approx(program.kernel_time_s(GRID.shape, 4))
+    assert queue.clock_s == pytest.approx(clock_before + event.duration_s)
+
+
+# -- host-mirror lifetime (id-reuse regression) ------------------------------- #
+
+
+def test_host_mirror_dropped_when_buffer_collected() -> None:
+    """The mirror is keyed by the buffer object (weakly), not by ``id()``:
+    an ``id()`` key outlives its buffer, and CPython reuses ids, so a
+    stale mirror could resurrect the *wrong* data into a fresh buffer on
+    scrub recovery."""
+    queue = CommandQueue()
+    buf = Buffer(GRID.nbytes)
+    queue.enqueue_write_buffer(buf, GRID)
+    assert len(queue._host_mirror) == 1
+    del buf
+    gc.collect()
+    assert len(queue._host_mirror) == 0  # nothing left to resurrect from
+
+
+def test_host_mirror_scrub_recovers_right_data_per_buffer() -> None:
+    queue = CommandQueue()
+    a_data = GRID
+    b_data = GRID + 1.0
+    a, b = Buffer(GRID.nbytes), Buffer(GRID.nbytes)
+    queue.enqueue_write_buffer(a, a_data)
+    queue.enqueue_write_buffer(b, b_data)
+    a.view().reshape(-1)[0] += 3.0  # hardware-level corruption
+    b.view().reshape(-1)[0] += 5.0
+    queue._scrub(a)
+    queue._scrub(b)
+    assert np.array_equal(a.data, a_data)
+    assert np.array_equal(b.data, b_data)
+
+
+# -- watchdog x checkpoint x retry accounting (S4) ----------------------------- #
+
+CKPT_SPEC = StencilSpec.star(2, 1)
+CKPT_CONFIG = BlockingConfig(dims=2, radius=1, bsize_x=64, parvec=4, partime=2)
+CKPT_GRID = make_grid((16, 64), "mixed", seed=9)
+
+
+def stall_plan(seed: int = 31) -> FaultPlan:
+    # a 300-call stall burst against the default 256-spin channel
+    # watchdog: detected as WatchdogTimeoutError mid-pass
+    return FaultPlan(seed=seed, faults=(ChannelStallFault(at_op=0, duration=300),))
+
+
+def test_midpass_watchdog_without_checkpoint_uses_queue_retry() -> None:
+    program = StencilProgram(CKPT_SPEC, CKPT_CONFIG)
+    policy = RetryPolicy(max_retries=2, backoff_s=1e-4)
+    with arm(stall_plan()) as inj:
+        queue = CommandQueue(retry_policy=policy)
+        src, dst = Buffer(CKPT_GRID.nbytes), Buffer(CKPT_GRID.nbytes)
+        queue.enqueue_write_buffer(src, CKPT_GRID)
+        event = queue.enqueue_kernel(program, src, dst, 100)
+        assert any("watchdog" in d.lower() for d in inj.detections)
+    # the whole run was retried at the queue layer: the completion event
+    # carries the retry accounting, and no rollback happened
+    assert event.attempts == 2
+    assert event.retry_wait_s == pytest.approx(policy.backoff_for(1))
+    assert event.rollbacks == 0 and event.replayed_passes == 0
+    assert np.array_equal(dst.data, reference_run(CKPT_GRID, CKPT_SPEC, 100))
+
+
+def test_midpass_watchdog_with_checkpoint_rolls_back_in_place() -> None:
+    program = StencilProgram(CKPT_SPEC, CKPT_CONFIG)
+    with arm(stall_plan()) as inj:
+        queue = CommandQueue()
+        src, dst = Buffer(CKPT_GRID.nbytes), Buffer(CKPT_GRID.nbytes)
+        queue.enqueue_write_buffer(src, CKPT_GRID)
+        event = queue.enqueue_kernel(
+            program, src, dst, 100, checkpoint=CheckpointPolicy(every=8)
+        )
+        assert any("watchdog" in d.lower() for d in inj.detections)
+        assert any("rolled back" in r for r in inj.recoveries)
+    # WatchdogTimeoutError is a FaultDetectedError: the rollback path
+    # absorbs it below the queue, so the retry layer never engages
+    assert event.attempts == 1
+    assert event.retry_wait_s == 0.0
+    assert event.rollbacks == 1
+    assert event.replayed_passes <= 8
+    assert event.checkpoint_overhead_s > 0.0
+    assert np.array_equal(dst.data, reference_run(CKPT_GRID, CKPT_SPEC, 100))
+
+
+def test_midpass_watchdog_with_exhausted_rollback_budget_escalates() -> None:
+    program = StencilProgram(CKPT_SPEC, CKPT_CONFIG)
+    with arm(stall_plan()):
+        queue = CommandQueue(retry_policy=RetryPolicy(max_retries=0))
+        src, dst = Buffer(CKPT_GRID.nbytes), Buffer(CKPT_GRID.nbytes)
+        queue.enqueue_write_buffer(src, CKPT_GRID)
+        with pytest.raises(WatchdogTimeoutError):
+            queue.enqueue_kernel(
+                program,
+                src,
+                dst,
+                100,
+                checkpoint=CheckpointPolicy(every=8, max_rollbacks=0),
+            )
+    # the escalated watchdog still leaves a terminal event behind
+    assert queue.events[-1].name == "stencil-kernel-failed"
