@@ -53,31 +53,59 @@ class BlockingConfig:
 
     def __post_init__(self) -> None:
         if self.dims not in (2, 3):
-            raise ConfigurationError(f"dims must be 2 or 3, got {self.dims}")
+            raise ConfigurationError(
+                f"dims must be 2 or 3, got {self.dims}",
+                param="dims", value=self.dims, constraint="dims in (2, 3)",
+            )
         if self.radius < 1:
-            raise ConfigurationError(f"radius must be >= 1, got {self.radius}")
+            raise ConfigurationError(
+                f"radius must be >= 1, got {self.radius}",
+                param="radius", value=self.radius, constraint="radius >= 1",
+            )
         if self.partime < 1:
-            raise ConfigurationError(f"partime must be >= 1, got {self.partime}")
+            raise ConfigurationError(
+                f"partime must be >= 1, got {self.partime}",
+                param="partime", value=self.partime, constraint="partime >= 1",
+            )
         if self.parvec < 1:
-            raise ConfigurationError(f"parvec must be >= 1, got {self.parvec}")
+            raise ConfigurationError(
+                f"parvec must be >= 1, got {self.parvec}",
+                param="parvec", value=self.parvec, constraint="parvec >= 1",
+            )
         if self.bsize_x < 1:
-            raise ConfigurationError(f"bsize_x must be >= 1, got {self.bsize_x}")
+            raise ConfigurationError(
+                f"bsize_x must be >= 1, got {self.bsize_x}",
+                param="bsize_x", value=self.bsize_x, constraint="bsize_x >= 1",
+            )
         if self.bsize_x % self.parvec != 0:
             raise ConfigurationError(
-                f"bsize_x ({self.bsize_x}) must be a multiple of parvec ({self.parvec})"
+                f"bsize_x ({self.bsize_x}) must be a multiple of parvec ({self.parvec})",
+                param="bsize_x", value=self.bsize_x,
+                constraint=f"bsize_x % parvec == 0 (parvec={self.parvec})",
             )
         if self.dims == 3:
             if self.bsize_y is None:
-                raise ConfigurationError("bsize_y is required for 3D configurations")
+                raise ConfigurationError(
+                    "bsize_y is required for 3D configurations",
+                    param="bsize_y", value=None, constraint="3D requires bsize_y",
+                )
             if self.bsize_y < 1:
-                raise ConfigurationError(f"bsize_y must be >= 1, got {self.bsize_y}")
+                raise ConfigurationError(
+                    f"bsize_y must be >= 1, got {self.bsize_y}",
+                    param="bsize_y", value=self.bsize_y, constraint="bsize_y >= 1",
+                )
         elif self.bsize_y is not None:
-            raise ConfigurationError("bsize_y must be None for 2D configurations")
+            raise ConfigurationError(
+                "bsize_y must be None for 2D configurations",
+                param="bsize_y", value=self.bsize_y, constraint="2D forbids bsize_y",
+            )
         for name, csize in zip(("csize_x", "csize_y"), self.csize):
             if csize < 1:
                 raise ConfigurationError(
                     f"{name} = bsize - 2*partime*rad = {csize} must be >= 1 "
-                    f"(bsize too small for partime={self.partime}, rad={self.radius})"
+                    f"(bsize too small for partime={self.partime}, rad={self.radius})",
+                    param=name, value=csize,
+                    constraint="bsize > 2 * partime * radius (eq. 2)",
                 )
 
     # ------------------------------------------------------------------ #
@@ -120,7 +148,10 @@ class BlockingConfig:
     def passes(self, iterations: int) -> int:
         """Number of passes through the PE chain: ``ceil(iters / partime)``."""
         if iterations < 0:
-            raise ConfigurationError(f"iterations must be >= 0, got {iterations}")
+            raise ConfigurationError(
+                f"iterations must be >= 0, got {iterations}",
+                param="iterations", value=iterations, constraint="iterations >= 0",
+            )
         return math.ceil(iterations / self.partime)
 
     def aligned_input_size(self, requested: int, axis: str = "x") -> int:
@@ -140,7 +171,9 @@ class BlockingConfig:
         else:
             raise ConfigurationError(
                 f"axis must be 'x' or (3D only) 'y', got {axis!r} "
-                f"for a {self.dims}D config"
+                f"for a {self.dims}D config",
+                param="axis", value=axis,
+                constraint="axis in ('x', 'y'); 'y' only for 3D",
             )
         return math.ceil(requested / cs) * cs
 
@@ -162,7 +195,9 @@ class BlockingConfig:
     def _check_shape(self, grid_shape: tuple[int, ...]) -> None:
         if len(grid_shape) != self.dims:
             raise ConfigurationError(
-                f"grid is {len(grid_shape)}D but config is {self.dims}D"
+                f"grid is {len(grid_shape)}D but config is {self.dims}D",
+                param="grid_shape", value=tuple(grid_shape),
+                constraint=f"len(grid_shape) == dims ({self.dims})",
             )
 
 

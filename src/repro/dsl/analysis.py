@@ -30,7 +30,17 @@ from repro.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class StencilAnalysis:
-    """Result of analyzing an equation."""
+    """Result of analyzing an equation.
+
+    ``accesses`` holds each *syntactically distinct* access once, in
+    first-occurrence order — repeated mentions of the same ``GridRef``
+    are deduplicated during coefficient collection (the linear expansion
+    merges them anyway), with multiplicities recorded in
+    ``access_counts``.  FLOP counts remain *as written* (the paper's
+    no-reassociation convention), so a duplicated access still costs its
+    syntactic FMULs; :mod:`repro.lint` reports the duplication (rule
+    K103) so the two accountings can be reconciled.
+    """
 
     grids: tuple[Grid, ...]
     accesses: tuple[GridRef, ...]
@@ -40,10 +50,30 @@ class StencilAnalysis:
     coefficients: dict[GridRef, float]
     fmul_count: int
     fadd_count: int
+    #: Syntactic occurrence count per distinct access (>= 1 each).
+    access_counts: dict[GridRef, int] = None  # type: ignore[assignment]
+    #: Constant (affine) term of the linear expansion; 0.0 when nonlinear.
+    constant_term: float = 0.0
 
     @property
     def flops(self) -> int:
         return self.fmul_count + self.fadd_count
+
+    @property
+    def duplicate_accesses(self) -> tuple[GridRef, ...]:
+        """Accesses mentioned more than once (syntactically identical)."""
+        if not self.access_counts:
+            return ()
+        return tuple(ref for ref, n in self.access_counts.items() if n > 1)
+
+    @property
+    def off_axis_accesses(self) -> tuple[GridRef, ...]:
+        """Accesses with more than one nonzero offset axis (non-star)."""
+        return tuple(
+            ref
+            for ref in self.accesses
+            if sum(1 for o in ref.offsets if o != 0) > 1
+        )
 
 
 def _collect_accesses(expr: Expr, out: list[GridRef]) -> None:
@@ -108,15 +138,30 @@ def _linearize(expr: Expr) -> dict[GridRef | None, float] | None:
 
 def analyze(equation: Equation) -> StencilAnalysis:
     """Analyze an equation's access pattern and algebraic structure."""
-    accesses: list[GridRef] = []
-    _collect_accesses(equation.rhs, accesses)
-    if not accesses:
-        raise ConfigurationError("equation reads no grid")
+    mentions: list[GridRef] = []
+    _collect_accesses(equation.rhs, mentions)
+    if not mentions:
+        raise ConfigurationError(
+            "equation reads no grid",
+            param="rhs", constraint="the rhs must access at least one grid",
+        )
+    # Dedupe syntactically identical accesses (GridRef is a frozen
+    # dataclass, so equality is structural); the linear expansion merges
+    # them too, keeping coefficient and access accounting in agreement.
+    access_counts: dict[GridRef, int] = {}
+    for ref in mentions:
+        access_counts[ref] = access_counts.get(ref, 0) + 1
+    accesses = tuple(access_counts)
     grids = tuple(dict.fromkeys(ref.grid for ref in accesses))
     dims = grids[0].dims
     for grid in grids:
         if grid.dims != dims:
-            raise ConfigurationError("all grids must share dimensionality")
+            raise ConfigurationError(
+                f"all grids must share dimensionality; got "
+                f"{[(g.name, g.dims) for g in grids]}",
+                param="grids", value=tuple(g.name for g in grids),
+                constraint="every grid in one equation has the same dims",
+            )
 
     radius = 0
     is_star = True
@@ -129,23 +174,23 @@ def analyze(equation: Equation) -> StencilAnalysis:
 
     linear = _linearize(equation.rhs)
     coefficients: dict[GridRef, float] = {}
+    constant_term = 0.0
     if linear is not None:
-        if abs(linear.get(None, 0.0)) > 0:
-            # affine terms are fine for analysis but excluded from
-            # StencilSpec lowering; record coefficients anyway
-            pass
+        constant_term = linear.get(None, 0.0)
         coefficients = {k: v for k, v in linear.items() if k is not None}
 
     fmul, fadd = _count_ops(equation.rhs)
     return StencilAnalysis(
         grids=grids,
-        accesses=tuple(accesses),
+        accesses=accesses,
         radius=max(radius, 0),
         is_star=is_star,
         is_linear=linear is not None,
         coefficients=coefficients,
         fmul_count=fmul,
         fadd_count=fadd,
+        access_counts=access_counts,
+        constant_term=constant_term,
     )
 
 
@@ -162,25 +207,43 @@ def to_stencil_spec(equation: Equation) -> StencilSpec:
     if len(analysis.grids) != 1:
         raise ConfigurationError(
             "StencilSpec lowering requires a single input grid; "
-            f"got {[g.name for g in analysis.grids]}"
+            f"got {[g.name for g in analysis.grids]}",
+            param="grids", value=tuple(g.name for g in analysis.grids),
+            constraint="exactly one grid on the rhs",
         )
     if analysis.grids[0] is not equation.target:
         raise ConfigurationError(
             "StencilSpec lowering requires the equation to update the grid "
-            "it reads (single-field stencil)"
+            "it reads (single-field stencil)",
+            param="target", value=equation.target.name,
+            constraint="target grid == the grid the rhs reads",
         )
     if not analysis.is_linear:
-        raise ConfigurationError("equation is nonlinear; cannot lower")
-    if not analysis.is_star:
         raise ConfigurationError(
-            "equation accesses off-axis neighbors; only star stencils lower"
+            "equation is nonlinear; cannot lower",
+            param="rhs", constraint="linear combination of grid accesses",
         )
-    linear = _linearize(equation.rhs)
-    assert linear is not None
-    if abs(linear.get(None, 0.0)) > 1e-30:
-        raise ConfigurationError("affine constant terms cannot lower")
+    if not analysis.is_star:
+        offending = analysis.off_axis_accesses
+        raise ConfigurationError(
+            "equation accesses off-axis neighbors; only star stencils "
+            f"lower — offending accesses: {', '.join(map(repr, offending))}",
+            param="offsets",
+            value=tuple(ref.offsets for ref in offending),
+            constraint="every access has at most one nonzero offset axis",
+        )
+    if abs(analysis.constant_term) > 1e-30:
+        raise ConfigurationError(
+            "affine constant terms cannot lower",
+            param="constant_term", value=analysis.constant_term,
+            constraint="no additive constant in the rhs",
+        )
     if analysis.radius < 1:
-        raise ConfigurationError("equation reads only the center cell")
+        raise ConfigurationError(
+            "equation reads only the center cell",
+            param="radius", value=analysis.radius,
+            constraint="at least one neighbor access (radius >= 1)",
+        )
 
     dims = analysis.grids[0].dims
     radius = analysis.radius

@@ -71,7 +71,9 @@ class GridRef(Expr):
         if len(self.offsets) != self.grid.dims:
             raise ConfigurationError(
                 f"grid {self.grid.name!r} is {self.grid.dims}D but the "
-                f"access has {len(self.offsets)} offsets"
+                f"access has {len(self.offsets)} offsets",
+                param="offsets", value=self.offsets,
+                constraint=f"len(offsets) == dims ({self.grid.dims})",
             )
 
     def __repr__(self) -> str:
@@ -115,13 +117,24 @@ class Grid:
 
     def __post_init__(self) -> None:
         if self.dims not in (2, 3):
-            raise ConfigurationError(f"dims must be 2 or 3, got {self.dims}")
+            raise ConfigurationError(
+                f"dims must be 2 or 3, got {self.dims}",
+                param="dims", value=self.dims, constraint="dims in (2, 3)",
+            )
         if not self.name.isidentifier():
-            raise ConfigurationError(f"invalid grid name {self.name!r}")
+            raise ConfigurationError(
+                f"invalid grid name {self.name!r}",
+                param="name", value=self.name,
+                constraint="grid names are Python identifiers",
+            )
 
     def __call__(self, *offsets: int) -> GridRef:
         if any(not isinstance(o, int) for o in offsets):
-            raise ConfigurationError("offsets must be integers")
+            raise ConfigurationError(
+                "offsets must be integers",
+                param="offsets", value=offsets,
+                constraint="every offset is an int",
+            )
         return GridRef(self, tuple(offsets))
 
 

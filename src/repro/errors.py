@@ -13,7 +13,38 @@ class ConfigurationError(ReproError):
     Raised, for example, when a blocking configuration violates the
     constraints of the paper (eq. 2 requires ``bsize > 2 * partime * rad``)
     or when a device cannot fit the requested degree of parallelism.
+
+    Alongside the human-readable message, raise sites may attach the
+    structured locus of the violation — ``param`` (the offending
+    parameter name), ``value`` (what it was) and ``constraint`` (the rule
+    it broke) — so tooling such as :mod:`repro.lint` and the experiments
+    runner can render precise diagnostics without string-matching the
+    message.  All three default to ``None`` for sites that predate them.
     """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        param: str | None = None,
+        value: object = None,
+        constraint: str | None = None,
+    ):
+        super().__init__(message)
+        self.param = param
+        self.value = value
+        self.constraint = constraint
+
+    def details(self) -> str:
+        """Render the structured fields (empty string when unset)."""
+        parts = []
+        if self.param is not None:
+            parts.append(f"param={self.param}")
+        if self.value is not None:
+            parts.append(f"value={self.value!r}")
+        if self.constraint is not None:
+            parts.append(f"constraint: {self.constraint}")
+        return "; ".join(parts)
 
 
 class ResourceExceededError(ConfigurationError):

@@ -60,7 +60,16 @@ def _chaos(**kwargs):
     return run_chaos(**kwargs)
 
 
+def _lint(**kwargs):
+    # Imported lazily: repro.lint pulls in the area/fmax models and walks
+    # the source tree, which table/figure experiments never need.
+    from repro.experiments.preflight import run
+
+    return run(**kwargs)
+
+
 EXPERIMENTS["resilience"] = _resilience
 EXPERIMENTS["chaos"] = _chaos
+EXPERIMENTS["lint"] = _lint
 
 __all__ = ["EXPERIMENTS", "ExperimentResult"]

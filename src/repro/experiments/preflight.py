@@ -1,0 +1,54 @@
+"""``lint`` experiment: the static verifier as a reproducible artifact.
+
+Runs the four :mod:`repro.lint` passes over the shipped targets and
+renders the outcome next to the rule catalog.  The experiment *passes*
+when the verifier reports zero findings — the same gate CI enforces —
+so a regression in kernels, configurations, plan geometry or hot-path
+hygiene shows up in ``python -m repro.experiments all`` exactly like a
+numerical deviation from the paper.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import Comparison
+from repro.experiments.base import ExperimentResult
+from repro.lint.cli import run_default_lint
+from repro.lint.findings import render_rule_catalog
+
+
+def run(**kwargs) -> ExperimentResult:
+    """Run the shipped-target lint and wrap it as an experiment."""
+    report = run_default_lint()
+    comparisons = [
+        Comparison(
+            label="lint findings (errors)",
+            paper=0.0,
+            reproduced=float(len(report.errors)),
+            tolerance=0.0,
+        ),
+        Comparison(
+            label="lint findings (warnings)",
+            paper=0.0,
+            reproduced=float(len(report.warnings)),
+            tolerance=0.0,
+        ),
+    ]
+    lines = [
+        "Static verification (repro.lint) over shipped targets",
+        "",
+        report.render(),
+        "",
+        "Rule catalog:",
+        render_rule_catalog(),
+    ]
+    return ExperimentResult(
+        exp_id="lint",
+        title="Static verification of kernels, configs, plans and hot paths",
+        text="\n".join(lines),
+        comparisons=comparisons,
+        data={
+            "passes": list(report.passes_run),
+            "findings": [f.to_dict() for f in report.findings],
+            "rules_fired": sorted(report.rules_fired()),
+        },
+    )

@@ -145,6 +145,12 @@ def main(argv: list[str] | None = None) -> int:
         help="emit machine-readable JSON instead of rendered tables",
     )
     parser.add_argument(
+        "--preflight",
+        action="store_true",
+        help="run the repro.lint static verifier first and refuse to "
+        "start the sweep on error-severity findings",
+    )
+    parser.add_argument(
         "--state",
         metavar="FILE",
         default=None,
@@ -152,6 +158,21 @@ def main(argv: list[str] | None = None) -> int:
         "here after each step and skipped when the sweep is re-run",
     )
     args = parser.parse_args(argv)
+
+    if args.preflight:
+        from repro.lint.cli import run_default_lint
+
+        lint_report = run_default_lint()
+        if lint_report.errors:
+            print(lint_report.render(), file=sys.stderr)
+            print(
+                "preflight: repro.lint reported "
+                f"{len(lint_report.errors)} error(s); aborting sweep",
+                file=sys.stderr,
+            )
+            return 1
+        if lint_report.warnings:
+            print(lint_report.render(), file=sys.stderr)
 
     if args.experiment == "report":
         from repro.analysis.report import all_passed, build_sections, generate_report

@@ -1,0 +1,252 @@
+"""Config pass: feasibility of raw accelerator parameter points.
+
+Operates on *unconstructed* parameter tuples (a :class:`ConfigPoint`)
+so that infeasible points yield findings instead of exceptions — a tuner
+sweep or experiment manifest can be pruned statically, before any
+:class:`repro.core.blocking.BlockingConfig` is built or any pass runs.
+
+The checks mirror, in order, every raise site of ``BlockingConfig``
+(C209/C207/C202/C201 — so a point with no error-severity findings is
+guaranteed to construct) and then the paper's performance constraints:
+eq. 6 alignment and port widths as warnings (functional configs may
+violate them; tuned ones should not), eq. 5's DSP budget and the
+device's Block RAM as errors (the design physically cannot fit), and
+§IV.C csize alignment of the grid as a warning (redundant last block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.blocking import BlockingConfig
+from repro.core.stencil import StencilSpec
+from repro.fpga.board import NALLATECH_385A, Board
+from repro.lint.findings import Finding
+from repro.models.area import AreaModel, par_total
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """A raw parameter point, before validation.
+
+    ``grid_shape`` is optional; shape-dependent checks (C207, C206) are
+    skipped when it is ``None``.  ``label`` names the point in loci.
+    """
+
+    dims: int
+    radius: int
+    bsize_x: int
+    parvec: int = 1
+    partime: int = 1
+    bsize_y: int | None = None
+    grid_shape: tuple[int, ...] | None = None
+    label: str = ""
+
+    @property
+    def locus(self) -> str:
+        if self.label:
+            return f"config[{self.label}]"
+        return (
+            f"config[{self.dims}d-rad{self.radius}-b{self.bsize_x}"
+            f"-v{self.parvec}-t{self.partime}]"
+        )
+
+    def to_blocking_config(self) -> BlockingConfig:
+        """Construct the validated config (raises if lint would error)."""
+        return BlockingConfig(
+            dims=self.dims,
+            radius=self.radius,
+            bsize_x=self.bsize_x,
+            bsize_y=self.bsize_y,
+            parvec=self.parvec,
+            partime=self.partime,
+        )
+
+
+def _domain_findings(pt: ConfigPoint) -> list[Finding]:
+    """C209/C207: parameter domains and grid dimensionality."""
+    findings: list[Finding] = []
+
+    def bad(param: str, value: object, constraint: str) -> None:
+        findings.append(
+            Finding(
+                rule="C209",
+                message=f"{param}={value!r} violates {constraint}",
+                locus=pt.locus,
+                hint="see repro.core.blocking.BlockingConfig",
+            )
+        )
+
+    if pt.dims not in (2, 3):
+        bad("dims", pt.dims, "dims in (2, 3)")
+    if pt.radius < 1:
+        bad("radius", pt.radius, "radius >= 1")
+    if pt.partime < 1:
+        bad("partime", pt.partime, "partime >= 1")
+    if pt.parvec < 1:
+        bad("parvec", pt.parvec, "parvec >= 1")
+    if pt.bsize_x < 1:
+        bad("bsize_x", pt.bsize_x, "bsize_x >= 1")
+    if pt.dims == 3 and (pt.bsize_y is None or pt.bsize_y < 1):
+        bad("bsize_y", pt.bsize_y, "3D requires bsize_y >= 1")
+    if pt.dims == 2 and pt.bsize_y is not None:
+        bad("bsize_y", pt.bsize_y, "2D forbids bsize_y")
+    if (
+        pt.grid_shape is not None
+        and pt.dims in (2, 3)
+        and len(pt.grid_shape) != pt.dims
+    ):
+        findings.append(
+            Finding(
+                rule="C207",
+                message=f"grid shape {pt.grid_shape} is "
+                f"{len(pt.grid_shape)}D but the configuration is "
+                f"{pt.dims}D",
+                locus=pt.locus,
+                hint="blocked/streamed axes only line up when "
+                "len(grid_shape) == dims",
+            )
+        )
+    return findings
+
+
+def lint_config(
+    point: ConfigPoint,
+    *,
+    board: Board = NALLATECH_385A,
+    area_mode: str = "observed",
+) -> list[Finding]:
+    """Statically verify one parameter point against a board.
+
+    A return value free of error-severity findings guarantees that
+    ``point.to_blocking_config()`` constructs without raising and that
+    the resulting design fits the device's DSP and Block-RAM budgets.
+    """
+    findings = _domain_findings(point)
+    if findings:
+        # Domain violations make the derived quantities meaningless
+        # (and StencilSpec/BlockingConfig would raise); stop here.
+        return findings
+
+    locus = point.locus
+    if point.bsize_x % point.parvec != 0:
+        findings.append(
+            Finding(
+                rule="C202",
+                message=f"bsize_x={point.bsize_x} is not a multiple of "
+                f"parvec={point.parvec}",
+                locus=locus,
+                hint="the vectorized x loop processes parvec cells per "
+                "iteration; pick bsize_x % parvec == 0",
+            )
+        )
+
+    halo = point.partime * point.radius
+    bsizes = (
+        (point.bsize_x,)
+        if point.dims == 2
+        else (int(point.bsize_y), point.bsize_x)  # type: ignore[arg-type]
+    )
+    names = ("csize_x",) if point.dims == 2 else ("csize_y", "csize_x")
+    csizes = tuple(b - 2 * halo for b in bsizes)
+    for name, bsize, csize in zip(names, bsizes, csizes):
+        if csize < 1:
+            findings.append(
+                Finding(
+                    rule="C201",
+                    message=f"{name} = {bsize} - 2*{point.partime}*"
+                    f"{point.radius} = {csize} <= 0",
+                    locus=locus,
+                    hint="eq. 2 requires bsize > 2 * partime * radius; "
+                    "grow the block or shrink the PE chain",
+                )
+            )
+    if any(f.rule in ("C201", "C202") for f in findings):
+        # The config cannot construct; model checks would be nonsense.
+        return findings
+
+    if (point.partime * point.radius) % 4 != 0:
+        findings.append(
+            Finding(
+                rule="C205",
+                message=f"partime*rad = {point.partime}*{point.radius} = "
+                f"{point.partime * point.radius} is not a multiple of 4",
+                locus=locus,
+                hint="eq. 6: unaligned halos split external-memory "
+                "accesses; fine for simulation, slow on hardware",
+            )
+        )
+    if point.parvec not in (1, 2, 4, 8, 16):
+        findings.append(
+            Finding(
+                rule="C208",
+                message=f"parvec={point.parvec} is not a power-of-two "
+                "memory-port width (1, 2, 4, 8 or 16)",
+                locus=locus,
+                hint="§V.A restricts parvec to the port widths the "
+                "memory controller supports",
+            )
+        )
+
+    spec = StencilSpec.star(point.dims, point.radius)
+    config = point.to_blocking_config()
+    budget = par_total(board.device, spec)
+    if point.partime * point.parvec > budget:
+        findings.append(
+            Finding(
+                rule="C203",
+                message=f"partime*parvec = {point.partime}*{point.parvec} "
+                f"= {point.partime * point.parvec} exceeds par_total = "
+                f"{budget} on {board.device.name}",
+                locus=locus,
+                hint="eq. 5: the DSP budget caps total parallelism",
+            )
+        )
+    area = AreaModel(board.device, mode=area_mode)
+    bits = area.bram_bits(spec, config)
+    if bits > board.device.bram_bits:
+        findings.append(
+            Finding(
+                rule="C204",
+                message=f"shift registers need {bits} BRAM bits "
+                f"({bits / board.device.bram_bits:.2f}x the device's "
+                f"{board.device.bram_bits})",
+                locus=locus,
+                hint="shrink bsize (eq. 7 words scale with the block "
+                "footprint) or partime (one register file per PE)",
+            )
+        )
+
+    if point.grid_shape is not None:
+        blocked_axes = (1,) if point.dims == 2 else (1, 2)
+        axis_names = ("x",) if point.dims == 2 else ("y", "x")
+        for axis, axis_name, csize in zip(blocked_axes, axis_names, csizes):
+            extent = point.grid_shape[axis]
+            if extent % csize != 0:
+                findings.append(
+                    Finding(
+                        rule="C206",
+                        message=f"grid extent {extent} along {axis_name} "
+                        f"is not a multiple of csize_{axis_name}={csize}; "
+                        "the last block computes "
+                        f"{csize - extent % csize} redundant columns",
+                        locus=locus,
+                        hint="§IV.C: pad the input with "
+                        "BlockingConfig.aligned_shape to keep every "
+                        "block full",
+                    )
+                )
+    return findings
+
+
+def lint_configs(
+    points: list[ConfigPoint],
+    *,
+    board: Board = NALLATECH_385A,
+    area_mode: str = "observed",
+) -> list[Finding]:
+    """Lint several points; findings concatenate in order."""
+    findings: list[Finding] = []
+    for point in points:
+        findings.extend(lint_config(point, board=board, area_mode=area_mode))
+    return findings

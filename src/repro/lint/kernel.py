@@ -1,0 +1,178 @@
+"""Kernel pass: static checks over DSL equations.
+
+Runs :func:`repro.dsl.analysis.analyze` (never lowering, never
+executing) and reports, before any build or run is paid for:
+
+* accesses the accelerator cannot stream (non-star, K101) with the
+  offending offsets spelled out;
+* radii beyond the hardware catalog's measured fmax range (K102);
+* duplicate and dead (zero-coefficient) accesses (K103/K104) — the
+  paper's no-reassociation FLOP accounting charges them as written;
+* float literals that do not survive the float32 round trip (K105), a
+  bit-exactness hazard when comparing against float64 references;
+* structural blockers for StencilSpec lowering: nonlinearity (K106),
+  extra grids (K107), affine terms (K108), radius 0 (K109).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsl.ast import Add, Const, Equation, Expr, Mul
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding
+from repro.models.fmax import MEASURED_FMAX_MHZ
+
+#: Largest radius with a measured fmax row in the hardware catalog
+#: (Table III); beyond it the models extrapolate.
+CATALOG_MAX_RADIUS: int = max(radius for _, radius in MEASURED_FMAX_MHZ)
+
+
+def _collect_consts(expr: Expr, out: list[Const]) -> None:
+    if isinstance(expr, Const):
+        out.append(expr)
+    elif isinstance(expr, (Add, Mul)):
+        _collect_consts(expr.left, out)
+        _collect_consts(expr.right, out)
+
+
+def lint_equation(
+    equation: Equation, *, catalog_max_radius: int = CATALOG_MAX_RADIUS
+) -> list[Finding]:
+    """Statically verify one DSL equation; returns findings (maybe [])."""
+    locus = f"equation[{equation.target.name}]"
+    findings: list[Finding] = []
+
+    from repro.dsl.analysis import analyze
+
+    try:
+        analysis = analyze(equation)
+    except ConfigurationError as err:
+        details = err.details()
+        return [
+            Finding(
+                rule="K110",
+                message=str(err) + (f" ({details})" if details else ""),
+                locus=locus,
+                hint="fix the equation before lowering or executing it",
+            )
+        ]
+
+    if not analysis.is_star:
+        offending = ", ".join(repr(ref) for ref in analysis.off_axis_accesses)
+        findings.append(
+            Finding(
+                rule="K101",
+                message=f"off-axis accesses: {offending}",
+                locus=locus,
+                hint="star stencils allow at most one nonzero offset axis "
+                "per access; use repro.dsl.lower.compile_equation for "
+                "general kernels",
+            )
+        )
+
+    if analysis.radius > catalog_max_radius:
+        findings.append(
+            Finding(
+                rule="K102",
+                message=f"radius {analysis.radius} exceeds the catalog's "
+                f"measured maximum {catalog_max_radius}; fmax and area "
+                "models extrapolate beyond it",
+                locus=locus,
+                hint="see repro.models.fmax.MEASURED_FMAX_MHZ (Table III)",
+            )
+        )
+
+    for ref in analysis.duplicate_accesses:
+        findings.append(
+            Finding(
+                rule="K103",
+                message=f"access {ref!r} appears "
+                f"{analysis.access_counts[ref]} times; coefficients merge "
+                "but as-written FLOPs are charged per mention",
+                locus=locus,
+                hint="combine the coefficients into a single term",
+            )
+        )
+
+    if analysis.is_linear:
+        for ref, coeff in analysis.coefficients.items():
+            if coeff == 0.0:
+                findings.append(
+                    Finding(
+                        rule="K104",
+                        message=f"access {ref!r} has net coefficient 0.0",
+                        locus=locus,
+                        hint="remove the dead read; it still costs FLOPs "
+                        "and widens the stencil footprint",
+                    )
+                )
+
+    consts: list[Const] = []
+    _collect_consts(equation.rhs, consts)
+    seen: set[float] = set()
+    for const in consts:
+        value = const.value
+        if value in seen:
+            continue
+        seen.add(value)
+        if float(np.float32(value)) != value:
+            findings.append(
+                Finding(
+                    rule="K105",
+                    message=f"literal {value!r} != float32 round trip "
+                    f"{float(np.float32(value))!r}",
+                    locus=locus,
+                    hint="quantize coefficients through float32 first "
+                    "(as StencilSpec.star does) so engine comparisons "
+                    "stay bit-exact",
+                )
+            )
+
+    if not analysis.is_linear:
+        findings.append(
+            Finding(
+                rule="K106",
+                message="rhs multiplies two grid-dependent subexpressions",
+                locus=locus,
+                hint="only linear combinations lower to a StencilSpec",
+            )
+        )
+    if analysis.grids != (equation.target,):
+        findings.append(
+            Finding(
+                rule="K107",
+                message=f"equation updates {equation.target.name!r} but "
+                f"reads {[g.name for g in analysis.grids]}",
+                locus=locus,
+                hint="single-field stencils read only their target grid",
+            )
+        )
+    if analysis.is_linear and abs(analysis.constant_term) > 1e-30:
+        findings.append(
+            Finding(
+                rule="K108",
+                message=f"affine constant term {analysis.constant_term!r}",
+                locus=locus,
+                hint="fold the constant into the field or use the general "
+                "lowering path",
+            )
+        )
+    if analysis.radius < 1:
+        findings.append(
+            Finding(
+                rule="K109",
+                message="no neighbor access; the stencil has radius 0",
+                locus=locus,
+                hint="a pointwise update does not need the accelerator",
+            )
+        )
+    return findings
+
+
+def lint_equations(equations: list[Equation]) -> list[Finding]:
+    """Lint several equations; findings concatenate in order."""
+    findings: list[Finding] = []
+    for equation in equations:
+        findings.extend(lint_equation(equation))
+    return findings

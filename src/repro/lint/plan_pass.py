@@ -1,0 +1,336 @@
+"""Plan pass: prove PassPlan invariants without executing a pass.
+
+A :class:`repro.core.plan.PassPlan` is a *schedule* — if its geometry is
+wrong, every pass executed from it is wrong, so the invariants are worth
+proving ahead of time.  This pass re-derives each invariant from first
+principles (block bounds, boundary semantics, eq. 2) rather than calling
+back into the plan's own construction helpers, and never gathers,
+updates or writes a single cell:
+
+* P301 — the write slices partition the grid: every cell of every
+  blocked axis is written by exactly one block.
+* P302 — the per-stage shrink windows nest: every neighbor read at
+  stage ``s`` lands inside the stage ``s-1`` window or in a clamp
+  duplicate refreshed from it (the overlapped-blocking correctness
+  invariant, checked for every pass length ``1..partime``).
+* P303 — clamp-duplicate counts match the boundary spec
+  (``max(0, halo - start)`` / ``max(0, stop + halo - extent)`` under
+  clamp; all zero under periodic).
+* P304 — the gather segments tile the read footprint and reproduce the
+  clamped/wrapped source indices exactly.
+* P305 — the final stage of a full pass lands exactly on the compute
+  region the write kernel copies out (``read_sl``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plan import PassPlan
+from repro.lint.findings import Finding
+
+
+def _plan_locus(plan: PassPlan) -> str:
+    c = plan.config
+    shape = "x".join(str(s) for s in plan.grid_shape)
+    return (
+        f"plan[{c.dims}d-rad{c.radius}-t{c.partime}-{plan.boundary}"
+        f"-{shape}]"
+    )
+
+
+def _check_partition(plan: PassPlan, locus: str) -> list[Finding]:
+    """P301: write slices cover every blocked cell exactly once."""
+    findings: list[Finding] = []
+    extents = [plan.grid_shape[ax] for ax in plan.config.blocked_axes]
+    # Joint coverage over the blocked-extent product grid: an exact
+    # once-each proof, not a per-axis heuristic.  The streamed axis is
+    # always slice(None) and contributes no partitioning.
+    coverage = np.zeros(tuple(extents), dtype=np.int32)
+    for i, bp in enumerate(plan.blocks):
+        slices: list[slice] = []
+        out_of_bounds = False
+        for local_axis, axis in enumerate(plan.config.blocked_axes):
+            sl = bp.write_sl[axis]
+            extent = extents[local_axis]
+            if not (
+                isinstance(sl.start, int)
+                and isinstance(sl.stop, int)
+                and 0 <= sl.start < sl.stop <= extent
+            ):
+                findings.append(
+                    Finding(
+                        rule="P301",
+                        message=f"block {i} write slice {sl} is out of "
+                        f"bounds for extent {extent} (axis {axis})",
+                        locus=locus,
+                        hint="slices outside the grid are silently "
+                        "clipped by NumPy, hiding lost writes",
+                    )
+                )
+                out_of_bounds = True
+            slices.append(sl)
+        if not out_of_bounds:
+            coverage[tuple(slices)] += 1
+    if findings:
+        return findings
+    uncovered = int(np.count_nonzero(coverage == 0))
+    multi = int(np.count_nonzero(coverage > 1))
+    if uncovered or multi:
+        first = tuple(
+            int(v) for v in np.argwhere(coverage != 1)[0]
+        )
+        findings.append(
+            Finding(
+                rule="P301",
+                message=f"{uncovered} blocked cell(s) never written, "
+                f"{multi} written more than once (first bad cell "
+                f"{first}, count {int(coverage[first])})",
+                locus=locus,
+                hint="the block write slices must partition the grid "
+                "exactly once",
+            )
+        )
+    return findings
+
+
+def _check_duplicates(plan: PassPlan, locus: str) -> list[Finding]:
+    """P303: dup counts re-derived from block bounds and the boundary."""
+    findings: list[Finding] = []
+    halo = plan.config.halo
+    extents = [plan.grid_shape[ax] for ax in plan.config.blocked_axes]
+    for i, bp in enumerate(plan.blocks):
+        for local_axis, extent in enumerate(extents):
+            start = bp.block.starts[local_axis]
+            stop = bp.block.stops[local_axis]
+            if plan.periodic:
+                want_lo, want_hi = 0, 0
+            else:
+                want_lo = max(0, halo - start)
+                want_hi = max(0, stop + halo - extent)
+            got_lo = bp.dup_lo[local_axis]
+            got_hi = bp.dup_hi[local_axis]
+            if (got_lo, got_hi) != (want_lo, want_hi):
+                findings.append(
+                    Finding(
+                        rule="P303",
+                        message=f"block {i} axis {local_axis}: "
+                        f"dup_lo/dup_hi = ({got_lo}, {got_hi}), boundary "
+                        f"{plan.boundary!r} implies ({want_lo}, {want_hi})",
+                        locus=locus,
+                        hint="the PE chain refreshes exactly the clamped "
+                        "halo cells between stages; wrong counts corrupt "
+                        "border values",
+                    )
+                )
+    return findings
+
+
+def _check_segments(plan: PassPlan, locus: str) -> list[Finding]:
+    """P304: segments tile the footprint and match re-derived indices."""
+    findings: list[Finding] = []
+    halo = plan.config.halo
+    extents = [plan.grid_shape[ax] for ax in plan.config.blocked_axes]
+    for i, bp in enumerate(plan.blocks):
+        for local_axis, extent in enumerate(extents):
+            start = bp.block.starts[local_axis]
+            stop = bp.block.stops[local_axis]
+            width = bp.footprint[1 + local_axis]
+            raw = np.arange(start - halo, stop + halo)
+            if plan.periodic:
+                expected = np.mod(raw, extent)
+            else:
+                expected = np.clip(raw, 0, extent - 1)
+            if width != expected.size:
+                findings.append(
+                    Finding(
+                        rule="P304",
+                        message=f"block {i} axis {local_axis}: footprint "
+                        f"width {width} != halo-extended block width "
+                        f"{expected.size}",
+                        locus=locus,
+                        hint="footprint = (stop - start) + 2 * halo per "
+                        "blocked axis",
+                    )
+                )
+                continue
+            rebuilt = np.full(width, -1, dtype=np.int64)
+            cursor = 0
+            ok = True
+            for seg in bp.segments[local_axis]:
+                if seg.dst_start != cursor or seg.dst_stop <= seg.dst_start:
+                    ok = False
+                    break
+                cursor = seg.dst_stop
+                src = np.arange(seg.src_start, seg.src_stop)
+                if src.size == 1:
+                    rebuilt[seg.dst_start:seg.dst_stop] = src[0]
+                elif src.size == seg.dst_stop - seg.dst_start:
+                    rebuilt[seg.dst_start:seg.dst_stop] = src
+                else:
+                    ok = False
+                    break
+                if seg.src_start < 0 or seg.src_stop > extent:
+                    ok = False
+                    break
+            if not ok or cursor != width:
+                findings.append(
+                    Finding(
+                        rule="P304",
+                        message=f"block {i} axis {local_axis}: segments "
+                        "do not tile the footprint contiguously",
+                        locus=locus,
+                        hint="every local cell must be gathered exactly "
+                        "once, in order",
+                    )
+                )
+                continue
+            if not np.array_equal(rebuilt, expected):
+                first = int(np.flatnonzero(rebuilt != expected)[0])
+                findings.append(
+                    Finding(
+                        rule="P304",
+                        message=f"block {i} axis {local_axis}: gathered "
+                        f"source index at local {first} is "
+                        f"{int(rebuilt[first])}, boundary "
+                        f"{plan.boundary!r} implies {int(expected[first])}",
+                        locus=locus,
+                        hint="segments must reproduce the clamped/wrapped "
+                        "halo indices",
+                    )
+                )
+    return findings
+
+
+def _check_windows(plan: PassPlan, locus: str) -> list[Finding]:
+    """P302/P305: window nesting and final-stage placement."""
+    findings: list[Finding] = []
+    rad = plan.config.radius
+    partime = plan.config.partime
+    n_blocked = len(plan.config.blocked_axes)
+    for steps in range(1, partime + 1):
+        table = plan.windows(steps)
+        if len(table) != len(plan.blocks):
+            findings.append(
+                Finding(
+                    rule="P302",
+                    message=f"windows({steps}) has {len(table)} block "
+                    f"entries for {len(plan.blocks)} blocks",
+                    locus=locus,
+                )
+            )
+            continue
+        for i, (bp, per_stage) in enumerate(zip(plan.blocks, table)):
+            b_locus = f"{locus}/block{i}"
+            if len(per_stage) != steps:
+                findings.append(
+                    Finding(
+                        rule="P302",
+                        message=f"windows({steps}) has {len(per_stage)} "
+                        f"stages for block {i}",
+                        locus=b_locus,
+                    )
+                )
+                continue
+            for s, window in enumerate(per_stage, start=1):
+                for local_axis in range(n_blocked):
+                    lo, hi = window[1 + local_axis]
+                    width = bp.footprint[1 + local_axis]
+                    dup_lo = bp.dup_lo[local_axis]
+                    dup_hi = bp.dup_hi[local_axis]
+                    if not (0 <= lo < hi <= width):
+                        findings.append(
+                            Finding(
+                                rule="P302",
+                                message=f"stage {s} axis {local_axis}: "
+                                f"window ({lo}, {hi}) escapes the "
+                                f"footprint [0, {width})",
+                                locus=b_locus,
+                                hint="stage windows must stay inside the "
+                                "gathered block",
+                            )
+                        )
+                        continue
+                    if s == 1:
+                        prev_lo, prev_hi = 0, width
+                    else:
+                        prev_lo, prev_hi = per_stage[s - 2][1 + local_axis]
+                    # Left reads [lo - rad, lo) must come from the
+                    # previous stage's window or from clamp duplicates
+                    # refreshed out of it.
+                    left_ok = lo - rad >= prev_lo or (
+                        lo - rad >= 0
+                        and prev_lo <= dup_lo
+                        and dup_lo < prev_hi
+                    )
+                    right_ok = hi + rad <= prev_hi or (
+                        hi + rad <= width
+                        and prev_hi >= width - dup_hi
+                        and width - dup_hi - 1 >= prev_lo
+                    )
+                    if not (left_ok and right_ok):
+                        findings.append(
+                            Finding(
+                                rule="P302",
+                                message=f"steps={steps} stage {s} axis "
+                                f"{local_axis}: window ({lo}, {hi}) reads "
+                                f"radius-{rad} neighbors outside stage "
+                                f"{s - 1}'s window ({prev_lo}, {prev_hi}) "
+                                f"with dup=({dup_lo}, {dup_hi})",
+                                locus=b_locus,
+                                hint="the shrink schedule must keep every "
+                                "neighbor read inside already-valid cells",
+                            )
+                        )
+            # P305: the final stage of a full pass must land exactly on
+            # the compute region the write kernel copies out.
+            if steps == partime:
+                final = per_stage[-1]
+                stream_extent = bp.footprint[0]
+                want: list[tuple[int, int]] = [(0, stream_extent)]
+                for local_axis, axis in enumerate(plan.config.blocked_axes):
+                    rs = bp.read_sl[axis]
+                    want.append((rs.start, rs.stop))
+                if tuple(final) != tuple(want):
+                    findings.append(
+                        Finding(
+                            rule="P305",
+                            message=f"final stage window {tuple(final)} != "
+                            f"compute region {tuple(want)} (read_sl)",
+                            locus=b_locus,
+                            hint="after partime steps the window must "
+                            "shrink exactly to the cells written back",
+                        )
+                    )
+                ws_width = tuple(
+                    bp.write_sl[axis].stop - bp.write_sl[axis].start
+                    for axis in plan.config.blocked_axes
+                )
+                rs_width = tuple(
+                    bp.read_sl[axis].stop - bp.read_sl[axis].start
+                    for axis in plan.config.blocked_axes
+                )
+                if ws_width != rs_width:
+                    findings.append(
+                        Finding(
+                            rule="P305",
+                            message=f"write slice widths {ws_width} != "
+                            f"read slice widths {rs_width}",
+                            locus=b_locus,
+                            hint="the write kernel copies read_sl onto "
+                            "write_sl; mismatched widths drop or smear "
+                            "cells",
+                        )
+                    )
+    return findings
+
+
+def lint_plan(plan: PassPlan) -> list[Finding]:
+    """Prove the plan's geometric invariants; never executes a pass."""
+    locus = _plan_locus(plan)
+    findings: list[Finding] = []
+    findings.extend(_check_partition(plan, locus))
+    findings.extend(_check_duplicates(plan, locus))
+    findings.extend(_check_segments(plan, locus))
+    findings.extend(_check_windows(plan, locus))
+    return findings

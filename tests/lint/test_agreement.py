@@ -1,0 +1,80 @@
+"""Linter/runtime agreement properties.
+
+The config pass promises: a point with no error-severity findings
+constructs a ``BlockingConfig`` and runs on the functional simulator
+without ``ConfigurationError``; a point with construction-class errors
+(C201/C202/C209/C207) raises when construction or execution is
+attempted.  Hypothesis searches the parameter space for disagreements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accelerator import FPGAAccelerator
+from repro.core.stencil import StencilSpec
+from repro.errors import ConfigurationError
+from repro.lint import ConfigPoint, lint_config
+
+_CONSTRUCTION_RULES = {"C201", "C202", "C209"}
+
+
+@st.composite
+def config_points(draw) -> ConfigPoint:
+    dims = draw(st.sampled_from([2, 2, 2, 3]))  # bias to the cheap case
+    radius = draw(st.integers(min_value=1, max_value=3))
+    partime = draw(st.integers(min_value=1, max_value=4))
+    parvec = draw(st.integers(min_value=1, max_value=5))
+    bsize_x = draw(st.integers(min_value=2, max_value=48))
+    bsize_y = draw(st.integers(min_value=2, max_value=32)) if dims == 3 else None
+    if dims == 2:
+        shape = (draw(st.integers(8, 32)), draw(st.integers(8, 48)))
+    else:
+        shape = (
+            draw(st.integers(4, 12)),
+            draw(st.integers(8, 24)),
+            draw(st.integers(8, 24)),
+        )
+    return ConfigPoint(
+        dims=dims,
+        radius=radius,
+        bsize_x=bsize_x,
+        bsize_y=bsize_y,
+        parvec=parvec,
+        partime=partime,
+        grid_shape=shape,
+        label="hyp",
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(point=config_points())
+def test_accepted_points_run_without_configuration_error(point):
+    findings = lint_config(point)
+    errors = [f for f in findings if str(f.severity) == "error"]
+    if errors:
+        # Construction-class errors must reproduce as ConfigurationError.
+        if {f.rule for f in errors} & _CONSTRUCTION_RULES:
+            with pytest.raises(ConfigurationError):
+                point.to_blocking_config()
+        return
+    # Linter-accepted: the config constructs and a small simulation runs.
+    config = point.to_blocking_config()
+    spec = StencilSpec.star(point.dims, point.radius)
+    rng = np.random.default_rng(7)
+    grid = rng.random(point.grid_shape, dtype=np.float32)
+    acc = FPGAAccelerator(spec, config)
+    result, stats = acc.run(grid, iterations=point.partime + 1)
+    assert result.shape == grid.shape
+    assert np.isfinite(result).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(point=config_points())
+def test_lint_is_deterministic(point):
+    first = lint_config(point)
+    second = lint_config(point)
+    assert [f.to_dict() for f in first] == [f.to_dict() for f in second]

@@ -1,0 +1,58 @@
+"""CLI behavior: zero-findings gate, JSON format, rule catalog."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+from repro.lint.cli import main
+
+
+def test_clean_repo_reports_zero_findings(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_json_output_is_machine_readable(capsys):
+    assert main(["--json", "--passes", "config,plan"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["counts"] == {"error": 0, "warning": 0}
+    assert payload["passes"] == ["config", "plan"]
+    assert payload["findings"] == []
+
+
+def test_rules_flag_prints_catalog(capsys):
+    assert main(["--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "K101" in out and "H403" in out
+
+
+def test_unknown_pass_rejected(capsys):
+    try:
+        main(["--passes", "kernel,bogus"])
+    except SystemExit as err:
+        assert err.code == 2
+    else:  # pragma: no cover
+        raise AssertionError("argparse should reject unknown passes")
+
+
+def test_findings_gate_exit_code(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\ndef f():\n    return np.random.rand()\n")
+    code = main(["--passes", "purity", "--source-root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "H403" in out
+
+
+def test_module_entry_point_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--passes", "config"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 error(s)" in proc.stdout

@@ -1,0 +1,60 @@
+"""Diagnostic-framework tests: rule catalog, Finding, LintReport."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import RULES, Finding, LintReport, Severity, render_rule_catalog
+
+
+def test_catalog_has_all_four_passes_and_enough_rules():
+    passes = {rule.pass_name for rule in RULES.values()}
+    assert passes == {"kernel", "config", "plan", "purity"}
+    assert len(RULES) >= 12
+    for rule_id, rule in RULES.items():
+        assert rule.rule_id == rule_id
+        assert rule.severity in (Severity.ERROR, Severity.WARNING)
+        assert rule.title
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown lint rule"):
+        Finding(rule="Z999", message="nope", locus="x")
+
+
+def test_finding_render_and_dict():
+    f = Finding(rule="K101", message="bad access", locus="equation[u]",
+                hint="make it a star")
+    text = f.render()
+    assert "equation[u]" in text and "[K101]" in text and "error" in text
+    assert "hint: make it a star" in text
+    d = f.to_dict()
+    assert d["rule"] == "K101"
+    assert d["pass"] == "kernel"
+    assert d["severity"] == "error"
+
+
+def test_report_counts_and_json_roundtrip():
+    report = LintReport()
+    report.extend("kernel", [
+        Finding(rule="K101", message="m", locus="l"),
+        Finding(rule="K103", message="m", locus="l"),
+    ])
+    report.extend("config", [])
+    assert len(report.errors) == 1
+    assert len(report.warnings) == 1
+    assert report.rules_fired() == {"K101", "K103"}
+    assert report.passes_run == ["kernel", "config"]
+    payload = json.loads(report.to_json())
+    assert payload["version"] == 1
+    assert payload["counts"] == {"error": 1, "warning": 1}
+    assert len(payload["findings"]) == 2
+    assert "kernel" in payload["passes"]
+
+
+def test_rule_catalog_table_lists_every_rule():
+    table = render_rule_catalog()
+    for rule_id in RULES:
+        assert rule_id in table

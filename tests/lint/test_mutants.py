@@ -1,0 +1,309 @@
+"""Seeded mutant suite: every rule fires on a crafted bad input.
+
+Each mutant is a deliberately broken kernel, config point, plan or
+source snippet; the test asserts the *expected rule id* fires with a
+locus pointing at the mutated artifact.  Randomized parameters are
+drawn from a seeded generator so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import BlockingConfig
+from repro.core.plan import PassPlan
+from repro.dsl.ast import Const, Equation, Grid
+from repro.lint import ConfigPoint, lint_config, lint_equation, lint_plan, lint_source
+
+RNG = np.random.default_rng(20260806)
+
+U = Grid("u", dims=2)
+V = Grid("v", dims=2)
+
+
+def _star2(extra=None):
+    """A clean 2D star expression, optionally plus an extra term."""
+    rhs = 0.5 * U(0, 0) + 0.25 * U(0, 1) + 0.25 * U(0, -1)
+    if extra is not None:
+        rhs = rhs + extra
+    return rhs
+
+
+def _plan(dims=2, radius=1, bsize_x=32, partime=4, shape=(64, 64),
+          boundary="clamp", bsize_y=None):
+    config = BlockingConfig(dims=dims, radius=radius, bsize_x=bsize_x,
+                            bsize_y=bsize_y, partime=partime)
+    return PassPlan(config, shape, boundary)
+
+
+def _tamper(plan, block_index, **fields):
+    """Overwrite frozen BlockPlan fields in place (test-only surgery)."""
+    bp = plan.blocks[block_index]
+    for name, value in fields.items():
+        object.__setattr__(bp, name, value)
+    return plan
+
+
+# ------------------------- kernel mutants ------------------------------ #
+
+def _k101():
+    dy, dx = int(RNG.integers(1, 3)), int(RNG.integers(1, 3))
+    return lint_equation(Equation(U, _star2(0.1 * U(dy, dx) * 0.5)))
+
+
+def _k102():
+    return lint_equation(Equation(U, _star2(0.25 * U(0, 5))))
+
+
+def _k103():
+    off = int(RNG.integers(1, 4))
+    dup = 0.125 * U(0, off) + 0.125 * U(0, off)
+    return lint_equation(Equation(U, _star2(dup)))
+
+
+def _k104():
+    return lint_equation(Equation(U, _star2(0.0 * U(0, 2))))
+
+
+def _k105():
+    # 0.1 is the canonical non-representable decimal.
+    return lint_equation(Equation(U, 0.1 * U(0, 0) + 0.5 * U(0, 1)))
+
+
+def _k106():
+    return lint_equation(Equation(U, U(0, 0) * U(0, 1)))
+
+
+def _k107():
+    return lint_equation(Equation(U, _star2(0.25 * V(0, 1))))
+
+
+def _k108():
+    return lint_equation(Equation(U, _star2(Const(0.5))))
+
+
+def _k109():
+    return lint_equation(Equation(U, 1.0 * U(0, 0)))
+
+
+def _k110():
+    return lint_equation(Equation(U, Const(1.0)))  # reads no grid
+
+
+# ------------------------- config mutants ------------------------------ #
+
+def _c(rule_kwargs):
+    return lint_config(ConfigPoint(**rule_kwargs))
+
+
+def _c201():
+    return _c(dict(dims=2, radius=4, bsize_x=64, partime=8, label="m-c201"))
+
+
+def _c202():
+    return _c(dict(dims=2, radius=1, bsize_x=63, parvec=2, partime=4,
+                   label="m-c202"))
+
+
+def _c203():
+    return _c(dict(dims=2, radius=1, bsize_x=4096, parvec=16, partime=100,
+                   label="m-c203"))
+
+
+def _c204():
+    return _c(dict(dims=3, radius=4, bsize_x=256, bsize_y=256, parvec=2,
+                   partime=16, label="m-c204"))
+
+
+def _c205():
+    return _c(dict(dims=2, radius=1, bsize_x=64, partime=3, label="m-c205"))
+
+
+def _c206():
+    return _c(dict(dims=2, radius=1, bsize_x=64, partime=4,
+                   grid_shape=(100, 100), label="m-c206"))
+
+
+def _c207():
+    return _c(dict(dims=2, radius=1, bsize_x=64, partime=4,
+                   grid_shape=(16, 16, 16), label="m-c207"))
+
+
+def _c208():
+    return _c(dict(dims=2, radius=2, bsize_x=60, parvec=6, partime=2,
+                   label="m-c208"))
+
+
+def _c209():
+    return _c(dict(dims=int(RNG.choice([0, 1, 4])), radius=1, bsize_x=32,
+                   label="m-c209"))
+
+
+def _c209_negative_partime():
+    return _c(dict(dims=2, radius=1, bsize_x=32, partime=-2, label="m-c209b"))
+
+
+# --------------------------- plan mutants ------------------------------ #
+
+def _p301_gap():
+    plan = _plan()
+    sl = list(plan.blocks[0].write_sl)
+    sl[1] = slice(0, 16)  # block writes half its compute region
+    _tamper(plan, 0, write_sl=tuple(sl))
+    return lint_plan(plan)
+
+
+def _p301_out_of_bounds():
+    plan = _plan()
+    sl = list(plan.blocks[-1].write_sl)
+    sl[1] = slice(sl[1].start, sl[1].stop + 8)  # runs past the grid
+    _tamper(plan, -1, write_sl=tuple(sl))
+    return lint_plan(plan)
+
+
+def _p302():
+    plan = _plan()
+    table = plan.windows(4)
+    blocks = [list(stages) for stages in table]
+    lo, hi = blocks[1][3][1]
+    blocks[1][3] = ((blocks[1][3][0]), (lo - 2, hi))  # widen final window
+    plan._windows[4] = tuple(tuple(stages) for stages in blocks)
+    return lint_plan(plan)
+
+
+def _p303():
+    plan = _plan()
+    _tamper(plan, 0, dup_lo=(plan.blocks[0].dup_lo[0] + 2,))
+    return lint_plan(plan)
+
+
+def _p304():
+    plan = _plan()
+    segs = plan.blocks[0].segments[0]
+    shifted = dataclasses.replace(
+        segs[1], src_start=segs[1].src_start + 1, src_stop=segs[1].src_stop + 1
+    )
+    _tamper(plan, 0, segments=((segs[0], shifted) + segs[2:],))
+    return lint_plan(plan)
+
+
+def _p305():
+    plan = _plan()
+    rs = list(plan.blocks[0].read_sl)
+    rs[1] = slice(rs[1].start + 1, rs[1].stop + 1)  # off-by-one copy-out
+    _tamper(plan, 0, read_sl=tuple(rs))
+    return lint_plan(plan)
+
+
+# -------------------------- purity mutants ----------------------------- #
+
+_PREFIX = "import repro.faults.hooks as fault_hooks\n"
+
+
+def _h401_attr():
+    return lint_source(
+        _PREFIX + "def f():\n    inj = fault_hooks.ACTIVE\n"
+        "    inj.touch_sram(None, site='x')\n",
+        "mutant.py",
+    )
+
+
+def _h401_arg():
+    return lint_source(
+        _PREFIX + "def f(g):\n    inj = fault_hooks.ACTIVE\n    g(inj)\n",
+        "mutant.py",
+    )
+
+
+def _h401_wrong_polarity():
+    return lint_source(
+        _PREFIX + "def f():\n    inj = fault_hooks.ACTIVE\n"
+        "    if inj is None:\n        inj.hook()\n",
+        "mutant.py",
+    )
+
+
+def _h402():
+    return lint_source(
+        "def f(a, cache):\n    cache[id(a)] = a\n", "mutant.py"
+    )
+
+
+def _h403_default_rng():
+    return lint_source(
+        "import numpy as np\ndef f():\n    return np.random.default_rng()\n",
+        "mutant.py",
+    )
+
+
+def _h403_legacy():
+    return lint_source(
+        "import numpy as np\ndef f():\n    return np.random.rand(4)\n",
+        "mutant.py",
+    )
+
+
+def _h403_stdlib():
+    return lint_source(
+        "import random\ndef f():\n    return random.choice([1, 2])\n",
+        "mutant.py",
+    )
+
+
+MUTANTS = [
+    ("k101-offaxis", "K101", _k101, "equation[u]"),
+    ("k102-radius5", "K102", _k102, "equation[u]"),
+    ("k103-duplicate", "K103", _k103, "equation[u]"),
+    ("k104-zero-coeff", "K104", _k104, "equation[u]"),
+    ("k105-float32", "K105", _k105, "equation[u]"),
+    ("k106-nonlinear", "K106", _k106, "equation[u]"),
+    ("k107-foreign-grid", "K107", _k107, "equation[u]"),
+    ("k108-affine", "K108", _k108, "equation[u]"),
+    ("k109-center-only", "K109", _k109, "equation[u]"),
+    ("k110-no-grid", "K110", _k110, "equation[u]"),
+    ("c201-csize", "C201", _c201, "config[m-c201]"),
+    ("c202-divisibility", "C202", _c202, "config[m-c202]"),
+    ("c203-dsp-budget", "C203", _c203, "config[m-c203]"),
+    ("c204-bram", "C204", _c204, "config[m-c204]"),
+    ("c205-alignment", "C205", _c205, "config[m-c205]"),
+    ("c206-csize-align", "C206", _c206, "config[m-c206]"),
+    ("c207-shape-dims", "C207", _c207, "config[m-c207]"),
+    ("c208-port-width", "C208", _c208, "config[m-c208]"),
+    ("c209-domain", "C209", _c209, "config[m-c209]"),
+    ("c209-neg-partime", "C209", _c209_negative_partime, "config[m-c209b]"),
+    ("p301-gap", "P301", _p301_gap, "plan["),
+    ("p301-oob", "P301", _p301_out_of_bounds, "plan["),
+    ("p302-escape", "P302", _p302, "plan["),
+    ("p303-dup-count", "P303", _p303, "plan["),
+    ("p304-shifted-segment", "P304", _p304, "plan["),
+    ("p305-copyout", "P305", _p305, "plan["),
+    ("h401-attr", "H401", _h401_attr, "mutant.py:"),
+    ("h401-arg", "H401", _h401_arg, "mutant.py:"),
+    ("h401-polarity", "H401", _h401_wrong_polarity, "mutant.py:"),
+    ("h402-id-key", "H402", _h402, "mutant.py:"),
+    ("h403-default-rng", "H403", _h403_default_rng, "mutant.py:"),
+    ("h403-legacy-np", "H403", _h403_legacy, "mutant.py:"),
+    ("h403-stdlib", "H403", _h403_stdlib, "mutant.py:"),
+]
+
+
+def test_mutant_suite_is_large_enough():
+    assert len(MUTANTS) >= 20
+    assert len({rule for _, rule, _, _ in MUTANTS}) >= 12
+
+
+@pytest.mark.parametrize(
+    "expected_rule,build,locus_prefix",
+    [m[1:] for m in MUTANTS],
+    ids=[m[0] for m in MUTANTS],
+)
+def test_mutant_fires_expected_rule(expected_rule, build, locus_prefix):
+    findings = build()
+    fired = {f.rule for f in findings}
+    assert expected_rule in fired, f"wanted {expected_rule}, got {sorted(fired)}"
+    matching = [f for f in findings if f.rule == expected_rule]
+    assert all(f.locus.startswith(locus_prefix) for f in matching)
+    assert all(f.message for f in findings)

@@ -1,0 +1,124 @@
+"""Per-pass behavior: clean targets stay quiet; plan lint never executes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocking import BlockingConfig
+from repro.core.plan import PassPlan
+from repro.lint import lint_config, lint_equation, lint_plan, lint_source
+from repro.lint.targets import (
+    paper_equation,
+    shipped_config_points,
+    shipped_equations,
+    shipped_plans,
+)
+
+
+# ---------------------------------------------------------------------- #
+# shipped targets are clean
+# ---------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("equation", shipped_equations(),
+                         ids=lambda e: f"{e.target.dims}d")
+def test_shipped_equations_clean(equation):
+    assert lint_equation(equation) == []
+
+
+@pytest.mark.parametrize("point", shipped_config_points(),
+                         ids=lambda p: p.label)
+def test_shipped_configs_clean(point):
+    assert lint_config(point) == []
+
+
+def test_shipped_plans_clean():
+    for plan in shipped_plans():
+        assert lint_plan(plan) == []
+
+
+def test_paper_equation_lowers_to_identical_spec():
+    import numpy as np
+
+    from repro.core.stencil import StencilSpec
+
+    for dims in (2, 3):
+        for radius in (1, 2):
+            eq = paper_equation(dims, radius)
+            spec = eq.to_stencil_spec()
+            ref = StencilSpec.star(dims, radius)
+            assert spec.dims == ref.dims and spec.radius == ref.radius
+            assert np.float32(spec.center) == np.float32(ref.center)
+            assert np.array_equal(spec.coefficients, ref.coefficients)
+
+
+# ---------------------------------------------------------------------- #
+# plan lint proves invariants without executing a single stencil pass
+# ---------------------------------------------------------------------- #
+
+def test_plan_lint_never_executes(monkeypatch):
+    """The no-execution guard: every execution entry point is booby-trapped."""
+    import repro.core.accelerator as accelerator
+    import repro.core.pe as pe
+
+    def boom(*args, **kwargs):  # pragma: no cover - must never run
+        raise AssertionError("plan lint executed a stencil pass")
+
+    monkeypatch.setattr(pe, "pe_step", boom)
+    monkeypatch.setattr(pe, "pe_step_padded", boom)
+    monkeypatch.setattr(accelerator.FPGAAccelerator, "_run_pass", boom)
+    monkeypatch.setattr(accelerator.FPGAAccelerator, "_exec_blocks", boom)
+    monkeypatch.setattr(accelerator.FPGAAccelerator, "_run_pass_armed", boom)
+    monkeypatch.setattr(accelerator.FPGAAccelerator, "run", boom)
+
+    for boundary in ("clamp", "periodic"):
+        plan = PassPlan(
+            BlockingConfig(dims=2, radius=2, bsize_x=48, partime=3),
+            (40, 40),
+            boundary,
+        )
+        assert lint_plan(plan) == []
+    # A 3D shipped geometry too (clamp, paper shape).
+    plan3 = next(p for p in shipped_plans() if p.config.dims == 3)
+    assert lint_plan(plan3) == []
+
+
+# ---------------------------------------------------------------------- #
+# purity pass accepts every guard idiom the codebase uses
+# ---------------------------------------------------------------------- #
+
+GUARD_OK = [
+    # plain body guard
+    "def f():\n    inj = fault_hooks.ACTIVE\n"
+    "    if inj is not None:\n        inj.hook()\n",
+    # BoolOp guard inside the same test
+    "def f(c):\n    inj = fault_hooks.ACTIVE\n"
+    "    if inj is not None and inj.stall(c):\n        return 1\n",
+    # IfExp, both polarities
+    "def f(d):\n    inj = fault_hooks.ACTIVE\n"
+    "    return d if inj is None else inj.on_transfer('w', d)\n",
+    "def f():\n    inj = fault_hooks.ACTIVE\n"
+    "    return len(inj.detections) if inj is not None else 0\n",
+    # early-exit disarm
+    "def f():\n    inj = fault_hooks.ACTIVE\n"
+    "    if inj is None:\n        return\n    inj.hook()\n",
+    # passing inj onward inside a guard
+    "def f(g):\n    inj = fault_hooks.ACTIVE\n"
+    "    if inj is not None:\n        g(1, inj)\n",
+    # comparisons alone are always fine
+    "def f():\n    return fault_hooks.ACTIVE is not None\n",
+    # a parameter named inj is trusted (guarded at the call site)
+    "def g(inj):\n    inj.touch_sram(None, site='x')\n",
+]
+
+
+@pytest.mark.parametrize("source", GUARD_OK, ids=range(len(GUARD_OK)))
+def test_purity_accepts_real_guard_idioms(source):
+    prefixed = "import repro.faults.hooks as fault_hooks\n" + source
+    assert lint_source(prefixed, "snippet.py") == []
+
+
+def test_purity_clean_on_own_source_tree():
+    from repro.lint.purity import lint_tree
+    from repro.lint.targets import source_root
+
+    assert lint_tree(source_root()) == []
