@@ -5,15 +5,28 @@ The "before" engine is a faithful reimplementation of the pre-pass-plan
 simulator loop (per-pass geometry derivation, fancy-indexed gather with a
 copy, per-stage ``np.pad`` and a freshly allocated ``pe_step`` output).
 The "after" engines are the shipped :class:`repro.core.FPGAAccelerator`
-variants: the pure-NumPy pass-plan engine, the generated native
-microkernel (when a C compiler is available) and the block-parallel
-schedule.  Every engine's output is verified bit-identical to the legacy
-engine before any timing is recorded.
+variants: the pure-NumPy pass-plan engine, the per-stage native
+microkernel (``plan-native``, when a C compiler is available), and the
+fused native pass driver swept across its persistent worker pool sizes
+(``native-driver-w1`` / ``-w2`` / ``-w4``).  Every engine's output is
+verified bit-identical to the legacy engine before any timing is
+recorded.
+
+Each case also records ``scaling_efficiency`` — the ``native-driver-w4``
+to ``native-driver-w1`` GCell/s ratio, i.e. how much the 4-thread pool
+actually buys on this host.  On a single-core runner this hovers near
+1.0 by construction; the ``--gate`` scaling check therefore only arms
+itself when ``os.cpu_count() >= 4``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py            # full run
     PYTHONPATH=src python benchmarks/emit_bench.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/emit_bench.py --quick --gate
+
+``--gate`` fails the run if the fused driver is slower than the
+per-stage native engine, or (on hosts with >= 4 CPUs) if 4-worker
+scaling efficiency drops below 1.5x.
 
 The JSON lands in the repository root by default (``--out`` overrides).
 Throughput is reported as GCell/s = cell updates / wall-clock / 1e9.
@@ -23,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from pathlib import Path
 
@@ -30,8 +44,12 @@ import numpy as np
 
 from repro.core import BlockingConfig, FPGAAccelerator, StencilSpec, make_grid
 from repro.core.blocking import BlockDecomposition
-from repro.core.native import native_available
+from repro.core.native import driver_available, native_available
 from repro.core.pe import pe_step, refresh_border_duplicates
+from repro.errors import ConfigurationError
+
+#: persistent-pool sizes swept for the fused driver (ISSUE: 1/2/4)
+WORKER_SWEEP = (1, 2, 4)
 
 
 # --------------------------------------------------------------------- #
@@ -130,7 +148,7 @@ def _time(fn, repeats: int) -> float:
     return best
 
 
-def run_case(name, spec, cfg, shape, iterations, repeats, workers):
+def run_case(name, spec, cfg, shape, iterations, repeats):
     grid = make_grid(shape, "random", seed=0)
     updates = grid.size * iterations
 
@@ -138,9 +156,17 @@ def run_case(name, spec, cfg, shape, iterations, repeats, workers):
     engines: dict[str, object] = {
         "legacy": lambda: legacy_run(grid, spec, cfg, iterations),
         "plan-numpy": FPGAAccelerator(spec, cfg, engine="numpy"),
-        "plan-auto": FPGAAccelerator(spec, cfg),
-        f"plan-workers{workers}": FPGAAccelerator(spec, cfg, workers=workers),
     }
+    if native_available():
+        engines["plan-native"] = FPGAAccelerator(spec, cfg, engine="native")
+    if driver_available():
+        for n in WORKER_SWEEP:
+            try:
+                engines[f"native-driver-w{n}"] = FPGAAccelerator(
+                    spec, cfg, engine="native-driver", workers=n
+                )
+            except ConfigurationError:
+                break  # driver compile failed; skip the whole sweep
 
     results = {}
     for label, engine in engines.items():
@@ -155,12 +181,21 @@ def run_case(name, spec, cfg, shape, iterations, repeats, workers):
         if not np.array_equal(out, golden):
             raise SystemExit(f"{name}/{label}: output differs from legacy bits")
         seconds = _time(fn, repeats)
+        if not callable(engine):
+            engine.close()
         results[label] = {
             "seconds": round(seconds, 4),
             "gcell_s": round(updates / seconds / 1e9, 4),
         }
-        print(f"  {name:14s} {label:14s} {seconds:8.3f}s  "
+        print(f"  {name:14s} {label:16s} {seconds:8.3f}s  "
               f"{results[label]['gcell_s']:7.3f} GCell/s")
+
+    scaling = None
+    w1 = results.get("native-driver-w1")
+    w4 = results.get("native-driver-w4")
+    if w1 and w4:
+        scaling = round(w4["gcell_s"] / w1["gcell_s"], 3)
+        print(f"  {name:14s} scaling efficiency (w4/w1): {scaling:.3f}x")
 
     legacy_s = results["legacy"]["seconds"]
     return {
@@ -176,12 +211,51 @@ def run_case(name, spec, cfg, shape, iterations, repeats, workers):
             "partime": cfg.partime,
         },
         "results": results,
+        "scaling_efficiency": scaling,
         "speedup_vs_legacy": {
             label: round(legacy_s / r["seconds"], 2)
             for label, r in results.items()
             if label != "legacy"
         },
     }
+
+
+def apply_gate(cases: list[dict]) -> list[str]:
+    """Return regression-gate failure messages (empty = pass).
+
+    Two checks per case: the fused driver must not be slower than the
+    per-stage native engine (timing-noise tolerance 5%), and on hosts
+    with at least 4 CPUs the 4-worker pool must deliver >= 1.5x the
+    single-worker throughput.  The scaling check is skipped (with a
+    note) on smaller hosts, where extra workers cannot help.
+    """
+    failures = []
+    many_cores = (os.cpu_count() or 1) >= 4
+    for case in cases:
+        name = case["name"]
+        res = case["results"]
+        native = res.get("plan-native")
+        w1 = res.get("native-driver-w1")
+        if native and w1 and w1["gcell_s"] < 0.95 * native["gcell_s"]:
+            failures.append(
+                f"{name}: native-driver-w1 {w1['gcell_s']} GCell/s below "
+                f"per-stage native {native['gcell_s']} GCell/s"
+            )
+        scaling = case.get("scaling_efficiency")
+        if scaling is None:
+            continue
+        if many_cores:
+            if scaling < 1.5:
+                failures.append(
+                    f"{name}: 4-worker scaling efficiency {scaling:.3f}x "
+                    f"< 1.5x on a {os.cpu_count()}-CPU host"
+                )
+        else:
+            print(
+                f"  {name}: scaling gate skipped "
+                f"(os.cpu_count()={os.cpu_count()} < 4)"
+            )
+    return failures
 
 
 def main() -> None:
@@ -191,7 +265,8 @@ def main() -> None:
     ap.add_argument("--out", type=Path,
                     default=Path(__file__).resolve().parent.parent
                     / "BENCH_engines.json")
-    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--gate", action="store_true",
+                    help="fail on driver-vs-native or scaling regressions")
     args = ap.parse_args()
 
     repeats = 1 if args.quick else 3
@@ -223,19 +298,32 @@ def main() -> None:
         "generated_by": "benchmarks/emit_bench.py",
         "quick": args.quick,
         "native_available": native_available(),
-        "workers": args.workers,
-        "cases": [run_case(name, spec, cfg, shape, iters, repeats,
-                           args.workers)
+        "driver_available": driver_available(),
+        "cpu_count": os.cpu_count(),
+        "worker_sweep": list(WORKER_SWEEP),
+        "cases": [run_case(name, spec, cfg, shape, iters, repeats)
                   for name, spec, cfg, shape, iters in cases],
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+
+    for case in payload["cases"]:
+        scaling = case["scaling_efficiency"]
+        if scaling is not None:
+            print(f"{case['name']}: scaling_efficiency={scaling:.3f}x "
+                  f"(native-driver w4 vs w1)")
 
     headline = payload["cases"][0]["speedup_vs_legacy"]
     best = max(headline.values())
     print(f"headline 3d-radius4 speedup vs legacy: {best:.2f}x")
     if not args.quick and best < 3.0:
         raise SystemExit("headline case regressed below the 3x target")
+    if args.gate:
+        failures = apply_gate(payload["cases"])
+        if failures:
+            raise SystemExit("regression gate failed:\n  " +
+                             "\n  ".join(failures))
+        print("regression gate passed")
 
 
 if __name__ == "__main__":

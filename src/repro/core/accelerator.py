@@ -43,7 +43,7 @@ import numpy as np
 
 from repro.core.blocking import BlockingConfig
 from repro.core.channels import Channel
-from repro.core.native import native_kernel_for
+from repro.core.native import native_driver_for, native_kernel_for
 from repro.core.pe import (
     fill_stream_halo,
     pe_step,
@@ -158,14 +158,31 @@ class FPGAAccelerator:
         fault-injection runs always execute serially — the channel
         transport and injector bookkeeping are deliberately sequential.
     engine:
-        ``"auto"`` (default) executes PE stages through the generated
-        native microkernel (:mod:`repro.core.native`) when a C compiler
-        is available and falls back to the pure-NumPy path otherwise;
-        ``"numpy"`` forces the fallback; ``"native"`` requires the
-        microkernel and raises :class:`ConfigurationError` if it cannot
-        be built.  All engines are bit-identical (tested); the knob
-        exists for benchmarking and for environments without a
-        toolchain.
+        ``"auto"`` (default) walks the ladder ``native-driver -> native
+        -> numpy``: whole passes execute through the generated fused
+        pass driver (:class:`repro.core.native.NativeDriver`) when a C
+        compiler is available, falling back to per-stage native
+        microkernels and finally to the pure-NumPy path.  ``"numpy"``
+        forces the fallback; ``"native"`` pins the per-stage
+        microkernel; ``"native-driver"`` pins the fused driver — the
+        pinned engines raise :class:`ConfigurationError` when they
+        cannot be built.  All engines are bit-identical (tested); the
+        knob exists for benchmarking and for environments without a
+        toolchain.  :attr:`resolved_engine` reports what ``"auto"``
+        selected.
+
+    Notes
+    -----
+    Worker pools are created once per accelerator and reused by every
+    :meth:`run` call: the fused driver owns a persistent pthread pool
+    (blocks claimed by work-stealing off one atomic counter) and the
+    per-stage path keeps one ``ThreadPoolExecutor`` plus per-worker
+    scratch buffers alive across runs.  Because those resources are
+    shared, a single accelerator instance must not execute two ``run``
+    calls concurrently — use one instance per thread (as
+    :class:`repro.runtime.scheduler.StencilScheduler` does).
+    :meth:`close` releases the pools early; otherwise they are freed
+    with the accelerator.
 
     Examples
     --------
@@ -213,9 +230,10 @@ class FPGAAccelerator:
             )
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        if engine not in ("auto", "numpy", "native"):
+        if engine not in ("auto", "numpy", "native", "native-driver"):
             raise ConfigurationError(
-                f"engine must be 'auto', 'numpy' or 'native', got {engine!r}"
+                "engine must be 'auto', 'numpy', 'native' or "
+                f"'native-driver', got {engine!r}"
             )
         self.spec = spec
         self.config = config
@@ -232,6 +250,53 @@ class FPGAAccelerator:
                 "engine='native' but no native kernel could be built "
                 "(no C compiler, compile failure, or REPRO_NO_NATIVE set)"
             )
+        self._driver = (
+            native_driver_for(spec, workers)
+            if engine in ("auto", "native-driver")
+            else None
+        )
+        if engine == "native-driver" and self._driver is None:
+            raise ConfigurationError(
+                "engine='native-driver' but no pass driver could be built "
+                "(no C compiler, compile failure, or REPRO_NO_NATIVE set)"
+            )
+        # Persistent per-accelerator execution resources, created lazily
+        # on first use and reused by every run() (satellite of the fused
+        # driver's own persistent pthread pool).
+        self._exec_pool: ThreadPoolExecutor | None = None
+        self._scratches: list[_Scratch] = []
+        self._driver_scratch: np.ndarray | None = None
+
+    @property
+    def resolved_engine(self) -> str:
+        """The engine actually executing disarmed passes.
+
+        One of ``"native-driver"``, ``"native"`` or ``"numpy"`` — what
+        the ``"auto"`` ladder selected (pinned engines report
+        themselves).  Armed fault-injection runs always take the serial
+        channel path regardless.
+        """
+        if self._driver is not None:
+            return "native-driver"
+        if self._native is not None:
+            return "native"
+        return "numpy"
+
+    def close(self) -> None:
+        """Release the persistent worker pools (idempotent).
+
+        Joins the fused driver's pthread pool and shuts down the
+        per-stage thread pool.  The accelerator falls back to per-stage
+        execution (or serial) if run again afterwards.
+        """
+        if self._driver is not None:
+            self._driver.close()
+            self._driver = None
+        if self._exec_pool is not None:
+            self._exec_pool.shutdown()
+            self._exec_pool = None
+        self._scratches = []
+        self._driver_scratch = None
 
     # ------------------------------------------------------------------ #
 
@@ -300,36 +365,50 @@ class FPGAAccelerator:
             mgr.seed(grid, stats)
 
         armed = fault_hooks.ACTIVE is not None
-        n_workers = 1 if armed else min(self.workers, len(plan.blocks))
-        scratches = [_Scratch() for _ in range(n_workers)]
-        pool = ThreadPoolExecutor(n_workers) if n_workers > 1 else None
-        try:
-            current = grid
-            remaining = iterations
-            while True:
-                try:
-                    while remaining > 0:
-                        steps = min(config.partime, remaining)
-                        current = self._run_pass(
-                            current, plan, steps, stats, scratches, pool
-                        )
-                        remaining -= steps
-                        stats.passes += 1
-                        stats.steps_executed += steps
-                        if mgr is not None:
-                            mgr.maybe_snapshot(current, stats, remaining)
-                    self._golden_check(current, expected_crc, stats)
-                    break
-                except FaultDetectedError as err:
-                    # WatchdogTimeoutError is a FaultDetectedError, so a
-                    # wedged-channel watchdog mid-pass rolls back too.
-                    if mgr is None:
-                        raise
-                    current = mgr.rollback(stats, err)
-                    remaining = iterations - stats.steps_executed
-        finally:
-            if pool is not None:
-                pool.shutdown()
+        use_driver = self._driver is not None and not armed
+        n_workers = (
+            1
+            if (armed or use_driver)
+            else min(self.workers, len(plan.blocks))
+        )
+        while len(self._scratches) < n_workers:
+            self._scratches.append(_Scratch())
+        pool = None
+        if n_workers > 1:
+            if self._exec_pool is None:
+                self._exec_pool = ThreadPoolExecutor(self.workers)
+            pool = self._exec_pool
+        # Ping-pong output buffers: two allocations per run (passes
+        # alternate between them) instead of one ``np.empty_like`` per
+        # pass.  Both are this run's own arrays, so the returned result
+        # never aliases accelerator state or a checkpoint snapshot.
+        pong = (np.empty_like(grid), np.empty_like(grid))
+        current = grid
+        remaining = iterations
+        while True:
+            try:
+                while remaining > 0:
+                    steps = min(config.partime, remaining)
+                    out = pong[0] if current is not pong[0] else pong[1]
+                    self._run_pass(
+                        current, out, plan, steps, stats, n_workers, pool,
+                        use_driver,
+                    )
+                    current = out
+                    remaining -= steps
+                    stats.passes += 1
+                    stats.steps_executed += steps
+                    if mgr is not None:
+                        mgr.maybe_snapshot(current, stats, remaining)
+                self._golden_check(current, expected_crc, stats)
+                break
+            except FaultDetectedError as err:
+                # WatchdogTimeoutError is a FaultDetectedError, so a
+                # wedged-channel watchdog mid-pass rolls back too.
+                if mgr is None:
+                    raise
+                current = mgr.rollback(stats, err)
+                remaining = iterations - stats.steps_executed
         return current, stats
 
     @staticmethod
@@ -353,28 +432,40 @@ class FPGAAccelerator:
     def _run_pass(
         self,
         src: np.ndarray,
+        out: np.ndarray,
         plan: PassPlan,
         steps: int,
         stats: AcceleratorStats,
-        scratches: list[_Scratch],
+        n_workers: int,
         pool: ThreadPoolExecutor | None,
-    ) -> np.ndarray:
+        use_driver: bool = False,
+    ) -> None:
         """One pass: every block flows through ``steps`` chained PE stages.
 
-        Disarmed, blocks execute the cached plan against preallocated
-        scratch buffers (optionally fanned out over ``pool``).  When a
-        fault plan is armed, the pass instead moves each block between
-        stages through real :class:`~repro.core.channels.Channel` objects
-        carrying per-block checksums — the hardened design's detection
-        path; the numerics are bit-identical either way.
+        Disarmed, the whole pass executes in one ctypes call through the
+        fused native driver (its persistent pthread pool work-steals
+        blocks), or — per-stage fallback — blocks execute the cached
+        plan against preallocated scratch buffers (optionally fanned out
+        over ``pool``).  When a fault plan is armed, the pass instead
+        moves each block between stages through real
+        :class:`~repro.core.channels.Channel` objects carrying per-block
+        checksums — the hardened design's detection path; the numerics
+        are bit-identical every way.
         """
-        out = np.empty_like(src)
-        windows = plan.windows(steps)
         inj = fault_hooks.ACTIVE
         if inj is not None:
+            windows = plan.windows(steps)
             self._run_pass_armed(src, out, plan, windows, steps, inj)
+        elif use_driver:
+            tables = plan.to_driver_tables(steps)
+            need = self._driver.workers * 2 * tables.scratch_floats
+            if self._driver_scratch is None or self._driver_scratch.size < need:
+                self._driver_scratch = np.empty(need, dtype=np.float32)
+            self._driver.run_pass(
+                src, out, tables, plan.periodic, self._driver_scratch
+            )
         elif pool is not None:
-            n = len(scratches)
+            windows = plan.windows(steps)
             futures = [
                 pool.submit(
                     self._exec_blocks,
@@ -382,16 +473,18 @@ class FPGAAccelerator:
                     out,
                     plan,
                     windows,
-                    range(w, len(plan.blocks), n),
-                    scratches[w],
+                    range(w, len(plan.blocks), n_workers),
+                    self._scratches[w],
                 )
-                for w in range(n)
+                for w in range(n_workers)
             ]
             for f in futures:
                 f.result()
         else:
+            windows = plan.windows(steps)
             self._exec_blocks(
-                src, out, plan, windows, range(len(plan.blocks)), scratches[0]
+                src, out, plan, windows, range(len(plan.blocks)),
+                self._scratches[0],
             )
 
         # The hardware runs the full fixed footprint every pass — all
@@ -403,7 +496,6 @@ class FPGAAccelerator:
         stats.words_written += plan.cells_written_per_pass
         stats.vector_ops += plan.vector_ops_per_pass
         stats.pe_invocations += len(plan.blocks) * self.config.partime
-        return out
 
     #: Target cells per streamed-axis chunk of one stage update (~256 KiB
     #: of float32): keeps the per-term scratch traffic inside the cache

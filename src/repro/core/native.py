@@ -39,10 +39,12 @@ import os
 import shutil
 import subprocess
 import tempfile
+import weakref
 
 import numpy as np
 
 from repro.core.pe import Window, stencil_terms
+from repro.core.plan import DRIVER_RECORD_LEN, DriverTables
 from repro.core.stencil import StencilSpec
 
 #: Environment variable that disables native kernels when set to a
@@ -53,6 +55,24 @@ DISABLE_ENV = "REPRO_NO_NATIVE"
 def _c_literal(value: float) -> str:
     """Exact C float literal for a float32 value (hex-float, ``f`` suffix)."""
     return f"{float(np.float32(value)).hex()}f"
+
+
+def _acc_lines(spec: StencilSpec, indent: str, steps: dict[int, str]) -> list[str]:
+    """The per-element accumulation chain, shared by every generated kernel.
+
+    ``steps[axis]`` is the C expression for one positive step along
+    ``axis`` (e.g. ``"ps0"`` or ``"1"``).  Emitting the chain from one
+    helper guarantees the per-stage microkernel and the fused pass
+    driver execute the identical fixed accumulation order — the
+    bit-exactness invariant.
+    """
+    lines = [f"{indent}float acc = {_c_literal(spec.center)} * row[x];"]
+    for axis, off, coeff in stencil_terms(spec, spec.dims):
+        lines.append(
+            f"{indent}acc += {_c_literal(coeff)} * "
+            f"row[x + ({off}) * {steps[axis]}];"
+        )
+    return lines
 
 
 def kernel_source(spec: StencilSpec) -> str:
@@ -66,8 +86,6 @@ def kernel_source(spec: StencilSpec) -> str:
     the other axes; the innermost axis must be unit-stride for both
     arrays (the caller guarantees it).
     """
-    terms = stencil_terms(spec, spec.dims)
-    center = _c_literal(spec.center)
     body: list[str] = []
     if spec.dims == 2:
         body += [
@@ -79,13 +97,8 @@ def kernel_source(spec: StencilSpec) -> str:
             "    const float *row = p + y * ps0;",
             "    float *orow = out + (y - y0) * os0;",
             "    for (long x = x0; x < x1; ++x) {",
-            f"      float acc = {center} * row[x];",
         ]
-        for axis, off, coeff in terms:
-            step = "ps0" if axis == 0 else "1"
-            body.append(
-                f"      acc += {_c_literal(coeff)} * row[x + ({off}) * {step}];"
-            )
+        body += _acc_lines(spec, "      ", {0: "ps0", 1: "1"})
         body += [
             "      orow[x - x0] = acc;",
             "    }",
@@ -104,13 +117,8 @@ def kernel_source(spec: StencilSpec) -> str:
             "      const float *row = p + z * ps0 + y * ps1;",
             "      float *orow = out + (z - z0) * os0 + (y - y0) * os1;",
             "      for (long x = x0; x < x1; ++x) {",
-            f"        float acc = {center} * row[x];",
         ]
-        for axis, off, coeff in terms:
-            step = {0: "ps0", 1: "ps1", 2: "1"}[axis]
-            body.append(
-                f"        acc += {_c_literal(coeff)} * row[x + ({off}) * {step}];"
-            )
+        body += _acc_lines(spec, "        ", {0: "ps0", 1: "ps1", 2: "1"})
         body += [
             "        orow[x - x0] = acc;",
             "      }",
@@ -121,6 +129,381 @@ def kernel_source(spec: StencilSpec) -> str:
     return "\n".join(body) + "\n"
 
 
+#: Shared C prelude of the generated pass driver: the job description,
+#: the persistent worker pool, and the streamed-axis halo fill (slab
+#: copies, identical to :func:`repro.core.pe.fill_stream_halo`).
+_DRIVER_PRELUDE = r"""
+#include <pthread.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef long long i64;
+
+typedef struct {
+  const float *src;
+  float *out;
+  const i64 *blocks;
+  const i64 *segs;
+  const i64 *wins;
+  i64 n_blocks;
+  i64 steps;
+  i64 gs0;
+  i64 gs1;
+  int periodic;
+  float *scratch;
+  i64 scratch_half;
+} job_t;
+
+typedef struct {
+  i64 n_workers;
+  pthread_t *threads;
+  pthread_mutex_t mu;
+  pthread_cond_t cv_work;
+  pthread_cond_t cv_done;
+  i64 generation;
+  i64 workers_done;
+  int shutdown;
+  i64 next_block;
+  job_t job;
+} pool_t;
+
+typedef struct {
+  pool_t *pool;
+  i64 wid;
+} worker_arg_t;
+
+/* Refresh the streamed-axis pad slabs in place (clamp duplicates the
+ * border slab, periodic wraps -- np.pad edge/wrap semantics). */
+static void fill_halo(float *buf, i64 n0, i64 s0, int periodic) {
+  const size_t slab = (size_t)s0 * sizeof(float);
+  if (!periodic) {
+    for (i64 i = 0; i < RAD; ++i)
+      memcpy(buf + i * s0, buf + RAD * s0, slab);
+    for (i64 i = 0; i < RAD; ++i)
+      memcpy(buf + (RAD + n0 + i) * s0, buf + (RAD + n0 - 1) * s0, slab);
+  } else if (n0 >= RAD) {
+    memcpy(buf, buf + n0 * s0, (size_t)RAD * slab);
+    memcpy(buf + (RAD + n0) * s0, buf + RAD * s0, (size_t)RAD * slab);
+  } else {
+    for (i64 i = 0; i < RAD; ++i) {
+      i64 lo = ((n0 - RAD + i) % n0 + n0) % n0;
+      memcpy(buf + i * s0, buf + (RAD + lo) * s0, slab);
+      memcpy(buf + (RAD + n0 + i) * s0, buf + (RAD + i % n0) * s0, slab);
+    }
+  }
+}
+"""
+
+#: Shared C epilogue: block claiming (one atomic counter, so idle
+#: workers steal whatever block is next) and the public pool API.
+_DRIVER_EPILOGUE = r"""
+static void run_worker(pool_t *p, i64 wid) {
+  const job_t *J = &p->job;
+  float *base = J->scratch + wid * 2 * J->scratch_half;
+  for (;;) {
+    i64 b = __atomic_fetch_add(&p->next_block, 1, __ATOMIC_RELAXED);
+    if (b >= J->n_blocks) break;
+    do_block(J, b, base, base + J->scratch_half);
+  }
+}
+
+static void *worker_main(void *argp) {
+  worker_arg_t *arg = (worker_arg_t *)argp;
+  pool_t *p = arg->pool;
+  i64 wid = arg->wid;
+  free(arg);
+  i64 seen = 0;
+  pthread_mutex_lock(&p->mu);
+  for (;;) {
+    while (!p->shutdown && p->generation == seen)
+      pthread_cond_wait(&p->cv_work, &p->mu);
+    if (p->shutdown) break;
+    seen = p->generation;
+    pthread_mutex_unlock(&p->mu);
+    run_worker(p, wid);
+    pthread_mutex_lock(&p->mu);
+    if (++p->workers_done == p->n_workers - 1)
+      pthread_cond_signal(&p->cv_done);
+  }
+  pthread_mutex_unlock(&p->mu);
+  return 0;
+}
+
+void *driver_create(i64 n_workers) {
+  if (n_workers < 1) n_workers = 1;
+  pool_t *p = (pool_t *)calloc(1, sizeof(pool_t));
+  if (!p) return 0;
+  p->n_workers = n_workers;
+  pthread_mutex_init(&p->mu, 0);
+  pthread_cond_init(&p->cv_work, 0);
+  pthread_cond_init(&p->cv_done, 0);
+  if (n_workers > 1) {
+    p->threads = (pthread_t *)calloc((size_t)(n_workers - 1),
+                                     sizeof(pthread_t));
+    if (!p->threads) { free(p); return 0; }
+    for (i64 i = 1; i < n_workers; ++i) {
+      worker_arg_t *arg = (worker_arg_t *)malloc(sizeof(worker_arg_t));
+      arg->pool = p;
+      arg->wid = i;
+      if (pthread_create(&p->threads[i - 1], 0, worker_main, arg) != 0) {
+        /* spawn failure: fall back to the threads created so far */
+        free(arg);
+        p->n_workers = i;
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+void driver_run_pass(void *handle, const float *src, float *out,
+                     const i64 *blocks, i64 n_blocks, const i64 *segs,
+                     const i64 *wins, i64 steps, i64 gs0, i64 gs1,
+                     int periodic, float *scratch, i64 scratch_half) {
+  pool_t *p = (pool_t *)handle;
+  pthread_mutex_lock(&p->mu);
+  p->job.src = src;
+  p->job.out = out;
+  p->job.blocks = blocks;
+  p->job.segs = segs;
+  p->job.wins = wins;
+  p->job.n_blocks = n_blocks;
+  p->job.steps = steps;
+  p->job.gs0 = gs0;
+  p->job.gs1 = gs1;
+  p->job.periodic = periodic;
+  p->job.scratch = scratch;
+  p->job.scratch_half = scratch_half;
+  p->next_block = 0;
+  p->workers_done = 0;
+  p->generation++;
+  pthread_cond_broadcast(&p->cv_work);
+  pthread_mutex_unlock(&p->mu);
+  run_worker(p, 0);  /* the calling thread is worker 0 */
+  if (p->n_workers > 1) {
+    pthread_mutex_lock(&p->mu);
+    while (p->workers_done < p->n_workers - 1)
+      pthread_cond_wait(&p->cv_done, &p->mu);
+    pthread_mutex_unlock(&p->mu);
+  }
+}
+
+void driver_destroy(void *handle) {
+  pool_t *p = (pool_t *)handle;
+  if (!p) return;
+  pthread_mutex_lock(&p->mu);
+  p->shutdown = 1;
+  pthread_cond_broadcast(&p->cv_work);
+  pthread_mutex_unlock(&p->mu);
+  for (i64 i = 1; i < p->n_workers; ++i)
+    pthread_join(p->threads[i - 1], 0);
+  free(p->threads);
+  pthread_mutex_destroy(&p->mu);
+  pthread_cond_destroy(&p->cv_work);
+  pthread_cond_destroy(&p->cv_done);
+  free(p);
+}
+"""
+
+
+def driver_source(spec: StencilSpec) -> str:
+    """C source of the fused pass driver for ``spec``.
+
+    One translation unit executes an *entire pass*: for every block, the
+    read kernel (gather segments), all chained PE stages, and the write
+    kernel — driven from the flat tables of
+    :meth:`repro.core.plan.PassPlan.to_driver_tables`.  Stages ping-pong
+    between two per-worker padded buffers instead of copying the window
+    back after each stage: the overlapped-blocking shrink invariant
+    (lint rule P302) guarantees every star-stencil neighbor read at
+    stage ``s`` lands inside stage ``s-1``'s window or in a clamp
+    duplicate refreshed from it, so the cells left stale outside the
+    window are never read and the per-element accumulation chain (shared
+    with :func:`kernel_source` via the same generator) stays
+    bit-identical to the per-stage engines.
+    """
+    rad = spec.radius
+    rec = DRIVER_RECORD_LEN[spec.dims]
+    head = [f"#define RAD {rad}", f"#define REC {rec}", _DRIVER_PRELUDE]
+    body: list[str] = []
+    if spec.dims == 2:
+        body += [
+            "static void stage(const float *restrict a, float *restrict b,",
+            "                  i64 s0, i64 z0, i64 z1, i64 x0, i64 x1) {",
+            "  for (i64 z = z0; z < z1; ++z) {",
+            "    const float *row = a + z * s0;",
+            "    float *orow = b + z * s0;",
+            "    for (i64 x = x0; x < x1; ++x) {",
+        ]
+        body += _acc_lines(spec, "      ", {0: "s0", 1: "1"})
+        body += [
+            "      orow[x] = acc;",
+            "    }",
+            "  }",
+            "}",
+            "",
+            "static void do_block(const job_t *J, i64 bi, float *A, float *B) {",
+            "  const i64 *R = J->blocks + bi * REC;",
+            "  const i64 n0 = R[0], nx = R[1];",
+            "  const i64 dlx = R[2], dhx = R[3];",
+            "  const i64 wx = R[4], cx = R[5], rx = R[6];",
+            "  const i64 *segx = J->segs + 4 * R[7];",
+            "  const i64 nsx = R[8];",
+            "  const i64 s0 = nx;",
+            "  /* read kernel: segment copies into A's interior */",
+            "  for (i64 z = 0; z < n0; ++z) {",
+            "    float *dst = A + (z + RAD) * s0;",
+            "    const float *srow = J->src + z * J->gs0;",
+            "    for (i64 j = 0; j < nsx; ++j) {",
+            "      const i64 xd0 = segx[4 * j], xd1 = segx[4 * j + 1];",
+            "      const i64 xs0 = segx[4 * j + 2], xs1 = segx[4 * j + 3];",
+            "      if (xs1 - xs0 == 1) {",
+            "        const float v = srow[xs0];",
+            "        for (i64 x = xd0; x < xd1; ++x) dst[x] = v;",
+            "      } else {",
+            "        memcpy(dst + xd0, srow + xs0,",
+            "               (size_t)(xd1 - xd0) * sizeof(float));",
+            "      }",
+            "    }",
+            "  }",
+            "  /* PE chain: ping-pong A -> B, one stage per chained PE */",
+            "  const i64 *W = J->wins + bi * J->steps * 4;",
+            "  for (i64 s = 0; s < J->steps; ++s, W += 4) {",
+            "    fill_halo(A, n0, s0, J->periodic);",
+            "    const i64 x0 = W[2], x1 = W[3];",
+            "    stage(A, B, s0, W[0] + RAD, W[1] + RAD, x0, x1);",
+            "    if (s + 1 < J->steps && !J->periodic && (dlx | dhx)) {",
+            "      /* refresh clamp duplicates from the border window cell.",
+            "       * P302 guarantees the source cell is inside the stage",
+            "       * window whenever a later stage reads the duplicates, so",
+            "       * no other cells outside the window need copying over. */",
+            "      for (i64 z = RAD; z < RAD + n0; ++z) {",
+            "        float *row = B + z * s0;",
+            "        if (dlx) {",
+            "          const float v = row[dlx];",
+            "          for (i64 x = 0; x < dlx; ++x) row[x] = v;",
+            "        }",
+            "        if (dhx) {",
+            "          const float v = row[nx - 1 - dhx];",
+            "          for (i64 x = 0; x < dhx; ++x) row[nx - 1 - x] = v;",
+            "        }",
+            "      }",
+            "    }",
+            "    float *t = A; A = B; B = t;",
+            "  }",
+            "  /* write kernel: copy the compute region out */",
+            "  for (i64 z = 0; z < n0; ++z)",
+            "    memcpy(J->out + z * J->gs0 + wx, A + (z + RAD) * s0 + rx,",
+            "           (size_t)cx * sizeof(float));",
+            "}",
+        ]
+    else:
+        body += [
+            "static void stage(const float *restrict a, float *restrict b,",
+            "                  i64 s0, i64 s1, i64 z0, i64 z1,",
+            "                  i64 y0, i64 y1, i64 x0, i64 x1) {",
+            "  for (i64 z = z0; z < z1; ++z) {",
+            "    for (i64 y = y0; y < y1; ++y) {",
+            "      const float *row = a + z * s0 + y * s1;",
+            "      float *orow = b + z * s0 + y * s1;",
+            "      for (i64 x = x0; x < x1; ++x) {",
+        ]
+        body += _acc_lines(spec, "        ", {0: "s0", 1: "s1", 2: "1"})
+        body += [
+            "        orow[x] = acc;",
+            "      }",
+            "    }",
+            "  }",
+            "}",
+            "",
+            "static void do_block(const job_t *J, i64 bi, float *A, float *B) {",
+            "  const i64 *R = J->blocks + bi * REC;",
+            "  const i64 n0 = R[0], ny = R[1], nx = R[2];",
+            "  const i64 dly = R[3], dhy = R[4], dlx = R[5], dhx = R[6];",
+            "  const i64 wy = R[7], wx = R[8], cy = R[9], cx = R[10];",
+            "  const i64 ry = R[11], rx = R[12];",
+            "  const i64 *segy = J->segs + 4 * R[13];",
+            "  const i64 nsy = R[14];",
+            "  const i64 *segx = J->segs + 4 * R[15];",
+            "  const i64 nsx = R[16];",
+            "  const i64 s1 = nx, s0 = ny * nx;",
+            "  /* read kernel: segment copies into A's interior */",
+            "  for (i64 z = 0; z < n0; ++z) {",
+            "    float *dz = A + (z + RAD) * s0;",
+            "    const float *sz = J->src + z * J->gs0;",
+            "    for (i64 i = 0; i < nsy; ++i) {",
+            "      const i64 yd0 = segy[4 * i], yd1 = segy[4 * i + 1];",
+            "      const i64 ys0 = segy[4 * i + 2], ys1 = segy[4 * i + 3];",
+            "      const int ybroad = (ys1 - ys0) == 1;",
+            "      for (i64 yd = yd0; yd < yd1; ++yd) {",
+            "        const i64 ys = ybroad ? ys0 : ys0 + (yd - yd0);",
+            "        float *dst = dz + yd * s1;",
+            "        const float *srow = sz + ys * J->gs1;",
+            "        for (i64 j = 0; j < nsx; ++j) {",
+            "          const i64 xd0 = segx[4 * j], xd1 = segx[4 * j + 1];",
+            "          const i64 xs0 = segx[4 * j + 2], xs1 = segx[4 * j + 3];",
+            "          if (xs1 - xs0 == 1) {",
+            "            const float v = srow[xs0];",
+            "            for (i64 x = xd0; x < xd1; ++x) dst[x] = v;",
+            "          } else {",
+            "            memcpy(dst + xd0, srow + xs0,",
+            "                   (size_t)(xd1 - xd0) * sizeof(float));",
+            "          }",
+            "        }",
+            "      }",
+            "    }",
+            "  }",
+            "  /* PE chain: ping-pong A -> B, one stage per chained PE */",
+            "  const i64 *W = J->wins + bi * J->steps * 6;",
+            "  for (i64 s = 0; s < J->steps; ++s, W += 6) {",
+            "    fill_halo(A, n0, s0, J->periodic);",
+            "    const i64 y0 = W[2], y1 = W[3], x0 = W[4], x1 = W[5];",
+            "    stage(A, B, s0, s1, W[0] + RAD, W[1] + RAD, y0, y1, x0, x1);",
+            "    if (s + 1 < J->steps && !J->periodic",
+            "        && (dly | dhy | dlx | dhx)) {",
+            "      /* refresh clamp duplicates -- y rows first, then x",
+            "       * columns, matching refresh_border_duplicates order.",
+            "       * P302 guarantees the source cells are inside the stage",
+            "       * window whenever a later stage reads the duplicates, so",
+            "       * no other cells outside the window need copying over. */",
+            "      for (i64 z = RAD; z < RAD + n0; ++z) {",
+            "        float *bz = B + z * s0;",
+            "        for (i64 y = 0; y < dly; ++y)",
+            "          memcpy(bz + y * s1, bz + dly * s1,",
+            "                 (size_t)nx * sizeof(float));",
+            "        for (i64 y = 0; y < dhy; ++y)",
+            "          memcpy(bz + (ny - 1 - y) * s1,",
+            "                 bz + (ny - 1 - dhy) * s1,",
+            "                 (size_t)nx * sizeof(float));",
+            "        if (dlx)",
+            "          for (i64 y = 0; y < ny; ++y) {",
+            "            float *row = bz + y * s1;",
+            "            const float v = row[dlx];",
+            "            for (i64 x = 0; x < dlx; ++x) row[x] = v;",
+            "          }",
+            "        if (dhx)",
+            "          for (i64 y = 0; y < ny; ++y) {",
+            "            float *row = bz + y * s1;",
+            "            const float v = row[nx - 1 - dhx];",
+            "            for (i64 x = 0; x < dhx; ++x) row[nx - 1 - x] = v;",
+            "          }",
+            "      }",
+            "    }",
+            "    float *t = A; A = B; B = t;",
+            "  }",
+            "  /* write kernel: copy the compute region out */",
+            "  for (i64 z = 0; z < n0; ++z) {",
+            "    const float *az = A + (z + RAD) * s0;",
+            "    float *oz = J->out + z * J->gs0;",
+            "    for (i64 y = 0; y < cy; ++y)",
+            "      memcpy(oz + (wy + y) * J->gs1 + wx, az + (ry + y) * s1 + rx,",
+            "             (size_t)cx * sizeof(float));",
+            "  }",
+            "}",
+        ]
+    return "\n".join(head + body) + _DRIVER_EPILOGUE
+
+
 def _find_compiler() -> str | None:
     for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
         if cand and shutil.which(cand):
@@ -128,12 +511,13 @@ def _find_compiler() -> str | None:
     return None
 
 
-def _compile(source: str) -> str | None:
+def _compile(source: str, link: tuple[str, ...] = ()) -> str | None:
     """Compile ``source`` to a cached shared library; return its path.
 
     Content-addressed: the same source always maps to the same ``.so``
     in the temp directory, built at most once (atomic rename, so racing
-    processes are safe).  Returns ``None`` on any failure.
+    processes are safe).  ``link`` appends linker flags (the pass driver
+    needs ``-lpthread``).  Returns ``None`` on any failure.
     """
     compiler = _find_compiler()
     if compiler is None:
@@ -151,7 +535,7 @@ def _compile(source: str) -> str | None:
         base = [compiler, "-O3", "-ffp-contract=off", "-shared", "-fPIC"]
         for extra in (["-march=native"], []):
             proc = subprocess.run(
-                base + extra + ["-o", so_path, c_path],
+                base + extra + ["-o", so_path, c_path] + list(link),
                 capture_output=True,
                 timeout=120,
             )
@@ -264,3 +648,126 @@ def native_kernel_for(spec: StencilSpec) -> NativeStencil | None:
             kernel = None
     _KERNELS[key] = kernel
     return kernel
+
+
+class NativeDriver:
+    """A compiled fused pass driver with its own persistent worker pool.
+
+    One instance owns one C-side ``pool_t``: ``n_workers - 1`` pthreads
+    created at construction and parked on a condition variable between
+    passes, plus the calling thread acting as worker 0.  Each
+    :meth:`run_pass` call executes an *entire pass* — every block's
+    gather, all chained PE stages and the write-back — inside native
+    code, with blocks claimed off one atomic counter (work-stealing).
+    The handle is not reentrant: one pass at a time per driver, which is
+    exactly the accelerator's pass loop.  Freed via ``weakref.finalize``
+    (or an explicit :meth:`close`), so pools never leak across runs.
+    """
+
+    def __init__(self, spec: StencilSpec, workers: int, lib_path: str):
+        self.spec = spec
+        self.workers = max(1, int(workers))
+        self.lib_path = lib_path
+        lib = ctypes.CDLL(lib_path)
+        lib.driver_create.argtypes = [ctypes.c_longlong]
+        lib.driver_create.restype = ctypes.c_void_p
+        lib.driver_run_pass.argtypes = [
+            ctypes.c_void_p,  # pool handle
+            ctypes.c_void_p,  # src
+            ctypes.c_void_p,  # out
+            ctypes.c_void_p,  # block records
+            ctypes.c_longlong,  # n_blocks
+            ctypes.c_void_p,  # segment rows
+            ctypes.c_void_p,  # windows
+            ctypes.c_longlong,  # steps
+            ctypes.c_longlong,  # gs0 (element stride, axis 0)
+            ctypes.c_longlong,  # gs1 (element stride, axis 1; 0 in 2D)
+            ctypes.c_int,  # periodic
+            ctypes.c_void_p,  # scratch
+            ctypes.c_longlong,  # scratch_half (floats per ping buffer)
+        ]
+        lib.driver_run_pass.restype = None
+        lib.driver_destroy.argtypes = [ctypes.c_void_p]
+        lib.driver_destroy.restype = None
+        handle = lib.driver_create(self.workers)
+        if not handle:
+            raise OSError("driver_create returned NULL")
+        self._lib = lib
+        self._handle = handle
+        self._finalizer = weakref.finalize(self, lib.driver_destroy, handle)
+
+    def close(self) -> None:
+        """Shut down and join the worker pool (idempotent)."""
+        self._finalizer()
+
+    def run_pass(
+        self,
+        src: np.ndarray,
+        out: np.ndarray,
+        tables: DriverTables,
+        periodic: bool,
+        scratch: np.ndarray,
+    ) -> None:
+        """Execute one full pass of ``tables.steps`` chained stages.
+
+        ``src``/``out`` must be distinct C-contiguous float32 grids of
+        the plan's shape; ``scratch`` a C-contiguous float32 array with
+        at least ``workers * 2 * tables.scratch_floats`` elements.  The
+        ctypes call releases the GIL for the whole pass.
+        """
+        itemsize = src.itemsize
+        gs0 = src.strides[0] // itemsize
+        gs1 = src.strides[1] // itemsize if self.spec.dims == 3 else 0
+        self._lib.driver_run_pass(
+            self._handle,
+            src.ctypes.data,
+            out.ctypes.data,
+            tables.blocks.ctypes.data,
+            tables.blocks.shape[0],
+            tables.segments.ctypes.data,
+            tables.windows.ctypes.data,
+            tables.steps,
+            gs0,
+            gs1,
+            1 if periodic else 0,
+            scratch.ctypes.data,
+            tables.scratch_floats,
+        )
+
+
+def driver_available() -> bool:
+    """True if the fused pass driver can be built on this machine."""
+    return native_available()
+
+
+#: Compiled driver library path per stencil key (``None`` caches
+#: failures); pool handles are *not* shared — each accelerator gets its
+#: own :class:`NativeDriver` so concurrent runs never contend for a job
+#: slot.
+_DRIVER_LIBS: dict[tuple, str | None] = {}
+
+
+def native_driver_for(spec: StencilSpec, workers: int) -> NativeDriver | None:
+    """A fresh pass driver (own pool) for ``spec``, or ``None``.
+
+    The compiled library is content-addressed and shared across calls;
+    the pthread pool is per returned instance, created once and reused
+    for every pass of every run of the owning accelerator.
+    """
+    if os.environ.get(DISABLE_ENV):
+        return None
+    key = (
+        spec.dims,
+        spec.radius,
+        float(np.float32(spec.center)),
+        spec.coefficients.tobytes(),
+    )
+    if key not in _DRIVER_LIBS:
+        _DRIVER_LIBS[key] = _compile(driver_source(spec), link=("-lpthread",))
+    lib_path = _DRIVER_LIBS[key]
+    if lib_path is None:
+        return None
+    try:
+        return NativeDriver(spec, workers, lib_path)
+    except OSError:
+        return None

@@ -43,7 +43,9 @@ def fill_stream_halo(
     interior]`` plus ``rad`` pad slabs on each end.  Clamp duplicates the
     border slab (``np.pad`` edge mode); periodic wraps the opposite end
     (wrap mode).  Must run before every :func:`pe_step_padded` call,
-    since the interior changes between chain stages.
+    since the interior changes between chain stages.  The generated pass
+    driver's ``fill_halo`` (:func:`repro.core.native.driver_source`)
+    reimplements exactly these slab-copy semantics in C.
     """
     lo = padded[:rad]
     hi = padded[rad + interior :]
@@ -69,7 +71,12 @@ def stencil_terms(
 
     In the paper's fixed accumulation order (:meth:`StencilSpec.offsets`).
     Deriving these once per run keeps enum/attribute lookups out of the
-    per-chunk hot loop.
+    per-chunk hot loop.  This tuple is the bit-exactness contract: the
+    NumPy engine iterates it directly, and both generated native code
+    paths (the per-stage microkernel and the fused pass driver) emit
+    their accumulation chains from it via the same generator
+    (``repro.core.native._acc_lines``), so every engine performs the
+    identical sequence of separately rounded float32 operations.
     """
     return tuple(
         (

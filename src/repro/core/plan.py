@@ -33,6 +33,19 @@ import numpy as np
 
 from repro.core.blocking import Block, BlockDecomposition, BlockingConfig
 
+#: int64 fields per block record in :meth:`PassPlan.to_driver_tables`,
+#: by dimensionality.  The layouts are consumed verbatim by the
+#: generated C pass driver (:mod:`repro.core.native`) and proven
+#: round-trip-exact by lint rule P306.
+#:
+#: 2D: ``n0, nx, dup_lo_x, dup_hi_x, write_x, cwidth_x, read_x,
+#: seg_off_x, seg_cnt_x``
+#:
+#: 3D: ``n0, ny, nx, dup_lo_y, dup_hi_y, dup_lo_x, dup_hi_x, write_y,
+#: write_x, cwidth_y, cwidth_x, read_y, read_x, seg_off_y, seg_cnt_y,
+#: seg_off_x, seg_cnt_x``
+DRIVER_RECORD_LEN = {2: 9, 3: 17}
+
 #: Per-axis (lo, hi) local window bounds (re-exported shape of pe.Window).
 Window = tuple[tuple[int, int], ...]
 
@@ -127,6 +140,29 @@ class BlockPlan:
                     ]
 
 
+@dataclass(frozen=True)
+class DriverTables:
+    """Flat, C-consumable serialization of a :class:`PassPlan`.
+
+    Everything the generated native pass driver needs to execute one
+    full pass — block geometry, gather segments, per-stage windows — as
+    contiguous ``int64`` arrays (see :data:`DRIVER_RECORD_LEN` for the
+    per-block record layout).  ``windows`` has shape ``(n_blocks, steps,
+    dims, 2)``; ``segments`` is ``(total_segments, 4)`` rows of
+    ``(dst_start, dst_stop, src_start, src_stop)``.  ``scratch_floats``
+    is the float32 capacity of *one* padded block buffer (max footprint
+    plus ``2 * radius`` streamed-axis pad slabs); the driver ping-pongs
+    between two such buffers per worker.  Lint rule P306 proves these
+    tables decode back to exactly the plan's Python-side geometry.
+    """
+
+    blocks: np.ndarray
+    segments: np.ndarray
+    windows: np.ndarray
+    steps: int
+    scratch_floats: int
+
+
 class PassPlan:
     """Execution plan for one pass of the accelerator over a fixed grid.
 
@@ -214,8 +250,68 @@ class PassPlan:
         )
 
         self._windows: dict[int, tuple[tuple[Window, ...], ...]] = {}
+        self._driver_tables: dict[int, DriverTables] = {}
 
     # ------------------------------------------------------------------ #
+
+    def to_driver_tables(self, steps: int) -> DriverTables:
+        """Serialize the plan for the generated native pass driver.
+
+        Flattens every block's geometry (footprint, clamp-duplicate
+        counts, write/read offsets, gather-segment ranges) plus the
+        per-stage shrink windows for a ``steps``-pass into the int64
+        arrays of :class:`DriverTables` — the entire pass description
+        crosses the ctypes boundary once, as three pointers.  Cached per
+        ``steps`` (a run needs at most two tables, like
+        :meth:`windows`).
+        """
+        cached = self._driver_tables.get(steps)
+        if cached is not None:
+            return cached
+        ndim = self.config.dims
+        rad = self.config.radius
+        rec_len = DRIVER_RECORD_LEN[ndim]
+        n_blocks = len(self.blocks)
+        block_tab = np.zeros((n_blocks, rec_len), dtype=np.int64)
+        seg_rows: list[tuple[int, int, int, int]] = []
+        for i, bp in enumerate(self.blocks):
+            seg_ranges: list[tuple[int, int]] = []
+            for axis_segs in bp.segments:
+                off = len(seg_rows)
+                for s in axis_segs:
+                    seg_rows.append(
+                        (s.dst_start, s.dst_stop, s.src_start, s.src_stop)
+                    )
+                seg_ranges.append((off, len(axis_segs)))
+            rec = list(bp.footprint)
+            for local_axis in range(ndim - 1):
+                rec += [bp.dup_lo[local_axis], bp.dup_hi[local_axis]]
+            for axis in self.config.blocked_axes:
+                rec.append(bp.write_sl[axis].start)
+            for axis in self.config.blocked_axes:
+                rec.append(bp.write_sl[axis].stop - bp.write_sl[axis].start)
+            for axis in self.config.blocked_axes:
+                rec.append(bp.read_sl[axis].start)
+            for off, cnt in seg_ranges:
+                rec += [off, cnt]
+            block_tab[i] = rec
+        windows = np.asarray(self.windows(steps), dtype=np.int64)
+        windows = np.ascontiguousarray(
+            windows.reshape(n_blocks, steps, ndim, 2)
+        )
+        segments = np.asarray(seg_rows, dtype=np.int64).reshape(-1, 4)
+        scratch = self.max_footprint[0] + 2 * rad
+        for extent in self.max_footprint[1:]:
+            scratch *= extent
+        tables = DriverTables(
+            blocks=block_tab,
+            segments=np.ascontiguousarray(segments),
+            windows=windows,
+            steps=steps,
+            scratch_floats=int(scratch),
+        )
+        self._driver_tables[steps] = tables
+        return tables
 
     def windows(self, steps: int) -> tuple[tuple[Window, ...], ...]:
         """Per-block tuple of per-stage update windows for a ``steps``-pass.

@@ -28,7 +28,7 @@ from repro.lint.findings import (
 )
 from repro.lint.kernel import CATALOG_MAX_RADIUS, lint_equation, lint_equations
 from repro.lint.plan_pass import lint_plan
-from repro.lint.purity import lint_source, lint_tree
+from repro.lint.purity import lint_driver_source, lint_source, lint_tree
 
 __all__ = [
     "CATALOG_MAX_RADIUS",
@@ -40,6 +40,7 @@ __all__ = [
     "Severity",
     "lint_config",
     "lint_configs",
+    "lint_driver_source",
     "lint_equation",
     "lint_equations",
     "lint_plan",

@@ -17,7 +17,7 @@ from repro.lint.config_pass import lint_configs
 from repro.lint.findings import LintReport, render_rule_catalog
 from repro.lint.kernel import lint_equations
 from repro.lint.plan_pass import lint_plan
-from repro.lint.purity import lint_tree
+from repro.lint.purity import lint_driver_source, lint_tree
 
 PASS_NAMES = ("kernel", "config", "plan", "purity")
 
@@ -38,7 +38,10 @@ def run_default_lint(
         report.extend("plan", findings)
     if "purity" in passes:
         root = source_root if source_root is not None else targets.source_root()
-        report.extend("purity", lint_tree(root))
+        findings = lint_tree(root)
+        for name, text in targets.shipped_driver_sources():
+            findings.extend(lint_driver_source(text, name))
+        report.extend("purity", findings)
     return report
 
 

@@ -102,6 +102,8 @@ RULES: dict[str, Rule] = _catalog([
      "gather segments do not cover the read footprint"),
     ("P305", Severity.ERROR, "plan",
      "final-stage window does not equal the compute region"),
+    ("P306", Severity.ERROR, "plan",
+     "driver tables do not round-trip the plan's Python geometry"),
     # ---- hot-path purity pass ----------------------------------------- #
     ("H401", Severity.ERROR, "purity",
      "fault-injection hook used outside a disarmed guard"),

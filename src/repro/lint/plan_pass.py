@@ -20,13 +20,19 @@ updates or writes a single cell:
   clamped/wrapped source indices exactly.
 * P305 — the final stage of a full pass lands exactly on the compute
   region the write kernel copies out (``read_sl``).
+* P306 — the flat int64 driver tables (:meth:`PassPlan.to_driver_tables`)
+  decode back to exactly the Python-side geometry: per-block records,
+  gather-segment rows, shrink windows and scratch sizing.  The generated
+  native pass driver executes *only* these tables, so a serialization
+  slip would silently corrupt every fused pass; this check proves the
+  round-trip without executing one.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.plan import PassPlan
+from repro.core.plan import DRIVER_RECORD_LEN, PassPlan
 from repro.lint.findings import Finding
 
 
@@ -325,6 +331,147 @@ def _check_windows(plan: PassPlan, locus: str) -> list[Finding]:
     return findings
 
 
+def _check_driver_tables(plan: PassPlan, locus: str) -> list[Finding]:
+    """P306: the flat driver tables decode back to the plan geometry."""
+    findings: list[Finding] = []
+    ndim = plan.config.dims
+    rad = plan.config.radius
+    rec_len = DRIVER_RECORD_LEN[ndim]
+    n_blocked = ndim - 1
+    for steps in sorted({1, plan.config.partime}):
+        tables = plan.to_driver_tables(steps)
+        t_locus = f"{locus}/tables(steps={steps})"
+
+        def bad(message: str, hint: str = "", _loc=t_locus) -> None:
+            findings.append(
+                Finding(rule="P306", message=message, locus=_loc, hint=hint)
+            )
+
+        shapes_ok = True
+        for name, arr, want_shape in (
+            ("blocks", tables.blocks, (len(plan.blocks), rec_len)),
+            ("segments", tables.segments, (tables.segments.shape[0], 4)),
+            ("windows", tables.windows,
+             (len(plan.blocks), steps, ndim, 2)),
+        ):
+            if arr.dtype != np.int64 or arr.shape != want_shape:
+                bad(
+                    f"{name} table is {arr.dtype}{arr.shape}, the driver "
+                    f"unpacks int64{want_shape}",
+                    hint="the C side indexes raw int64 pointers; any "
+                    "shape or dtype drift misreads every field after it",
+                )
+                shapes_ok = False
+        if tables.steps != steps:
+            bad(f"tables.steps is {tables.steps}, requested {steps}")
+            shapes_ok = False
+        if not shapes_ok:
+            continue
+
+        # windows must be byte-for-byte the Python shrink schedule
+        expected_windows = np.asarray(plan.windows(steps), dtype=np.int64)
+        if not np.array_equal(
+            tables.windows, expected_windows.reshape(tables.windows.shape)
+        ):
+            bad(
+                "windows table differs from PassPlan.windows()",
+                hint="the driver's per-stage bounds come only from this "
+                "table; a drifted window breaks the nesting invariant "
+                "P302 already proved for the Python schedule",
+            )
+
+        max_scratch = 0
+        for i, bp in enumerate(plan.blocks):
+            rec = [int(v) for v in tables.blocks[i]]
+            b_locus = f"{t_locus}/block{i}"
+
+            def bbad(message: str, hint: str = "", _loc=b_locus) -> None:
+                findings.append(
+                    Finding(rule="P306", message=message, locus=_loc,
+                            hint=hint)
+                )
+
+            pos = 0
+            footprint = tuple(rec[pos:pos + ndim])
+            pos += ndim
+            if footprint != tuple(bp.footprint):
+                bbad(f"record footprint {footprint} != plan footprint "
+                     f"{tuple(bp.footprint)}")
+            dups = rec[pos:pos + 2 * n_blocked]
+            pos += 2 * n_blocked
+            want_dups = [
+                v
+                for local_axis in range(n_blocked)
+                for v in (bp.dup_lo[local_axis], bp.dup_hi[local_axis])
+            ]
+            if dups != want_dups:
+                bbad(f"record dup counts {dups} != plan (lo, hi) pairs "
+                     f"{want_dups}")
+            write_starts = rec[pos:pos + n_blocked]
+            pos += n_blocked
+            write_widths = rec[pos:pos + n_blocked]
+            pos += n_blocked
+            read_starts = rec[pos:pos + n_blocked]
+            pos += n_blocked
+            for local_axis, axis in enumerate(plan.config.blocked_axes):
+                ws, rs = bp.write_sl[axis], bp.read_sl[axis]
+                got = (
+                    write_starts[local_axis],
+                    write_widths[local_axis],
+                    read_starts[local_axis],
+                )
+                want = (ws.start, ws.stop - ws.start, rs.start)
+                if got != want:
+                    bbad(
+                        f"axis {local_axis}: (write start, width, read "
+                        f"start) {got} != plan slices {want}",
+                        hint="the driver's writeback memcpys are computed "
+                        "from these three fields",
+                    )
+            for local_axis in range(n_blocked):
+                off, cnt = rec[pos], rec[pos + 1]
+                pos += 2
+                segs = bp.segments[local_axis]
+                if cnt != len(segs) or off < 0 or (
+                    off + cnt > tables.segments.shape[0]
+                ):
+                    bbad(
+                        f"axis {local_axis}: segment range (off={off}, "
+                        f"cnt={cnt}) does not address {len(segs)} plan "
+                        "segments",
+                    )
+                    continue
+                want_rows = np.asarray(
+                    [
+                        (s.dst_start, s.dst_stop, s.src_start, s.src_stop)
+                        for s in segs
+                    ],
+                    dtype=np.int64,
+                ).reshape(-1, 4)
+                if not np.array_equal(
+                    tables.segments[off:off + cnt], want_rows
+                ):
+                    bbad(
+                        f"axis {local_axis}: segment rows "
+                        f"[{off}:{off + cnt}] differ from the plan's "
+                        "gather segments",
+                        hint="the driver's read kernel replays exactly "
+                        "these (dst, src) runs",
+                    )
+            need = bp.footprint[0] + 2 * rad
+            for extent in bp.footprint[1:]:
+                need *= extent
+            max_scratch = max(max_scratch, need)
+        if tables.scratch_floats < max_scratch:
+            bad(
+                f"scratch_floats {tables.scratch_floats} < largest padded "
+                f"block footprint {max_scratch}",
+                hint="an undersized scratch buffer lets the PE chain "
+                "write past the allocation",
+            )
+    return findings
+
+
 def lint_plan(plan: PassPlan) -> list[Finding]:
     """Prove the plan's geometric invariants; never executes a pass."""
     locus = _plan_locus(plan)
@@ -333,4 +480,5 @@ def lint_plan(plan: PassPlan) -> list[Finding]:
     findings.extend(_check_duplicates(plan, locus))
     findings.extend(_check_segments(plan, locus))
     findings.extend(_check_windows(plan, locus))
+    findings.extend(_check_driver_tables(plan, locus))
     return findings

@@ -307,6 +307,39 @@ def lint_source(text: str, filename: str) -> list[Finding]:
     return findings
 
 
+#: Identifiers of the fault-injection plumbing.  The generated native
+#: pass driver runs only on disarmed paths (armed runs force the
+#: per-stage channel path in :meth:`FPGAAccelerator.run`), so none of
+#: these may appear in its C source — their presence would mean
+#: injection logic was fused into code that cannot be intercepted.
+_DRIVER_HOOK_TOKENS = ("fault_hooks", "ACTIVE", "inject")
+
+
+def lint_driver_source(text: str, name: str) -> list[Finding]:
+    """Disarmed-guard scan over generated driver C source.
+
+    The AST checks above cannot parse C; the invariant here is simpler
+    and absolute: the fused driver must contain *no* fault-hook
+    identifier at all, because nothing inside the one-ctypes-call pass
+    can be guarded by a Python ``is not None`` check.
+    """
+    findings: list[Finding] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        token = next((t for t in _DRIVER_HOOK_TOKENS if t in line), None)
+        if token is not None:
+            findings.append(
+                Finding(
+                    rule="H401",
+                    message=f"fault-hook identifier {token!r} in generated "
+                    "driver source (the fused pass cannot be guarded)",
+                    locus=f"{name}:{lineno}",
+                    hint="armed runs must take the per-stage channel "
+                    "path; keep injection plumbing out of driver codegen",
+                )
+            )
+    return findings
+
+
 def lint_tree(root: Path) -> list[Finding]:
     """Lint every ``*.py`` file under ``root`` (typically ``src/repro``)."""
     findings: list[Finding] = []

@@ -20,6 +20,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.analysis.paper_data import PAPER_TABLE_III
+from repro.core.native import driver_source
 from repro.core.plan import PassPlan
 from repro.core.stencil import StencilSpec
 from repro.dsl.ast import Equation, Expr, Grid
@@ -92,6 +93,21 @@ def shipped_plans() -> list[PassPlan]:
         if (config.dims, config.radius) == (2, 1):
             plans.append(PassPlan(config, point.grid_shape, "periodic"))
     return plans
+
+
+def shipped_driver_sources() -> list[tuple[str, str]]:
+    """Purity-pass targets: generated pass-driver C per Table I kernel.
+
+    Pure codegen — no compiler is needed, so the scan runs everywhere
+    CI does.  Names mirror the kernel they were generated for.
+    """
+    return [
+        (
+            f"driver<{dims}d-rad{radius}>.c",
+            driver_source(StencilSpec.star(dims, radius)),
+        )
+        for dims, radius in sorted(PAPER_TABLE_III)
+    ]
 
 
 def source_root() -> Path:

@@ -234,7 +234,13 @@ class StencilProgram:
 
     Building mirrors the offline OpenCL compile: it runs the area model
     (raising :class:`ConfigurationError` if the design does not fit the
-    device), the fmax model, and generates the kernel source.
+    device), the fmax model, and generates the kernel source.  ``engine``
+    is forwarded to :class:`~repro.core.FPGAAccelerator` (ladder
+    ``auto -> native-driver -> native -> numpy``); the wrapped
+    accelerator — and its persistent worker pools — lives for the
+    program's lifetime, so schedulers re-dispatching many small jobs
+    through one program never rebuild pools.  :attr:`resolved_engine`
+    reports the tier actually selected.
     """
 
     def __init__(
@@ -259,6 +265,11 @@ class StencilProgram:
         self.source = generate_opencl_kernel(spec, config)
         self._engine = FPGAAccelerator(spec, config, engine=engine)
         self._model = PerformanceModel(board)
+
+    @property
+    def resolved_engine(self) -> str:
+        """Engine tier the accelerator actually executes disarmed passes on."""
+        return self._engine.resolved_engine
 
     def kernel_time_s(self, grid_shape: tuple[int, ...], iterations: int) -> float:
         """Modeled (measured-equivalent) kernel time for a workload.

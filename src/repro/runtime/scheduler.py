@@ -24,8 +24,9 @@ puts a resilient scheduler in front of a fleet of simulated
   (:class:`~repro.errors.DeadlineExceededError`) with the late result
   discarded — never silently late;
 * **degraded mode** — a per-device circuit breaker around the native
-  microkernel engine: repeated faulted kernels on a device (or a native
-  compile failure when ``engine="native"`` is requested) trip the device
+  engines (the fused pass driver and the per-stage microkernel):
+  repeated faulted kernels on a device (or a compile failure when
+  ``engine="native"``/``"native-driver"`` is requested) trip the device
   to the conservative NumPy engine, so its jobs complete slower rather
   than fail.  All engines are bit-identical, so degradation never
   changes results;
@@ -217,8 +218,8 @@ class StencilScheduler:
         :class:`~repro.errors.SchedulerSaturatedError` beyond it.
     engine:
         Preferred execution engine for healthy devices (``"auto"``,
-        ``"numpy"`` or ``"native"``); a device whose circuit breaker has
-        tripped always runs ``"numpy"``.
+        ``"numpy"``, ``"native"`` or ``"native-driver"``); a device
+        whose circuit breaker has tripped always runs ``"numpy"``.
     quarantine_threshold / health_window / min_health_samples:
         A device is quarantined when its fault rate over the last
         ``health_window`` jobs exceeds the threshold (once at least
@@ -267,9 +268,10 @@ class StencilScheduler:
             raise ConfigurationError(
                 f"quarantine_threshold must be in (0, 1], got {quarantine_threshold}"
             )
-        if engine not in ("auto", "numpy", "native"):
+        if engine not in ("auto", "numpy", "native", "native-driver"):
             raise ConfigurationError(
-                f"engine must be 'auto', 'numpy' or 'native', got {engine!r}"
+                "engine must be 'auto', 'numpy', 'native' or "
+                f"'native-driver', got {engine!r}"
             )
         if max_dispatches < 1:
             raise ConfigurationError(
@@ -424,20 +426,21 @@ class StencilScheduler:
     ) -> StencilProgram:
         """Build a program for the worker's current engine.
 
-        A native compile failure (``engine="native"`` requested but no
-        toolchain / failed build) trips the breaker and degrades to the
-        NumPy engine instead of failing the job.
+        A native compile failure (``engine="native"`` or
+        ``"native-driver"`` requested but no toolchain / failed build)
+        trips the breaker and degrades to the NumPy engine instead of
+        failing the job.
         """
         engine = worker.engine(self.engine)
-        if engine == "native":
+        if engine in ("native", "native-driver"):
             try:
                 return StencilProgram(
-                    spec, config, worker.device.board, engine="native"
+                    spec, config, worker.device.board, engine=engine
                 )
             except ConfigurationError as err:
-                worker.breaker.trip(f"native engine unavailable: {err}")
+                worker.breaker.trip(f"{engine} engine unavailable: {err}")
                 worker.log(
-                    "degraded to numpy engine (native compile failure)"
+                    f"degraded to numpy engine ({engine} compile failure)"
                 )
                 engine = "numpy"
         return StencilProgram(spec, config, worker.device.board, engine=engine)

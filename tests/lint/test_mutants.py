@@ -16,7 +16,14 @@ import pytest
 from repro.core.blocking import BlockingConfig
 from repro.core.plan import PassPlan
 from repro.dsl.ast import Const, Equation, Grid
-from repro.lint import ConfigPoint, lint_config, lint_equation, lint_plan, lint_source
+from repro.lint import (
+    ConfigPoint,
+    lint_config,
+    lint_driver_source,
+    lint_equation,
+    lint_plan,
+    lint_source,
+)
 
 RNG = np.random.default_rng(20260806)
 
@@ -198,6 +205,33 @@ def _p305():
     return lint_plan(plan)
 
 
+def _p306_window_drift():
+    # tamper the cached serialized windows: the Python schedule is fine,
+    # the flat table the driver would execute is not
+    plan = _plan()
+    plan.to_driver_tables(4).windows[0, -1, 1, 1] += 2
+    return lint_plan(plan)
+
+
+def _p306_record_drift():
+    plan = _plan()
+    plan.to_driver_tables(4).blocks[0, 0] += 1  # footprint field
+    return lint_plan(plan)
+
+
+def _p306_segment_drift():
+    plan = _plan()
+    plan.to_driver_tables(1).segments[0, 2] += 1  # src_start of a run
+    return lint_plan(plan)
+
+
+def _p306_scratch_undersized():
+    plan = _plan()
+    tables = plan.to_driver_tables(4)
+    object.__setattr__(tables, "scratch_floats", 1)
+    return lint_plan(plan)
+
+
 # -------------------------- purity mutants ----------------------------- #
 
 _PREFIX = "import repro.faults.hooks as fault_hooks\n"
@@ -253,6 +287,16 @@ def _h403_stdlib():
     )
 
 
+def _h401_driver_hook():
+    # injection plumbing fused into generated driver C: unguardable
+    return lint_driver_source(
+        "static void stage(void) {\n"
+        "  if (fault_hooks_ACTIVE) inject_bitflip();\n"
+        "}\n",
+        "driver<mutant>.c",
+    )
+
+
 MUTANTS = [
     ("k101-offaxis", "K101", _k101, "equation[u]"),
     ("k102-radius5", "K102", _k102, "equation[u]"),
@@ -280,7 +324,12 @@ MUTANTS = [
     ("p303-dup-count", "P303", _p303, "plan["),
     ("p304-shifted-segment", "P304", _p304, "plan["),
     ("p305-copyout", "P305", _p305, "plan["),
+    ("p306-window-drift", "P306", _p306_window_drift, "plan["),
+    ("p306-record-drift", "P306", _p306_record_drift, "plan["),
+    ("p306-segment-drift", "P306", _p306_segment_drift, "plan["),
+    ("p306-scratch", "P306", _p306_scratch_undersized, "plan["),
     ("h401-attr", "H401", _h401_attr, "mutant.py:"),
+    ("h401-driver-c", "H401", _h401_driver_hook, "driver<mutant>.c:"),
     ("h401-arg", "H401", _h401_arg, "mutant.py:"),
     ("h401-polarity", "H401", _h401_wrong_polarity, "mutant.py:"),
     ("h402-id-key", "H402", _h402, "mutant.py:"),

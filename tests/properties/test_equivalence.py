@@ -19,6 +19,7 @@ from repro.core import (
     make_grid,
     reference_run,
 )
+from repro.core.native import driver_available, native_available
 
 
 @st.composite
@@ -90,7 +91,8 @@ def test_accelerator_equals_reference_3d(params) -> None:
 @settings(max_examples=20)
 @given(config_2d(), st.integers(2, 4))
 def test_engines_and_workers_bit_identical(params, workers) -> None:
-    """The NumPy fallback, the native microkernel (when available) and the
+    """The NumPy fallback, the per-stage native microkernel, the fused
+    native pass driver (both when a compiler is available) and the
     block-parallel schedule are pure execution choices: same bits."""
     cfg, shape, iters, seed, boundary = params
     spec = StencilSpec.star(2, cfg.radius)
@@ -104,6 +106,19 @@ def test_engines_and_workers_bit_identical(params, workers) -> None:
     ).run(grid, iters)
     assert np.array_equal(base, via_numpy)
     assert np.array_equal(base, parallel)
+    if native_available():
+        per_stage, _ = FPGAAccelerator(
+            spec, cfg, boundary=boundary, engine="native"
+        ).run(grid, iters)
+        assert np.array_equal(base, per_stage)
+    if driver_available():
+        acc = FPGAAccelerator(
+            spec, cfg, boundary=boundary, engine="native-driver",
+            workers=workers,
+        )
+        fused, _ = acc.run(grid, iters)
+        acc.close()
+        assert np.array_equal(base, fused)
 
 
 @given(
