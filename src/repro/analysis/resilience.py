@@ -501,3 +501,303 @@ def run_chaos() -> ExperimentResult:
             "replay_cost": replay,
         },
     )
+
+
+# --------------------------------------------------------------------- #
+# overload: offered load past saturation through the serving layer
+# --------------------------------------------------------------------- #
+
+#: Typed terminations the serving layer may legitimately report under
+#: overload, on top of the scheduler's own set.  ``ShedError`` and
+#: ``QueueTimeoutError`` subclass ``SchedulerSaturatedError`` but the
+#: service reports concrete types, so they are listed explicitly.
+OVERLOAD_TYPED = TYPED_FAILURES | {"ShedError", "QueueTimeoutError"}
+
+#: Per-request wall-clock budget in the overload campaign.  The
+#: invariant is *bounded* termination: a ticket unresolved after this
+#: many wall seconds counts as a violation (a hang or silent drop).
+OVERLOAD_BOUND_S = 60.0
+
+
+@dataclass(frozen=True)
+class OverloadCell:
+    """One offered-load factor of the overload sweep."""
+
+    factor: float
+    offered: int
+    completed: int
+    shed: int
+    queue_timeouts: int
+    deadline_misses: int
+    other_typed: int
+    degraded: int
+    coalesced: int
+    retries: int
+    violations: int
+    unterminated: int
+    p50_ms: float
+    p99_ms: float
+
+
+def _overload_policy(max_queue_depth: int) -> "ServicePolicy":
+    from repro.runtime.service import ServicePolicy
+
+    return ServicePolicy(
+        max_queue_depth=max_queue_depth,
+        queue_timeout_s=20.0,
+        max_retries=1,
+        retry_backoff_s=0.002,
+        seed=SEED,
+        degrade_at=0.5,
+        degrade_hard_at=0.875,
+        degraded_checkpoint=2,
+    )
+
+
+def _measure_saturation_rate(
+    grid: np.ndarray, iterations: int, devices: int, probe_jobs: int = 8
+) -> float:
+    """Unthrottled drain rate of the service (jobs per wall second)."""
+    import time
+
+    from repro.runtime.service import StencilService
+
+    svc = StencilService(
+        StencilScheduler(devices=devices, retry_policy=RETRY_POLICY),
+        policy=_overload_policy(max_queue_depth=probe_jobs + 2),
+        start=False,
+    )
+    try:
+        # warm the artifact cache so the probe measures steady state
+        svc.submit("probe", CHAOS_SPEC, CHAOS_CONFIG, grid, iterations)
+        svc.run_pending()
+        start = time.perf_counter()
+        for _ in range(probe_jobs):
+            svc.submit("probe", CHAOS_SPEC, CHAOS_CONFIG, grid, iterations)
+        svc.run_pending()
+        elapsed = time.perf_counter() - start
+    finally:
+        svc.close()
+    return probe_jobs / max(elapsed, 1e-6)
+
+
+def run_overload_campaign(
+    seed: int = SEED,
+    factors: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    jobs_per_factor: int = 24,
+    devices: int = 2,
+    tenants: int = 3,
+    iterations: int = 4,
+    max_queue_depth: int = 8,
+    with_faults: bool = True,
+) -> dict:
+    """Sweep offered load past saturation through :class:`StencilService`.
+
+    For each factor the campaign paces ``jobs_per_factor`` requests from
+    ``tenants`` round-robin tenants at ``factor x`` the measured
+    saturation rate, with a fresh seeded random fault plan armed, and
+    classifies every termination.  The invariant under test: **every
+    submitted request terminates within** :data:`OVERLOAD_BOUND_S`
+    **wall seconds with either a bit-exact result or a typed error** —
+    no hangs, no silent drops, no corrupted outputs.  Backpressure must
+    also engage: past saturation (factor >= 2) at least one request is
+    shed, timed out, or explicitly degraded.
+    """
+    import contextlib
+    import time
+
+    from repro.errors import ShedError
+    from repro.runtime.service import StencilService, TenantQuota
+
+    rng = np.random.default_rng(seed)
+    grid = make_grid(CHAOS_GRID_SHAPE, "mixed", seed=seed % 1000)
+    reference = reference_run(grid, CHAOS_SPEC, iterations)
+    saturation_rate = _measure_saturation_rate(grid, iterations, devices)
+
+    cells: list[OverloadCell] = []
+    for factor in factors:
+        plan = _random_fault_plan(rng) if with_faults else None
+        svc = StencilService(
+            StencilScheduler(
+                devices=devices,
+                retry_policy=RETRY_POLICY,
+                default_checkpoint=CheckpointPolicy(every=4),
+            ),
+            policy=_overload_policy(max_queue_depth),
+            quotas={
+                f"tenant-{t}": TenantQuota(weight=t + 1) for t in range(tenants)
+            },
+        )
+        interval_s = 1.0 / (factor * saturation_rate)
+        tickets = []
+        shed = 0
+        counts = dict.fromkeys(
+            ("queue_timeouts", "deadline_misses", "other_typed",
+             "degraded", "coalesced", "retries", "violations",
+             "unterminated", "completed"),
+            0,
+        )
+        latencies: list[float] = []
+        ctx = arm(plan) if plan is not None else contextlib.nullcontext()
+        try:
+            with ctx:
+                for j in range(jobs_per_factor):
+                    tenant = f"tenant-{j % tenants}"
+                    try:
+                        tickets.append(
+                            svc.submit(
+                                tenant,
+                                CHAOS_SPEC,
+                                CHAOS_CONFIG,
+                                grid,
+                                iterations,
+                                priority=j % 2,
+                                deadline_s=OVERLOAD_BOUND_S / 2,
+                            )
+                        )
+                    except ShedError:
+                        shed += 1
+                    time.sleep(interval_s)
+                for ticket in tickets:
+                    try:
+                        res = ticket.result(timeout=OVERLOAD_BOUND_S)
+                    except TimeoutError:
+                        counts["unterminated"] += 1  # invariant violation
+                        continue
+                    counts["retries"] += res.retries
+                    if res.status == "completed":
+                        if np.array_equal(res.result, reference):
+                            counts["completed"] += 1
+                            latencies.append(res.wall_elapsed_s)
+                            counts["degraded"] += int(res.degraded)
+                            counts["coalesced"] += int(res.coalesced)
+                        else:
+                            counts["violations"] += 1  # silent corruption
+                    elif res.error_type == "ShedError":
+                        shed += 1
+                    elif res.error_type == "QueueTimeoutError":
+                        counts["queue_timeouts"] += 1
+                    elif res.error_type == "DeadlineExceededError":
+                        counts["deadline_misses"] += 1
+                    elif res.error_type in OVERLOAD_TYPED:
+                        counts["other_typed"] += 1
+                    else:
+                        counts["violations"] += 1  # untyped failure
+        finally:
+            svc.close()
+        cells.append(
+            OverloadCell(
+                factor=factor,
+                offered=jobs_per_factor,
+                completed=counts["completed"],
+                shed=shed,
+                queue_timeouts=counts["queue_timeouts"],
+                deadline_misses=counts["deadline_misses"],
+                other_typed=counts["other_typed"],
+                degraded=counts["degraded"],
+                coalesced=counts["coalesced"],
+                retries=counts["retries"],
+                violations=counts["violations"],
+                unterminated=counts["unterminated"],
+                p50_ms=float(np.percentile(latencies, 50) * 1e3)
+                if latencies
+                else 0.0,
+                p99_ms=float(np.percentile(latencies, 99) * 1e3)
+                if latencies
+                else 0.0,
+            )
+        )
+    return {
+        "seed": seed,
+        "devices": devices,
+        "tenants": tenants,
+        "max_queue_depth": max_queue_depth,
+        "saturation_rate_jobs_s": saturation_rate,
+        "bound_s": OVERLOAD_BOUND_S,
+        "with_faults": with_faults,
+        "cells": cells,
+    }
+
+
+def run_overload() -> ExperimentResult:
+    """Build the overload report (experiment id ``overload``)."""
+    campaign = run_overload_campaign()
+    cells: list[OverloadCell] = campaign["cells"]
+
+    rows = [
+        (
+            f"{c.factor:g}x",
+            f"{c.offered}",
+            f"{c.completed}",
+            f"{c.shed}",
+            f"{c.queue_timeouts}",
+            f"{c.deadline_misses}",
+            f"{c.degraded}",
+            f"{c.retries}",
+            f"{c.violations + c.unterminated}",
+            f"{c.p99_ms:.1f}",
+        )
+        for c in cells
+    ]
+    table = render_table(
+        [
+            "load", "offered", "bit-exact", "shed", "q-timeout",
+            "deadline", "degraded", "retries", "violations", "p99 ms",
+        ],
+        rows,
+        title=(
+            f"Overload sweep (seed {campaign['seed']}, "
+            f"{campaign['devices']} devices, queue depth "
+            f"{campaign['max_queue_depth']}, saturation "
+            f"{campaign['saturation_rate_jobs_s']:.1f} jobs/s, faults "
+            f"{'armed' if campaign['with_faults'] else 'disarmed'})"
+        ),
+    )
+
+    violations = sum(c.violations + c.unterminated for c in cells)
+    overloaded = [c for c in cells if c.factor >= 2.0]
+    backpressure = sum(
+        c.shed + c.queue_timeouts + c.degraded for c in overloaded
+    )
+    comparisons = [
+        compare_values(
+            "invariant intact (bounded, bit-exact or typed)",
+            1.0,
+            1.0 if violations == 0 else 0.0,
+            0.0,
+        ),
+        compare_values(
+            "backpressure engages past saturation",
+            1.0,
+            1.0 if backpressure > 0 else 0.0,
+            0.0,
+        ),
+    ]
+    return ExperimentResult(
+        exp_id="overload",
+        title="Overload resilience: admission control past saturation",
+        text=table,
+        comparisons=comparisons,
+        data={
+            **{k: v for k, v in campaign.items() if k != "cells"},
+            "cells": [
+                {
+                    "factor": c.factor,
+                    "offered": c.offered,
+                    "completed": c.completed,
+                    "shed": c.shed,
+                    "queue_timeouts": c.queue_timeouts,
+                    "deadline_misses": c.deadline_misses,
+                    "other_typed": c.other_typed,
+                    "degraded": c.degraded,
+                    "coalesced": c.coalesced,
+                    "retries": c.retries,
+                    "violations": c.violations,
+                    "unterminated": c.unterminated,
+                    "p50_ms": c.p50_ms,
+                    "p99_ms": c.p99_ms,
+                }
+                for c in cells
+            ],
+        },
+    )

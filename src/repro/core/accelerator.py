@@ -266,6 +266,7 @@ class FPGAAccelerator:
         self._exec_pool: ThreadPoolExecutor | None = None
         self._scratches: list[_Scratch] = []
         self._driver_scratch: np.ndarray | None = None
+        self._closed = False
 
     @property
     def resolved_engine(self) -> str:
@@ -282,13 +283,25 @@ class FPGAAccelerator:
             return "native"
         return "numpy"
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the worker pools."""
+        return self._closed
+
     def close(self) -> None:
         """Release the persistent worker pools (idempotent).
 
         Joins the fused driver's pthread pool and shuts down the
-        per-stage thread pool.  The accelerator falls back to per-stage
-        execution (or serial) if run again afterwards.
+        per-stage thread pool.  A closed accelerator is *terminal*:
+        :meth:`run` raises a typed :class:`ConfigurationError` instead
+        of silently degrading (or, worse, touching a parked pool) —
+        long-running services rely on this to turn a
+        use-after-release bug into a visible error rather than a
+        deadlock.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._driver is not None:
             self._driver.close()
             self._driver = None
@@ -334,6 +347,14 @@ class FPGAAccelerator:
         copies, no overhead — and detected faults propagate to the
         caller as before.
         """
+        if self._closed:
+            raise ConfigurationError(
+                "accelerator is closed; create a new instance",
+                param="closed",
+                value=True,
+                constraint="run() requires an open accelerator "
+                "(close() released the worker pools)",
+            )
         spec, config = self.spec, self.config
         if grid.ndim != spec.dims:
             raise ConfigurationError(

@@ -1,4 +1,49 @@
-"""Exception types used across the :mod:`repro` package."""
+"""Exception types used across the :mod:`repro` package.
+
+Exception taxonomy
+------------------
+
+Every error raised by this package derives from :class:`ReproError`;
+callers that need structured context look for a ``details()`` method
+(present on the classes marked below).  The full tree::
+
+    ReproError
+    ├── ConfigurationError          (param/value/constraint, details())
+    │   └── ResourceExceededError
+    ├── SimulationError
+    │   └── FaultDetectedError
+    │       └── WatchdogTimeoutError
+    ├── SchedulerError
+    │   ├── SchedulerSaturatedError (queued/capacity/tenant/retry_after_s,
+    │   │   │                        details())
+    │   │   ├── ShedError
+    │   │   └── QueueTimeoutError   (adds waited_s)
+    │   └── DeadlineExceededError
+    └── ValidationError
+
+Which layer raises what:
+
+* **configuration** (:class:`ConfigurationError`,
+  :class:`ResourceExceededError`) — rejected before anything executes:
+  invalid design points, designs that do not fit the device, invalid
+  API arguments (including running a closed accelerator).
+* **detection** (:class:`FaultDetectedError`,
+  :class:`WatchdogTimeoutError`) — a runtime integrity check caught
+  corrupted, lost or stalled data; the retry/rollback machinery treats
+  these as transient.
+* **overload** (:class:`SchedulerSaturatedError`, :class:`ShedError`,
+  :class:`QueueTimeoutError`) — bounded-queue backpressure from the
+  scheduler and the serving layer; these are *typed rejections*, carry
+  a ``retry_after_s`` hint when one can be derived from the performance
+  model, and never imply data loss.
+* **deadline** (:class:`DeadlineExceededError`) — a job's time budget
+  (simulated clock at the scheduler, wall clock at the service) cannot
+  be or was not met; late results are discarded, never silently late.
+* **validation** (:class:`ValidationError`) — two engines disagreed
+  numerically.
+
+The same table is rendered for users in the README ("Error taxonomy").
+"""
 
 from __future__ import annotations
 
@@ -72,25 +117,105 @@ class WatchdogTimeoutError(FaultDetectedError):
 
 
 class SchedulerError(ReproError):
-    """Base class for errors raised by the multi-device scheduler."""
+    """Base class for errors raised by the scheduler and serving layers."""
 
 
 class SchedulerSaturatedError(SchedulerError):
-    """The scheduler's bounded admission queue is full.
+    """A bounded admission queue is full (overload backpressure).
 
     Raised by :meth:`repro.runtime.scheduler.StencilScheduler.submit`
-    instead of letting the pending queue grow without bound; callers are
-    expected to back off and resubmit.
+    (and specialised by the serving layer's :class:`ShedError` /
+    :class:`QueueTimeoutError`) instead of letting pending work grow
+    without bound; callers are expected to back off and resubmit.
+
+    Structured context, following the :class:`ConfigurationError`
+    ``details()`` pattern: ``queued`` (jobs waiting when the rejection
+    happened), ``capacity`` (the admission bound), ``tenant`` (whose
+    request was rejected, when the layer is multi-tenant) and
+    ``retry_after_s`` (a backoff hint, derived from the performance
+    model's drain estimate when one is available).  All default to
+    ``None`` for raise sites that predate them.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        queued: int | None = None,
+        capacity: int | None = None,
+        tenant: str | None = None,
+        retry_after_s: float | None = None,
+    ):
+        super().__init__(message)
+        self.queued = queued
+        self.capacity = capacity
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+
+    def details(self) -> str:
+        """Render the structured fields (empty string when unset)."""
+        parts = []
+        if self.tenant is not None:
+            parts.append(f"tenant={self.tenant}")
+        if self.queued is not None:
+            parts.append(f"queued={self.queued}")
+        if self.capacity is not None:
+            parts.append(f"capacity={self.capacity}")
+        if self.retry_after_s is not None:
+            parts.append(f"retry_after_s={self.retry_after_s:.4f}")
+        return "; ".join(parts)
+
+
+class ShedError(SchedulerSaturatedError):
+    """The serving layer refused (or evicted) a job to protect itself.
+
+    Raised synchronously by :meth:`repro.runtime.service.StencilService
+    .submit` when a tenant exceeds its token-bucket quota or the bounded
+    weighted-fair queue is full, and delivered asynchronously through a
+    job's ticket when an already-queued job is shed to admit
+    higher-priority work (the ``shed-lowest-priority`` rung of the
+    overload ladder).  Always a *typed rejection*: the job never ran and
+    no partial state exists.  ``retry_after_s`` carries the service's
+    drain estimate so well-behaved clients can back off precisely.
     """
 
 
+class QueueTimeoutError(SchedulerSaturatedError):
+    """A queued job waited past its budget and was never dispatched.
+
+    Raised through a job's ticket when its wall-clock wait in the
+    service queue exceeded ``queue_timeout_s`` (or consumed its whole
+    deadline budget before dispatch).  ``waited_s`` records the actual
+    wait; the job never started executing.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        waited_s: float | None = None,
+        **kwargs,
+    ):
+        super().__init__(message, **kwargs)
+        self.waited_s = waited_s
+
+    def details(self) -> str:
+        base = super().details()
+        if self.waited_s is None:
+            return base
+        extra = f"waited_s={self.waited_s:.4f}"
+        return f"{base}; {extra}" if base else extra
+
+
 class DeadlineExceededError(SchedulerError):
-    """A job's per-job deadline (simulated clock) cannot be or was not met.
+    """A job's per-job deadline cannot be or was not met.
 
     Raised either before dispatch (the modeled execution time already
     exceeds the deadline) or after execution (retries and rollbacks
-    pushed the elapsed simulated time past the budget).  A late result is
-    discarded: a job never *silently* misses its deadline.
+    pushed the elapsed time past the budget).  The scheduler enforces it
+    on the simulated clock, the serving layer on the wall clock; in both
+    layers a late result is discarded: a job never *silently* misses its
+    deadline.
     """
 
 

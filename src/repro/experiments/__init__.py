@@ -60,6 +60,12 @@ def _chaos(**kwargs):
     return run_chaos(**kwargs)
 
 
+def _overload(**kwargs):
+    from repro.analysis.resilience import run_overload
+
+    return run_overload(**kwargs)
+
+
 def _lint(**kwargs):
     # Imported lazily: repro.lint pulls in the area/fmax models and walks
     # the source tree, which table/figure experiments never need.
@@ -70,6 +76,7 @@ def _lint(**kwargs):
 
 EXPERIMENTS["resilience"] = _resilience
 EXPERIMENTS["chaos"] = _chaos
+EXPERIMENTS["overload"] = _overload
 EXPERIMENTS["lint"] = _lint
 
 __all__ = ["EXPERIMENTS", "ExperimentResult"]

@@ -18,6 +18,7 @@ the fault-free path stays within noise of the uninstrumented simulator
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
 from repro.errors import ConfigurationError
@@ -37,17 +38,32 @@ from repro.faults.plan import (
 )
 
 
+#: Serializes the check-and-set in :func:`arm` so two threads racing to
+#: arm cannot both win; one gets the injector, the other a typed error.
+_ARM_LOCK = threading.Lock()
+
+
 @contextmanager
 def arm(plan: FaultPlan):
     """Arm ``plan`` for the duration of the ``with`` block.
 
     Yields the live :class:`FaultInjector`; always disarms on exit.
     Nested arming is rejected — one plan governs one run.
+
+    Thread visibility: ``hooks.ACTIVE`` is process-global, not
+    thread-local — a plan armed here is seen by *every* thread touching
+    a hook site (deliberate: the serving layer's dispatch thread must
+    observe a plan armed by the submitting thread, as the overload
+    campaign relies on).  Arming itself is race-free under ``_ARM_LOCK``,
+    but the injector's one-shot fault state is not internally locked;
+    concurrent hook sites may interleave, which the chaos harness
+    tolerates by only asserting on detections/recoveries totals.
     """
-    if hooks.ACTIVE is not None:
-        raise ConfigurationError("a FaultPlan is already armed")
-    injector = FaultInjector(plan)
-    hooks.ACTIVE = injector
+    with _ARM_LOCK:
+        if hooks.ACTIVE is not None:
+            raise ConfigurationError("a FaultPlan is already armed")
+        injector = FaultInjector(plan)
+        hooks.ACTIVE = injector
     try:
         yield injector
     finally:

@@ -1,5 +1,7 @@
 """OpenCL-like host runtime emulation (paper §IV.B-C methodology)."""
 
+from repro.runtime.admission import TokenBucket, WeightedFairQueue
+from repro.runtime.artifacts import ArtifactCache, artifact_key
 from repro.runtime.checkpoint import CheckpointManager, CheckpointPolicy
 from repro.runtime.host import (
     Buffer,
@@ -17,8 +19,17 @@ from repro.runtime.scheduler import (
     StencilJob,
     StencilScheduler,
 )
+from repro.runtime.service import (
+    ServiceMetrics,
+    ServicePolicy,
+    ServiceResult,
+    ServiceTicket,
+    StencilService,
+    TenantQuota,
+)
 
 __all__ = [
+    "ArtifactCache",
     "Buffer",
     "CheckpointManager",
     "CheckpointPolicy",
@@ -29,8 +40,17 @@ __all__ = [
     "JobResult",
     "PowerSensor",
     "RetryPolicy",
+    "ServiceMetrics",
+    "ServicePolicy",
+    "ServiceResult",
+    "ServiceTicket",
     "StencilJob",
     "StencilProgram",
     "StencilScheduler",
+    "StencilService",
+    "TenantQuota",
+    "TokenBucket",
+    "WeightedFairQueue",
+    "artifact_key",
     "benchmark_kernel",
 ]

@@ -271,6 +271,22 @@ class StencilProgram:
         """Engine tier the accelerator actually executes disarmed passes on."""
         return self._engine.resolved_engine
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` released the execution resources."""
+        return self._engine.closed
+
+    def close(self) -> None:
+        """Release the wrapped accelerator's worker pools (idempotent).
+
+        A closed program is terminal: :meth:`execute` raises a typed
+        :class:`ConfigurationError`.  Long-running owners (the
+        scheduler's program cache, the serving layer's artifact cache)
+        call this on eviction so compiled-lib worker pools never
+        accumulate across tenants.
+        """
+        self._engine.close()
+
     def kernel_time_s(self, grid_shape: tuple[int, ...], iterations: int) -> float:
         """Modeled (measured-equivalent) kernel time for a workload.
 

@@ -57,6 +57,7 @@ from repro.errors import (
     SchedulerSaturatedError,
 )
 from repro.faults import hooks as fault_hooks
+from repro.runtime.artifacts import ArtifactCache
 from repro.runtime.checkpoint import CheckpointPolicy
 from repro.runtime.host import (
     Buffer,
@@ -76,7 +77,10 @@ class StencilJob:
     ``checkpoint`` arms pass-granular recovery for the kernel (a
     :class:`~repro.runtime.checkpoint.CheckpointPolicy` or int ``k``);
     ``watchdog_factor`` sets the kernel watchdog to
-    ``factor * modeled_time``.
+    ``factor * modeled_time``.  ``engine`` overrides the scheduler's
+    preferred engine for this job only (the serving layer's graceful-
+    degradation ladder pins overloaded jobs to cheaper tiers); a tripped
+    device breaker still wins and forces ``"numpy"``.
     """
 
     job_id: str
@@ -87,8 +91,14 @@ class StencilJob:
     deadline_s: float | None = None
     checkpoint: CheckpointPolicy | int | None = None
     watchdog_factor: float | None = None
+    engine: str | None = None
 
     def __post_init__(self) -> None:
+        if self.engine not in (None, "auto", "numpy", "native", "native-driver"):
+            raise ConfigurationError(
+                "engine must be None, 'auto', 'numpy', 'native' or "
+                f"'native-driver', got {self.engine!r}"
+            )
         if self.iterations < 1:
             raise ConfigurationError(
                 f"iterations must be >= 1, got {self.iterations}"
@@ -237,6 +247,12 @@ class StencilScheduler:
         Consecutive faulted launches that trip a device's breaker.
     default_checkpoint:
         Checkpoint policy applied to jobs that do not carry their own.
+    program_cache:
+        A shared :class:`~repro.runtime.artifacts.ArtifactCache` of warm
+        programs (the serving layer passes its own so coalesced jobs
+        reuse one compiled artifact).  When omitted the scheduler owns a
+        private cache and closes it in :meth:`close`; a caller-supplied
+        cache stays the caller's to close.
     """
 
     def __init__(
@@ -253,6 +269,7 @@ class StencilScheduler:
         max_dispatches: int = 2,
         breaker_threshold: int = 2,
         default_checkpoint: CheckpointPolicy | int | None = None,
+        program_cache: ArtifactCache | None = None,
     ):
         if isinstance(devices, int):
             if devices < 1:
@@ -292,15 +309,31 @@ class StencilScheduler:
         self._submitted: set[str] = set()
         self._jobs_completed = 0
         self._probe_grid = make_grid(_PROBE_SHAPE, "mixed", seed=3)
+        # explicit None test: an *empty* shared cache is falsy (__len__)
+        self.program_cache = (
+            program_cache if program_cache is not None else ArtifactCache()
+        )
+        self._owns_cache = program_cache is None
+        self._released_boards: set[str] = set()
+        self._closed = False
 
     # -- admission --------------------------------------------------------- #
 
     def submit(self, job: StencilJob) -> None:
         """Admit a job, or raise :class:`SchedulerSaturatedError`."""
+        if self._closed:
+            raise ConfigurationError(
+                "scheduler is closed",
+                param="closed",
+                value=True,
+                constraint="submit() requires an open scheduler",
+            )
         if len(self._pending) >= self.max_pending:
             raise SchedulerSaturatedError(
                 f"pending queue is full ({self.max_pending} jobs); "
-                "back off and resubmit"
+                "back off and resubmit",
+                queued=len(self._pending),
+                capacity=self.max_pending,
             )
         if job.job_id in self._submitted:
             raise ConfigurationError(f"duplicate job id {job.job_id!r}")
@@ -318,24 +351,56 @@ class StencilScheduler:
         results: list[JobResult] = []
         while self._pending:
             job, dispatches, tried = self._pending.popleft()
-            worker = self._pick_worker(tried)
-            result = self._execute(worker, job, dispatches + 1)
-            retryable = (
-                result.status == "failed"
-                and result.error_type != "DeadlineExceededError"
-                and result.dispatches < self.max_dispatches
-                and any(
-                    w.index not in (tried | {worker.index}) for w in self.workers
-                )
-            )
+            result, retryable, tried_now = self._attempt(job, dispatches, tried)
             if retryable:
-                self._pending.appendleft(
-                    (job, result.dispatches, tried | {worker.index})
-                )
+                self._pending.appendleft((job, result.dispatches, tried_now))
                 continue
             results.append(result)
             self._jobs_completed += 1
         return results
+
+    def execute_job(self, job: StencilJob) -> JobResult:
+        """Run one job to completion now, bypassing the pending queue.
+
+        The serving layer's dispatch loop calls this: admission,
+        fair-queueing and wall-clock deadlines live in the service,
+        while device choice, re-dispatch, health, quarantine and
+        breakers stay here with exactly the :meth:`run_until_idle`
+        semantics (same re-dispatch predicate, same health accounting).
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "scheduler is closed",
+                param="closed",
+                value=True,
+                constraint="execute_job() requires an open scheduler",
+            )
+        if job.job_id in self._submitted:
+            raise ConfigurationError(f"duplicate job id {job.job_id!r}")
+        self._submitted.add(job.job_id)
+        dispatches = 0
+        tried: frozenset[int] = frozenset()
+        while True:
+            result, retryable, tried = self._attempt(job, dispatches, tried)
+            if not retryable:
+                self._jobs_completed += 1
+                return result
+            dispatches = result.dispatches
+
+    def _attempt(
+        self, job: StencilJob, dispatches: int, tried: frozenset[int]
+    ) -> tuple[JobResult, bool, frozenset[int]]:
+        """One dispatch attempt plus the shared re-dispatch predicate."""
+        worker = self._pick_worker(tried)
+        result = self._execute(worker, job, dispatches + 1)
+        tried_now = tried | {worker.index}
+        retryable = (
+            result.status == "failed"
+            and result.error_type != "DeadlineExceededError"
+            and result.dispatches < self.max_dispatches
+            and any(w.index not in tried_now for w in self.workers)
+        )
+        return result, retryable, tried_now
 
     def _pick_worker(self, excluded: frozenset[int]) -> _Worker:
         """Healthy device with the smallest clock; probes quarantined ones.
@@ -422,19 +487,26 @@ class StencilScheduler:
     # -- execution ---------------------------------------------------------- #
 
     def _build_program(
-        self, worker: _Worker, spec: StencilSpec, config: BlockingConfig
+        self,
+        worker: _Worker,
+        spec: StencilSpec,
+        config: BlockingConfig,
+        preferred: str | None = None,
     ) -> StencilProgram:
-        """Build a program for the worker's current engine.
+        """Fetch (or build) the worker's program from the artifact cache.
 
-        A native compile failure (``engine="native"`` or
-        ``"native-driver"`` requested but no toolchain / failed build)
-        trips the breaker and degrades to the NumPy engine instead of
-        failing the job.
+        Programs are warm and shared: every job with the same
+        ``(kernel, config, board, engine)`` key reuses one cached
+        :class:`StencilProgram` — and therefore one compiled library and
+        one live worker pool.  A native compile failure
+        (``engine="native"`` or ``"native-driver"`` requested but no
+        toolchain / failed build) trips the breaker and degrades to the
+        NumPy engine instead of failing the job.
         """
-        engine = worker.engine(self.engine)
+        engine = worker.engine(preferred or self.engine)
         if engine in ("native", "native-driver"):
             try:
-                return StencilProgram(
+                return self.program_cache.get(
                     spec, config, worker.device.board, engine=engine
                 )
             except ConfigurationError as err:
@@ -442,8 +514,36 @@ class StencilScheduler:
                 worker.log(
                     f"degraded to numpy engine ({engine} compile failure)"
                 )
+                self._audit_degraded_pools()
                 engine = "numpy"
-        return StencilProgram(spec, config, worker.device.board, engine=engine)
+        return self.program_cache.get(
+            spec, config, worker.device.board, engine=engine
+        )
+
+    def _audit_degraded_pools(self) -> None:
+        """Release fast-path pools no degraded board will ever use again.
+
+        Breakers are one-way: once every device of a board type has
+        tripped to the NumPy engine, the cached native programs for that
+        board are dead weight whose pthread pools would otherwise linger
+        until garbage collection.  Close and drop them now (once per
+        board) so the degraded steady state holds no native resources.
+        """
+        boards: dict[str, list[_Worker]] = {}
+        for w in self.workers:
+            boards.setdefault(w.device.board.name, []).append(w)
+        for name, group in boards.items():
+            if name in self._released_boards:
+                continue
+            if all(w.breaker.tripped for w in group):
+                closed = self.program_cache.release_engines(
+                    name, ("auto", "native", "native-driver")
+                )
+                self._released_boards.add(name)
+                group[0].log(
+                    f"board {name!r} fully degraded: released "
+                    f"{closed} cached fast-path program(s)"
+                )
 
     def _execute(
         self, worker: _Worker, job: StencilJob, dispatches: int
@@ -452,7 +552,8 @@ class StencilScheduler:
         detections_before = len(inj.detections) if inj is not None else 0
         queue = worker.queue
         start_s = queue.clock_s
-        engine_used = worker.engine(self.engine)
+        preferred = job.engine or self.engine
+        engine_used = worker.engine(preferred)
 
         def _failed(err: BaseException, attempts: int = 0) -> JobResult:
             return JobResult(
@@ -468,7 +569,9 @@ class StencilScheduler:
             )
 
         try:
-            program = self._build_program(worker, job.spec, job.config)
+            program = self._build_program(
+                worker, job.spec, job.config, preferred
+            )
         except ConfigurationError as err:
             # a misconfigured job is rejected typed, and is not the
             # device's fault: no health penalty
@@ -508,6 +611,7 @@ class StencilScheduler:
             out, _ = queue.enqueue_read_buffer(dst)
         except FaultDetectedError as err:
             worker.breaker.record_fault()
+            self._audit_degraded_pools()
             self._record_health(worker, faulty=True)
             worker.log(f"job {job.job_id!r} failed: {type(err).__name__}")
             return _failed(err, attempts=queue.retry_policy.max_retries + 1)
@@ -520,6 +624,7 @@ class StencilScheduler:
         )
         if faulty:
             worker.breaker.record_fault()
+            self._audit_degraded_pools()
         else:
             worker.breaker.record_success()
         self._record_health(worker, faulty=faulty)
@@ -558,6 +663,23 @@ class StencilScheduler:
             rollbacks=event.rollbacks,
             replayed_passes=event.replayed_passes,
         )
+
+    # -- lifecycle ---------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Release the scheduler's owned program cache (idempotent).
+
+        A shared (caller-supplied) cache is the caller's to close — the
+        serving layer closes its cache after its scheduler so coalesced
+        programs outlive individual schedulers.  After ``close()``,
+        :meth:`submit` and :meth:`execute_job` raise
+        :class:`ConfigurationError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_cache:
+            self.program_cache.close()
 
     # -- introspection ------------------------------------------------------ #
 

@@ -86,3 +86,39 @@ def test_arm_is_exclusive_and_always_disarms() -> None:
     assert active() is None
     disarm()  # idempotent
     assert active() is None
+
+def test_concurrent_arm_admits_exactly_one_thread() -> None:
+    # N threads race to arm: exactly one wins, the rest get the typed
+    # nested-arming error (the check-and-set is under a lock, so two
+    # racers can never both install their injector)
+    import threading
+
+    barrier = threading.Barrier(8)
+    release = threading.Event()
+    outcomes: list[str] = []
+    lock = threading.Lock()
+
+    def racer() -> None:
+        barrier.wait()
+        try:
+            with arm(FaultPlan(seed=0)):
+                with lock:
+                    outcomes.append("armed")
+                release.wait(timeout=10.0)
+        except ConfigurationError:
+            with lock:
+                outcomes.append("rejected")
+
+    threads = [threading.Thread(target=racer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    while True:
+        with lock:
+            if len(outcomes) == 8:
+                break
+    release.set()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert outcomes.count("armed") == 1
+    assert outcomes.count("rejected") == 7
+    assert active() is None

@@ -1,0 +1,169 @@
+"""Admission primitives: token buckets and the weighted-fair queue.
+
+These classes carry the serving layer's fairness and backpressure
+guarantees, so their unit behaviour is pinned exactly: refill
+arithmetic and retry-after hints for :class:`TokenBucket`, and the
+deficit-round-robin schedule, eviction order and timeout sweep for
+:class:`WeightedFairQueue`.  The convergence-under-randomness side
+lives in ``tests/properties/test_fairqueue_props.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.admission import TokenBucket, WeightedFairQueue
+
+
+# -- token bucket ----------------------------------------------------------- #
+
+
+def test_unmetered_bucket_always_admits() -> None:
+    bucket = TokenBucket(rate=None)
+    assert all(bucket.try_acquire(float(t)) == 0.0 for t in range(100))
+
+
+def test_burst_then_refill() -> None:
+    bucket = TokenBucket(rate=2.0, burst=3.0)
+    # the initial burst drains at t=0 ...
+    assert [bucket.try_acquire(0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+    # ... after which the hint says when the next token lands (rate=2/s)
+    assert bucket.try_acquire(0.0) == pytest.approx(0.5)
+    # a failed acquire takes nothing: the same instant still owes 0.5s
+    assert bucket.try_acquire(0.0) == pytest.approx(0.5)
+    # half a second later one token has refilled
+    assert bucket.try_acquire(0.5) == 0.0
+    assert bucket.try_acquire(0.5) == pytest.approx(0.5)
+
+
+def test_refill_caps_at_burst() -> None:
+    bucket = TokenBucket(rate=10.0, burst=2.0)
+    for _ in range(2):
+        assert bucket.try_acquire(0.0) == 0.0
+    # a long idle stretch refills to burst, not beyond
+    assert bucket.try_acquire(100.0) == 0.0
+    assert bucket.try_acquire(100.0) == 0.0
+    assert bucket.try_acquire(100.0) > 0.0
+
+
+def test_bucket_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        TokenBucket(rate=0.0)
+    with pytest.raises(ConfigurationError):
+        TokenBucket(rate=1.0, burst=0.5)
+
+
+# -- weighted-fair queue: DRR schedule -------------------------------------- #
+
+
+def _push_n(q: WeightedFairQueue, tenant: str, weight: int, n: int) -> None:
+    for i in range(n):
+        q.push(tenant, weight, priority=0, item=f"{tenant}{i}")
+
+
+def test_single_tenant_is_fifo() -> None:
+    q = WeightedFairQueue(capacity=8)
+    _push_n(q, "a", 1, 4)
+    assert [q.pop().item for _ in range(4)] == ["a0", "a1", "a2", "a3"]
+    assert q.pop() is None
+
+
+def test_round_robin_with_equal_weights() -> None:
+    q = WeightedFairQueue(capacity=8)
+    _push_n(q, "a", 1, 3)
+    _push_n(q, "b", 1, 3)
+    order = [q.pop().tenant for _ in range(6)]
+    assert order == ["a", "b", "a", "b", "a", "b"]
+
+
+def test_weighted_share_while_backlogged() -> None:
+    # weight 3 vs 1: each full round serves 3 a-jobs then 1 b-job
+    q = WeightedFairQueue(capacity=16)
+    _push_n(q, "a", 3, 6)
+    _push_n(q, "b", 1, 2)
+    order = [q.pop().tenant for _ in range(8)]
+    assert order == ["a", "a", "a", "b", "a", "a", "a", "b"]
+
+
+def test_credit_does_not_bank_across_empty_turns() -> None:
+    q = WeightedFairQueue(capacity=16)
+    _push_n(q, "a", 4, 1)  # drains mid-turn: 3 unused credits must vanish
+    _push_n(q, "b", 1, 1)
+    assert q.pop().tenant == "a"
+    assert q.pop().tenant == "b"
+    # a refills; its turn starts fresh at weight, not weight + banked 3
+    _push_n(q, "a", 4, 5)
+    _push_n(q, "b", 1, 2)
+    order = [q.pop().tenant for _ in range(7)]
+    assert order.count("a") == 5 and order.count("b") == 2
+    assert order[:5] == ["a", "a", "a", "a", "b"]
+
+
+def test_push_during_drain_keeps_rotation() -> None:
+    q = WeightedFairQueue(capacity=8)
+    _push_n(q, "a", 1, 2)
+    assert q.pop().item == "a0"
+    _push_n(q, "b", 1, 2)  # arrives while a's turn is live
+    got = [q.pop().tenant for _ in range(3)]
+    assert sorted(got) == ["a", "b", "b"]
+    assert got[0] in ("a", "b")  # no tenant served twice before the other once
+    assert got.count("b") == 2
+
+
+def test_capacity_and_weight_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        WeightedFairQueue(capacity=0)
+    q = WeightedFairQueue(capacity=1)
+    with pytest.raises(ConfigurationError):
+        q.push("a", 0, 0, "x")
+    q.push("a", 1, 0, "x")
+    with pytest.raises(ConfigurationError):
+        q.push("a", 1, 0, "y")  # full: caller must shed first
+
+
+# -- eviction and sweeps ---------------------------------------------------- #
+
+
+def test_evict_lowest_prefers_low_priority_then_newest() -> None:
+    q = WeightedFairQueue(capacity=8)
+    q.push("a", 1, priority=5, item="keep-high")
+    q.push("a", 1, priority=1, item="old-low")
+    q.push("b", 1, priority=1, item="new-low")
+    victim = q.evict_lowest(below_priority=5)
+    assert victim.item == "new-low"  # ties break toward the newest arrival
+    assert q.depth == 2
+    assert q.evict_lowest(below_priority=5).item == "old-low"
+    # nothing strictly below the bar remains
+    assert q.evict_lowest(below_priority=5) is None
+    assert q.depth == 1
+
+
+def test_evicted_tenant_ring_slot_is_skipped() -> None:
+    q = WeightedFairQueue(capacity=8)
+    q.push("a", 1, priority=0, item="a0")
+    q.push("b", 1, priority=0, item="b0")
+    assert q.evict_lowest(below_priority=1).tenant == "b"  # newest arrival
+    # b's stale ring slot must not wedge the rotation
+    assert q.pop().item == "a0"
+    assert q.pop() is None
+
+
+def test_remove_if_sweeps_matching_entries() -> None:
+    q = WeightedFairQueue(capacity=8)
+    _push_n(q, "a", 1, 3)
+    _push_n(q, "b", 1, 1)
+    removed = q.remove_if(lambda e: e.item in ("a1", "b0"))
+    assert sorted(e.item for e in removed) == ["a1", "b0"]
+    assert q.depth == 2
+    assert [q.pop().item for _ in range(2)] == ["a0", "a2"]
+
+
+def test_drain_returns_fair_order_and_empties() -> None:
+    q = WeightedFairQueue(capacity=8)
+    _push_n(q, "a", 2, 2)
+    _push_n(q, "b", 1, 2)
+    items = [e.item for e in q.drain()]
+    assert items == ["a0", "a1", "b0", "b1"]
+    assert q.depth == 0
+    assert q.pop() is None

@@ -366,3 +366,128 @@ def test_device_report_shape() -> None:
             "clock_s",
             "events",
         }
+
+
+# -- serving-layer extensions: structured errors, execute_job, cache -------- #
+
+
+def test_saturation_error_carries_structured_context() -> None:
+    sched = StencilScheduler(devices=1, max_pending=1)
+    sched.submit(job("a"))
+    with pytest.raises(SchedulerSaturatedError) as exc:
+        sched.submit(job("b"))
+    err = exc.value
+    assert err.queued == 1 and err.capacity == 1
+    assert "queued=1" in err.details() and "capacity=1" in err.details()
+
+
+def test_execute_job_matches_run_until_idle() -> None:
+    sched = StencilScheduler(devices=2, engine="numpy")
+    direct = sched.execute_job(job("direct"))
+    sched.submit(job("queued"))
+    queued = sched.run_until_idle()[0]
+    assert direct.status == queued.status == "completed"
+    assert np.array_equal(direct.result, REF_4)
+    assert np.array_equal(queued.result, REF_4)
+    # execute_job shares the duplicate-id namespace with submit()
+    with pytest.raises(ConfigurationError):
+        sched.execute_job(job("queued"))
+
+
+def test_execute_job_redispatches_on_transient_fault() -> None:
+    plan = FaultPlan(
+        seed=5, faults=(TransferFault(at_transfer=0, direction="write", mode="fail"),)
+    )
+    sched = StencilScheduler(
+        devices=2,
+        engine="numpy",
+        retry_policy=RetryPolicy(max_retries=0),
+    )
+    with arm(plan):
+        result = sched.execute_job(job("bounce"))
+    assert result.status == "completed"
+    assert result.dispatches == 2
+    assert np.array_equal(result.result, REF_4)
+
+
+def test_job_engine_override_pins_tier() -> None:
+    sched = StencilScheduler(devices=1, engine="auto")
+    result = sched.execute_job(job("slow", engine="numpy"))
+    assert result.status == "completed"
+    assert result.engine == "numpy"
+    assert np.array_equal(result.result, REF_4)
+    with pytest.raises(ConfigurationError):
+        job("bad", engine="gpu")
+
+
+def test_program_cache_coalesces_identical_jobs() -> None:
+    sched = StencilScheduler(devices=2, engine="numpy")
+    for i in range(4):
+        sched.submit(job(f"same-{i}"))
+    results = sched.run_until_idle()
+    assert all(r.status == "completed" for r in results)
+    snap = sched.program_cache.snapshot()
+    assert snap["flights"] == 1  # one build, three cache hits
+    assert snap["hits"] == 3
+
+
+def test_shared_cache_is_not_closed_by_scheduler() -> None:
+    from repro.runtime import ArtifactCache
+
+    cache = ArtifactCache(capacity=4)
+    sched = StencilScheduler(devices=1, engine="numpy", program_cache=cache)
+    sched.execute_job(job("a"))
+    sched.close()
+    sched.close()  # idempotent
+    with pytest.raises(ConfigurationError):
+        sched.submit(job("late"))
+    with pytest.raises(ConfigurationError):
+        sched.execute_job(job("late2"))
+    # the shared cache survives the scheduler; its owner closes it
+    prog = cache.get(SPEC, CONFIG, engine="numpy")
+    assert not prog.closed
+    cache.close()
+    assert prog.closed
+
+
+def test_owned_cache_closes_with_scheduler() -> None:
+    sched = StencilScheduler(devices=1, engine="numpy")
+    sched.execute_job(job("a"))
+    from repro.runtime.artifacts import artifact_key
+
+    key = artifact_key(SPEC, CONFIG, engine="numpy")
+    assert sched.program_cache.contains(key)
+    sched.close()
+    with pytest.raises(ConfigurationError):
+        sched.program_cache.get(SPEC, CONFIG, engine="numpy")
+
+
+def test_fully_degraded_board_releases_fast_path_pools() -> None:
+    # every device trips its breaker -> the cached fast-tier programs
+    # for that board are closed and dropped from the cache
+    plan = FaultPlan(
+        seed=9,
+        faults=tuple(
+            SEUFault(at_touch=t, site="block-buffer") for t in (1, 40, 80, 120)
+        ),
+    )
+    sched = StencilScheduler(
+        devices=1,
+        engine="auto",
+        breaker_threshold=1,
+        retry_policy=RetryPolicy(max_retries=2),
+    )
+    from repro.runtime.artifacts import artifact_key
+
+    fast_key = artifact_key(SPEC, CONFIG, engine="auto")
+    with arm(plan):
+        first = sched.execute_job(job("tripwire"))
+    assert first.status == "completed"  # queue retry recovered the fault
+    assert sched.workers[0].breaker.tripped
+    assert not sched.program_cache.contains(fast_key)
+    assert any("released" in e for e in sched.workers[0].events)
+    # degraded steady state still serves correct bits via numpy
+    after = sched.execute_job(job("after"))
+    assert after.engine == "numpy"
+    assert np.array_equal(after.result, REF_4)
+    sched.close()
