@@ -1,0 +1,74 @@
+"""Batched many-small-grids amortization: run_batch vs per-job dispatch.
+
+The batch engine's whole reason to exist: at ``B=1024`` small grids the
+single fused launch must clear **5x** the per-job jobs/sec (the ISSUE's
+acceptance floor; typically ~8-10x on the native driver).  Bit-exactness
+is asserted before any timing — a faster-but-different batch engine
+would be a bug, not a win.  Both sides are min-of-3 to shave scheduler
+noise; ``emit_batch.py`` produces the JSON artifact for the same sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import BlockingConfig, FPGAAccelerator, StencilSpec, make_grid
+
+SPEC = StencilSpec.star(2, 1)
+CONFIG = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+SHAPE = (16, 16)
+ITERS = 4
+B = 1024
+REPEATS = 3
+SPEEDUP_FLOOR = 5.0
+
+
+def _grids():
+    return [make_grid(SHAPE, "mixed", seed=1000 + i) for i in range(B)]
+
+
+def _best_of(fn) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batch_amortization_clears_floor() -> None:
+    grids = _grids()
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    try:
+        batch = acc.run_batch(grids, ITERS)
+        assert batch.ok
+        for g, out in zip(grids, batch.outputs):
+            assert np.array_equal(out, acc.run(g, ITERS)[0])
+
+        per_job_s = _best_of(lambda: [acc.run(g, ITERS) for g in grids])
+        batched_s = _best_of(lambda: acc.run_batch(grids, ITERS))
+    finally:
+        acc.close()
+
+    speedup = per_job_s / batched_s
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"B={B} batched dispatch is only {speedup:.2f}x per-job jobs/sec "
+        f"(floor {SPEEDUP_FLOOR:.0f}x): per-job {B / per_job_s:.0f} jobs/s, "
+        f"batched {B / batched_s:.0f} jobs/s"
+    )
+
+
+def test_batch_throughput_benchmark(benchmark) -> None:
+    """pytest-benchmark timing of one B=1024 fused batch."""
+    grids = _grids()
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    try:
+        result = benchmark(lambda: acc.run_batch(grids, ITERS))
+        assert result.ok
+        benchmark.extra_info["jobs_per_s"] = round(
+            B / benchmark.stats["mean"], 1
+        )
+    finally:
+        acc.close()

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Emit ``BENCH_batch.json``: batched vs per-job dispatch on small grids.
+
+The many-small-grids regime is where per-job overhead (plan lookup,
+ctypes dispatch, event accounting) dominates the stencil work itself.
+:meth:`~repro.core.FPGAAccelerator.run_batch` packs ``B`` same-config
+grids into one slab and drives them through a single fused call; this
+script measures jobs/sec for ``B`` per-job ``run()`` calls versus one
+``run_batch()`` at ``B`` in {1, 32, 1024} and records the speedup,
+alongside the performance model's predicted amortization for the same
+workload.
+
+Every batch is verified **bit-exact** against its per-grid runs before
+any timing: a batch engine that bought throughput with different bits
+would be a silent-corruption machine, not an optimisation.
+
+``--gate`` turns the artifact into a CI gate:
+
+* **bit-exactness** — zero mismatched grids at any ``B``;
+* **amortization** — the ``B=1024`` batched path must clear ``5x`` the
+  per-job jobs/sec (the ISSUE's acceptance floor; measured ~8-10x).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_batch.py                 # full
+    PYTHONPATH=src python benchmarks/emit_batch.py --smoke --gate  # CI
+
+The JSON lands in the repository root by default (``--out`` overrides).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import BlockingConfig, FPGAAccelerator, StencilSpec, make_grid
+from repro.fpga import NALLATECH_385A
+from repro.models import PerformanceModel
+
+SPEC = StencilSpec.star(2, 1)
+CONFIG = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+SHAPE = (16, 16)  # well under the <= 32^3 small-grid ceiling
+ITERS = 4
+BATCH_SIZES = (1, 32, 1024)
+GATE_B = 1024
+GATE_SPEEDUP = 5.0
+
+
+def _measure(acc: FPGAAccelerator, grids, repeats: int) -> dict:
+    """Min-of-``repeats`` per-job and batched jobs/sec for one batch size."""
+    b = len(grids)
+
+    # bit-exactness first: the batch must reproduce per-grid bits
+    batch = acc.run_batch(grids, ITERS)
+    assert batch.ok, f"B={b}: batch reported {batch.n_failed} failures"
+    mismatched = sum(
+        not np.array_equal(out, acc.run(g, ITERS)[0])
+        for g, out in zip(grids, batch.outputs)
+    )
+
+    per_job_s = float("inf")
+    batched_s = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for g in grids:
+            acc.run(g, ITERS)
+        per_job_s = min(per_job_s, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        acc.run_batch(grids, ITERS)
+        batched_s = min(batched_s, time.perf_counter() - start)
+
+    return {
+        "batch_size": b,
+        "mismatched_grids": mismatched,
+        "per_job_s": per_job_s,
+        "batched_s": batched_s,
+        "per_job_jobs_s": b / per_job_s,
+        "batched_jobs_s": b / batched_s,
+        "speedup": per_job_s / batched_s,
+    }
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="fewer timing repeats (CI smoke)")
+    ap.add_argument("--gate", action="store_true",
+                    help="fail on bit-exactness or amortization regressions")
+    ap.add_argument("--out", type=Path,
+                    default=Path(__file__).resolve().parent.parent
+                    / "BENCH_batch.json")
+    args = ap.parse_args()
+
+    repeats = 3 if args.smoke else 5
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    model = PerformanceModel(NALLATECH_385A)
+
+    cells = []
+    try:
+        for b in BATCH_SIZES:
+            grids = [
+                make_grid(SHAPE, "mixed", seed=1000 + i) for i in range(b)
+            ]
+            cell = _measure(acc, grids, repeats)
+            cell["model_amortization"] = model.batch_amortization(
+                SPEC, CONFIG, SHAPE, ITERS, n_grids=b
+            )
+            cells.append(cell)
+            print(f"  B={b:>5d}: per-job {cell['per_job_jobs_s']:>9.0f} "
+                  f"jobs/s, batched {cell['batched_jobs_s']:>9.0f} jobs/s, "
+                  f"speedup {cell['speedup']:.2f}x "
+                  f"(model {cell['model_amortization']:.2f}x), "
+                  f"{cell['mismatched_grids']} mismatched")
+    finally:
+        acc.close()
+
+    mismatched = sum(c["mismatched_grids"] for c in cells)
+    at_gate = next(c for c in cells if c["batch_size"] == GATE_B)
+
+    payload = {
+        "generated_by": "benchmarks/emit_batch.py",
+        "smoke": args.smoke,
+        "engine": acc.resolved_engine,
+        "spec": {"dims": 2, "radius": 1},
+        "grid_shape": list(SHAPE),
+        "iterations": ITERS,
+        "repeats": repeats,
+        "gate_batch_size": GATE_B,
+        "gate_speedup": GATE_SPEEDUP,
+        "cells": cells,
+        "speedup_at_gate": at_gate["speedup"],
+        "mismatched_grids": mismatched,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print(f"speedup at B={GATE_B}: {at_gate['speedup']:.2f}x "
+          f"(gate {GATE_SPEEDUP:.0f}x); {mismatched} mismatched grids")
+
+    if args.gate:
+        if mismatched:
+            raise SystemExit(
+                f"batch engine corrupted {mismatched} grid(s): batched "
+                "outputs must be bit-identical to per-grid runs"
+            )
+        if at_gate["speedup"] < GATE_SPEEDUP:
+            raise SystemExit(
+                f"batched dispatch at B={GATE_B} is only "
+                f"{at_gate['speedup']:.2f}x per-job jobs/sec "
+                f"(gate {GATE_SPEEDUP:.0f}x): the amortization regressed"
+            )
+
+
+if __name__ == "__main__":
+    main()

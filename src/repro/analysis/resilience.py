@@ -551,6 +551,9 @@ def _overload_policy(max_queue_depth: int) -> "ServicePolicy":
         degrade_at=0.5,
         degrade_hard_at=0.875,
         degraded_checkpoint=2,
+        # the campaign pins the *per-job* backpressure ladder; batched
+        # dispatch would drain the chaos queue before pressure builds
+        coalesce=False,
     )
 
 

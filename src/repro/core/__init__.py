@@ -10,6 +10,7 @@ from repro.core.stencil import Direction, StencilSpec
 from repro.core.grid import make_grid
 from repro.core.reference import reference_step, reference_run
 from repro.core.blocking import BlockingConfig, BlockDecomposition
+from repro.core.batch import BatchPlan, BatchResult, BatchTables
 from repro.core.accelerator import FPGAAccelerator, AcceleratorStats
 
 __all__ = [
@@ -20,6 +21,9 @@ __all__ = [
     "reference_run",
     "BlockingConfig",
     "BlockDecomposition",
+    "BatchPlan",
+    "BatchResult",
+    "BatchTables",
     "FPGAAccelerator",
     "AcceleratorStats",
 ]

@@ -38,9 +38,11 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.core.batch import BatchPlan, BatchResult
 from repro.core.blocking import BlockingConfig
 from repro.core.channels import Channel
 from repro.core.native import native_driver_for, native_kernel_for
@@ -450,6 +452,269 @@ class FPGAAccelerator:
 
     # ------------------------------------------------------------------ #
 
+    def run_batch(
+        self,
+        grids: Sequence[np.ndarray],
+        iterations: int,
+        expected_crcs: Sequence[int | None] | None = None,
+        checkpoint=None,
+    ) -> BatchResult:
+        """Advance ``len(grids)`` same-shape grids by ``iterations`` steps.
+
+        The batched analogue of :meth:`run` for many *small* grids: all
+        grids are packed into one contiguous slab and — on the fused
+        native driver — every pass over the whole batch is a single
+        ctypes call with one scratch allocation, the pool's atomic claim
+        counter ranging over ``(grid, block)`` pairs.  Per-job overhead
+        (plan lookup, dispatch, accounting) is paid once per batch
+        instead of once per grid.  The NumPy/per-stage fallback executes
+        the same slab loop grid by grid.  Either way the outputs are
+        bit-identical to ``len(grids)`` separate :meth:`run` calls (a
+        tested invariant): batching changes scheduling, never numerics.
+
+        Semantics per batch:
+
+        * **deadline** — callers (the scheduler) budget the batch as one
+          job; there is no per-grid deadline inside a batch.
+        * **checkpoint** — snapshots cover the whole slab: a rollback
+          rewinds every grid to the last good batch pass.  (Armed runs
+          take the per-grid path below, where each grid recovers
+          independently under a fresh manager of the same policy.)
+        * **faults** — while a fault plan is armed the batch executes
+          grid by grid through the hardened channel path, and a detected
+          fault in one grid fails *only that entry* of the returned
+          :class:`~repro.core.batch.BatchResult`; the remaining grids
+          complete bit-exact.
+
+        ``expected_crcs`` optionally supplies a golden CRC32 per grid
+        (``None`` entries skip the check); mismatches fail the affected
+        entries only.  ``stats`` aggregates counters over the whole
+        batch (per-pass quantities scale by the batch size).
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "accelerator is closed; create a new instance",
+                param="closed",
+                value=True,
+                constraint="run_batch() requires an open accelerator "
+                "(close() released the worker pools)",
+            )
+        if len(grids) == 0:
+            raise ConfigurationError(
+                "run_batch() needs at least one grid",
+                param="grids", value=0, constraint="len(grids) >= 1",
+            )
+        if iterations < 0:
+            raise ConfigurationError(
+                f"iterations must be >= 0, got {iterations}"
+            )
+        if expected_crcs is not None and len(expected_crcs) != len(grids):
+            raise ConfigurationError(
+                f"expected_crcs has {len(expected_crcs)} entries for "
+                f"{len(grids)} grids",
+                param="expected_crcs", value=len(expected_crcs),
+                constraint="len(expected_crcs) == len(grids)",
+            )
+        spec, config = self.spec, self.config
+        arrays = [np.ascontiguousarray(g, dtype=np.float32) for g in grids]
+        if arrays[0].ndim != spec.dims:
+            raise ConfigurationError(
+                f"grid is {arrays[0].ndim}D but stencil is {spec.dims}D"
+            )
+        bplan = BatchPlan(
+            config, tuple(arrays[0].shape), len(arrays), self.boundary
+        )
+        plan = bplan.plan
+        n_grids = bplan.n_grids
+        stats = AcceleratorStats(
+            blocks_per_pass=n_grids * len(plan.blocks),
+            shift_register_words_per_pe=shift_register_words(config),
+            grid_shape=bplan.grid_shape,
+        )
+
+        if fault_hooks.ACTIVE is not None:
+            return self._run_batch_armed(
+                arrays, iterations, expected_crcs, checkpoint, stats
+            )
+
+        errors: list[Exception | None] = [None] * n_grids
+        if iterations == 0:
+            outputs: list[np.ndarray | None] = [a.copy() for a in arrays]
+            self._batch_golden(outputs, errors, expected_crcs, stats)
+            return BatchResult(outputs, errors, stats)
+
+        slab = bplan.pack(arrays)
+        mgr = None
+        if checkpoint is not None:
+            from repro.runtime.checkpoint import as_manager
+
+            mgr = as_manager(checkpoint)
+            mgr.seed(slab, stats)
+
+        use_driver = self._driver is not None
+        n_workers = 1 if use_driver else min(self.workers, n_grids)
+        while len(self._scratches) < n_workers:
+            self._scratches.append(_Scratch())
+        pool = None
+        if n_workers > 1:
+            if self._exec_pool is None:
+                self._exec_pool = ThreadPoolExecutor(self.workers)
+            pool = self._exec_pool
+
+        pong = (np.empty_like(slab), np.empty_like(slab))
+        current = slab
+        remaining = iterations
+        while True:
+            try:
+                while remaining > 0:
+                    steps = min(config.partime, remaining)
+                    out = pong[0] if current is not pong[0] else pong[1]
+                    if use_driver:
+                        tables = plan.to_driver_tables(steps)
+                        need = self._driver.workers * 2 * tables.scratch_floats
+                        if (
+                            self._driver_scratch is None
+                            or self._driver_scratch.size < need
+                        ):
+                            self._driver_scratch = np.empty(
+                                need, dtype=np.float32
+                            )
+                        self._driver.run_batch_pass(
+                            current, out, tables, plan.periodic,
+                            self._driver_scratch, n_grids, bplan.grid_stride,
+                        )
+                    elif pool is not None:
+                        windows = plan.windows(steps)
+                        futures = [
+                            pool.submit(
+                                self._exec_grids,
+                                current, out, plan, windows,
+                                range(w, n_grids, n_workers),
+                                self._scratches[w],
+                            )
+                            for w in range(n_workers)
+                        ]
+                        for f in futures:
+                            f.result()
+                    else:
+                        windows = plan.windows(steps)
+                        self._exec_grids(
+                            current, out, plan, windows, range(n_grids),
+                            self._scratches[0],
+                        )
+                    self._account_pass(stats, plan, n_grids)
+                    current = out
+                    remaining -= steps
+                    stats.passes += 1
+                    stats.steps_executed += steps
+                    if mgr is not None:
+                        mgr.maybe_snapshot(current, stats, remaining)
+                break
+            except FaultDetectedError as err:
+                if mgr is None:
+                    raise
+                current = mgr.rollback(stats, err)
+                remaining = iterations - stats.steps_executed
+        outputs = list(bplan.unpack(current))
+        self._batch_golden(outputs, errors, expected_crcs, stats)
+        return BatchResult(outputs, errors, stats)
+
+    def _exec_grids(
+        self,
+        slab_src: np.ndarray,
+        slab_out: np.ndarray,
+        plan: PassPlan,
+        windows,
+        grid_indices,
+        scratch: _Scratch,
+    ) -> None:
+        """Fallback batched pass: the per-stage engine, grid by grid.
+
+        Each slab entry is itself C-contiguous, so the per-grid views
+        feed :meth:`_exec_blocks` exactly like a standalone grid — the
+        fallback is bit-exact versus per-grid runs by construction.
+        """
+        block_range = range(len(plan.blocks))
+        for g in grid_indices:
+            self._exec_blocks(
+                slab_src[g], slab_out[g], plan, windows, block_range, scratch
+            )
+
+    def _run_batch_armed(
+        self,
+        arrays: list[np.ndarray],
+        iterations: int,
+        expected_crcs,
+        checkpoint,
+        stats: AcceleratorStats,
+    ) -> BatchResult:
+        """Armed batch: hardened per-grid execution, per-grid failures.
+
+        Fault injection is deliberately sequential (channel transport
+        and injector bookkeeping), so an armed batch degrades to the
+        per-grid channel path — each grid under its *own* checkpoint
+        manager (same policy), so one grid's exhausted rollback budget
+        never consumes another's.  A detected fault fails only the
+        affected entry; counters of completed grids still aggregate.
+        """
+        outputs: list[np.ndarray | None] = []
+        errors: list[Exception | None] = []
+        policy = None
+        if checkpoint is not None:
+            from repro.runtime.checkpoint import CheckpointManager, as_manager
+
+            policy = (
+                checkpoint.policy
+                if isinstance(checkpoint, CheckpointManager)
+                else as_manager(checkpoint).policy
+            )
+        for g, grid in enumerate(arrays):
+            crc = expected_crcs[g] if expected_crcs is not None else None
+            try:
+                out, s = self.run(
+                    grid, iterations, expected_crc=crc,
+                    checkpoint=policy,
+                )
+            except FaultDetectedError as err:
+                outputs.append(None)
+                errors.append(err)
+                continue
+            outputs.append(out)
+            errors.append(None)
+            for name in (
+                "passes", "steps_executed", "cells_written",
+                "cells_processed", "words_read", "words_written",
+                "vector_ops", "pe_invocations", "rollbacks",
+                "replayed_passes", "checkpoints",
+            ):
+                setattr(stats, name, getattr(stats, name) + getattr(s, name))
+        return BatchResult(outputs, errors, stats)
+
+    @staticmethod
+    def _batch_golden(
+        outputs: list[np.ndarray | None],
+        errors: list[Exception | None],
+        expected_crcs,
+        stats: AcceleratorStats,
+    ) -> None:
+        """Per-grid golden-CRC check: mismatches fail only their entry."""
+        if expected_crcs is None:
+            return
+        for g, crc in enumerate(expected_crcs):
+            if crc is None or outputs[g] is None:
+                continue
+            got = crc32_array(outputs[g])
+            if got != crc:
+                errors[g] = fault_hooks.report_detection(
+                    FaultDetectedError(
+                        f"golden-CRC mismatch on batch grid {g}: result CRC "
+                        f"{got:#010x} != expected {crc:#010x}"
+                    )
+                )
+                outputs[g] = None
+
+    # ------------------------------------------------------------------ #
+
     def _run_pass(
         self,
         src: np.ndarray,
@@ -508,15 +773,25 @@ class FPGAAccelerator:
                 self._scratches[0],
             )
 
-        # The hardware runs the full fixed footprint every pass — all
-        # partime PE slots, all bsize pipeline slots — even on a partial
-        # final pass (see AcceleratorStats).
-        stats.cells_written += plan.cells_written_per_pass
-        stats.cells_processed += plan.cells_processed_per_pass
-        stats.words_read += plan.cells_processed_per_pass
-        stats.words_written += plan.cells_written_per_pass
-        stats.vector_ops += plan.vector_ops_per_pass
-        stats.pe_invocations += len(plan.blocks) * self.config.partime
+        self._account_pass(stats, plan)
+
+    def _account_pass(
+        self, stats: AcceleratorStats, plan: PassPlan, grids: int = 1
+    ) -> None:
+        """Charge one pass's fixed-footprint counters (``grids`` times).
+
+        The hardware runs the full fixed footprint every pass — all
+        partime PE slots, all bsize pipeline slots — even on a partial
+        final pass (see AcceleratorStats).  A batched pass is ``grids``
+        identical per-grid passes back to back, so every counter scales
+        linearly.
+        """
+        stats.cells_written += grids * plan.cells_written_per_pass
+        stats.cells_processed += grids * plan.cells_processed_per_pass
+        stats.words_read += grids * plan.cells_processed_per_pass
+        stats.words_written += grids * plan.cells_written_per_pass
+        stats.vector_ops += grids * plan.vector_ops_per_pass
+        stats.pe_invocations += grids * len(plan.blocks) * self.config.partime
 
     #: Target cells per streamed-axis chunk of one stage update (~256 KiB
     #: of float32): keeps the per-term scratch traffic inside the cache

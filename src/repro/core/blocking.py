@@ -199,6 +199,12 @@ class BlockingConfig:
                 param="grid_shape", value=tuple(grid_shape),
                 constraint=f"len(grid_shape) == dims ({self.dims})",
             )
+        if any(int(s) < 1 for s in grid_shape):
+            raise ConfigurationError(
+                f"grid shape {tuple(grid_shape)} has a zero/negative extent",
+                param="grid_shape", value=tuple(grid_shape),
+                constraint="every grid extent must be >= 1",
+            )
 
 
 @dataclass(frozen=True)

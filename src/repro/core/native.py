@@ -152,6 +152,8 @@ typedef struct {
   int periodic;
   float *scratch;
   i64 scratch_half;
+  i64 n_grids;      /* batched grids sharing these tables (1 = plain pass) */
+  i64 grid_stride;  /* float offset between consecutive grids in the slab */
 } job_t;
 
 typedef struct {
@@ -194,16 +196,22 @@ static void fill_halo(float *buf, i64 n0, i64 s0, int periodic) {
 }
 """
 
-#: Shared C epilogue: block claiming (one atomic counter, so idle
-#: workers steal whatever block is next) and the public pool API.
+#: Shared C epilogue: work claiming (one atomic counter over
+#: ``(grid, block)`` pairs, so idle workers steal whatever unit is next
+#: — across grids of a batch as well as blocks of one grid) and the
+#: public pool API.
 _DRIVER_EPILOGUE = r"""
 static void run_worker(pool_t *p, i64 wid) {
   const job_t *J = &p->job;
   float *base = J->scratch + wid * 2 * J->scratch_half;
+  const i64 total = J->n_grids * J->n_blocks;
   for (;;) {
-    i64 b = __atomic_fetch_add(&p->next_block, 1, __ATOMIC_RELAXED);
-    if (b >= J->n_blocks) break;
-    do_block(J, b, base, base + J->scratch_half);
+    i64 t = __atomic_fetch_add(&p->next_block, 1, __ATOMIC_RELAXED);
+    if (t >= total) break;
+    const i64 g = t / J->n_blocks;
+    const i64 b = t % J->n_blocks;
+    do_block(J, J->src + g * J->grid_stride, J->out + g * J->grid_stride,
+             b, base, base + J->scratch_half);
   }
 }
 
@@ -259,7 +267,8 @@ void *driver_create(i64 n_workers) {
 void driver_run_pass(void *handle, const float *src, float *out,
                      const i64 *blocks, i64 n_blocks, const i64 *segs,
                      const i64 *wins, i64 steps, i64 gs0, i64 gs1,
-                     int periodic, float *scratch, i64 scratch_half) {
+                     int periodic, float *scratch, i64 scratch_half,
+                     i64 n_grids, i64 grid_stride) {
   pool_t *p = (pool_t *)handle;
   pthread_mutex_lock(&p->mu);
   p->job.src = src;
@@ -274,6 +283,8 @@ void driver_run_pass(void *handle, const float *src, float *out,
   p->job.periodic = periodic;
   p->job.scratch = scratch;
   p->job.scratch_half = scratch_half;
+  p->job.n_grids = n_grids;
+  p->job.grid_stride = grid_stride;
   p->next_block = 0;
   p->workers_done = 0;
   p->generation++;
@@ -342,7 +353,8 @@ def driver_source(spec: StencilSpec) -> str:
             "  }",
             "}",
             "",
-            "static void do_block(const job_t *J, i64 bi, float *A, float *B) {",
+            "static void do_block(const job_t *J, const float *src,",
+            "                     float *out, i64 bi, float *A, float *B) {",
             "  const i64 *R = J->blocks + bi * REC;",
             "  const i64 n0 = R[0], nx = R[1];",
             "  const i64 dlx = R[2], dhx = R[3];",
@@ -353,7 +365,7 @@ def driver_source(spec: StencilSpec) -> str:
             "  /* read kernel: segment copies into A's interior */",
             "  for (i64 z = 0; z < n0; ++z) {",
             "    float *dst = A + (z + RAD) * s0;",
-            "    const float *srow = J->src + z * J->gs0;",
+            "    const float *srow = src + z * J->gs0;",
             "    for (i64 j = 0; j < nsx; ++j) {",
             "      const i64 xd0 = segx[4 * j], xd1 = segx[4 * j + 1];",
             "      const i64 xs0 = segx[4 * j + 2], xs1 = segx[4 * j + 3];",
@@ -393,7 +405,7 @@ def driver_source(spec: StencilSpec) -> str:
             "  }",
             "  /* write kernel: copy the compute region out */",
             "  for (i64 z = 0; z < n0; ++z)",
-            "    memcpy(J->out + z * J->gs0 + wx, A + (z + RAD) * s0 + rx,",
+            "    memcpy(out + z * J->gs0 + wx, A + (z + RAD) * s0 + rx,",
             "           (size_t)cx * sizeof(float));",
             "}",
         ]
@@ -416,7 +428,8 @@ def driver_source(spec: StencilSpec) -> str:
             "  }",
             "}",
             "",
-            "static void do_block(const job_t *J, i64 bi, float *A, float *B) {",
+            "static void do_block(const job_t *J, const float *src,",
+            "                     float *out, i64 bi, float *A, float *B) {",
             "  const i64 *R = J->blocks + bi * REC;",
             "  const i64 n0 = R[0], ny = R[1], nx = R[2];",
             "  const i64 dly = R[3], dhy = R[4], dlx = R[5], dhx = R[6];",
@@ -430,7 +443,7 @@ def driver_source(spec: StencilSpec) -> str:
             "  /* read kernel: segment copies into A's interior */",
             "  for (i64 z = 0; z < n0; ++z) {",
             "    float *dz = A + (z + RAD) * s0;",
-            "    const float *sz = J->src + z * J->gs0;",
+            "    const float *sz = src + z * J->gs0;",
             "    for (i64 i = 0; i < nsy; ++i) {",
             "      const i64 yd0 = segy[4 * i], yd1 = segy[4 * i + 1];",
             "      const i64 ys0 = segy[4 * i + 2], ys1 = segy[4 * i + 3];",
@@ -494,7 +507,7 @@ def driver_source(spec: StencilSpec) -> str:
             "  /* write kernel: copy the compute region out */",
             "  for (i64 z = 0; z < n0; ++z) {",
             "    const float *az = A + (z + RAD) * s0;",
-            "    float *oz = J->out + z * J->gs0;",
+            "    float *oz = out + z * J->gs0;",
             "    for (i64 y = 0; y < cy; ++y)",
             "      memcpy(oz + (wy + y) * J->gs1 + wx, az + (ry + y) * s1 + rx,",
             "             (size_t)cx * sizeof(float));",
@@ -685,6 +698,8 @@ class NativeDriver:
             ctypes.c_int,  # periodic
             ctypes.c_void_p,  # scratch
             ctypes.c_longlong,  # scratch_half (floats per ping buffer)
+            ctypes.c_longlong,  # n_grids (batched grids; 1 for a plain pass)
+            ctypes.c_longlong,  # grid_stride (floats between slab grids)
         ]
         lib.driver_run_pass.restype = None
         lib.driver_destroy.argtypes = [ctypes.c_void_p]
@@ -715,9 +730,50 @@ class NativeDriver:
         at least ``workers * 2 * tables.scratch_floats`` elements.  The
         ctypes call releases the GIL for the whole pass.
         """
+        self._dispatch(src, out, tables, periodic, scratch, 1, 0)
+
+    def run_batch_pass(
+        self,
+        src: np.ndarray,
+        out: np.ndarray,
+        tables: DriverTables,
+        periodic: bool,
+        scratch: np.ndarray,
+        n_grids: int,
+        grid_stride: int,
+    ) -> None:
+        """Execute one pass over ``n_grids`` grids packed in one slab.
+
+        ``src``/``out`` are distinct C-contiguous float32 slabs of shape
+        ``(n_grids,) + grid_shape``; consecutive grids sit
+        ``grid_stride`` floats apart.  The pool's atomic claim counter
+        ranges over ``(grid, block)`` pairs, so one ctypes call (and one
+        scratch allocation) services the entire batch while every worker
+        stays busy even when a single grid has fewer blocks than
+        workers.  Bit-exact versus ``n_grids`` separate :meth:`run_pass`
+        calls by construction: the same ``do_block`` body runs per
+        ``(grid, block)`` unit, and writes to distinct grids never
+        alias.
+        """
+        self._dispatch(src, out, tables, periodic, scratch,
+                       int(n_grids), int(grid_stride))
+
+    def _dispatch(
+        self,
+        src: np.ndarray,
+        out: np.ndarray,
+        tables: DriverTables,
+        periodic: bool,
+        scratch: np.ndarray,
+        n_grids: int,
+        grid_stride: int,
+    ) -> None:
         itemsize = src.itemsize
-        gs0 = src.strides[0] // itemsize
-        gs1 = src.strides[1] // itemsize if self.spec.dims == 3 else 0
+        # Per-grid strides: for a slab, axis 0 of the slab is the grid
+        # index, so the plan axes start at ndim - dims.
+        base = src.ndim - self.spec.dims
+        gs0 = src.strides[base] // itemsize
+        gs1 = src.strides[base + 1] // itemsize if self.spec.dims == 3 else 0
         self._lib.driver_run_pass(
             self._handle,
             src.ctypes.data,
@@ -732,6 +788,8 @@ class NativeDriver:
             1 if periodic else 0,
             scratch.ctypes.data,
             tables.scratch_floats,
+            n_grids,
+            grid_stride,
         )
 
 

@@ -104,6 +104,8 @@ RULES: dict[str, Rule] = _catalog([
      "final-stage window does not equal the compute region"),
     ("P306", Severity.ERROR, "plan",
      "driver tables do not round-trip the plan's Python geometry"),
+    ("P307", Severity.ERROR, "plan",
+     "batch driver tables do not round-trip to the per-grid plan"),
     # ---- hot-path purity pass ----------------------------------------- #
     ("H401", Severity.ERROR, "purity",
      "fault-injection hook used outside a disarmed guard"),

@@ -26,12 +26,21 @@ updates or writes a single cell:
   native pass driver executes *only* these tables, so a serialization
   slip would silently corrupt every fused pass; this check proves the
   round-trip without executing one.
+* P307 — the *batched* driver tables (:meth:`repro.core.batch.BatchPlan.
+  to_batch_tables`) round-trip to the per-grid plan: the embedded tables
+  are byte-identical to the single-grid serialization, the flat
+  ``(grid, block)`` claim-counter decomposition is bijective over
+  ``n_grids * n_blocks`` units, and consecutive grids sit at disjoint
+  slab offsets (``grid_stride >= prod(grid_shape)``).  Batching must
+  change scheduling, never geometry — this check proves a batched pass
+  executes exactly ``n_grids`` copies of the already-proved plan.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batch import BatchPlan
 from repro.core.plan import DRIVER_RECORD_LEN, PassPlan
 from repro.lint.findings import Finding
 
@@ -472,6 +481,124 @@ def _check_driver_tables(plan: PassPlan, locus: str) -> list[Finding]:
     return findings
 
 
+def _check_batch_tables(bplan: BatchPlan, locus: str) -> list[Finding]:
+    """P307: batch tables round-trip to the per-grid plan."""
+    findings: list[Finding] = []
+    plan = bplan.plan
+
+    cells = 1
+    for extent in bplan.grid_shape:
+        cells *= extent
+
+    def bad(message: str, hint: str = "", _loc: str | None = None) -> None:
+        findings.append(
+            Finding(
+                rule="P307",
+                message=message,
+                locus=_loc if _loc is not None else locus,
+                hint=hint,
+            )
+        )
+
+    if bplan.grid_stride < cells:
+        bad(
+            f"grid_stride {bplan.grid_stride} < grid cells {cells}: "
+            "consecutive grids overlap in the slab",
+            hint="workers claiming different grids would scribble on "
+            "each other's cells",
+        )
+    offsets = bplan.offsets()
+    want_offsets = tuple(
+        g * bplan.grid_stride for g in range(bplan.n_grids)
+    )
+    if offsets != want_offsets:
+        bad(
+            f"slab offsets {offsets[:4]}... are not "
+            "0, stride, 2*stride, ...",
+            hint="the C worker computes g * grid_stride; offsets must "
+            "agree with it",
+        )
+
+    # rebuild the per-grid plan from scratch: comparing against the
+    # bplan's own (cached) tables object would prove nothing
+    fresh = PassPlan(plan.config, plan.grid_shape, plan.boundary)
+    for steps in sorted({1, plan.config.partime}):
+        bt = bplan.to_batch_tables(steps)
+        t_locus = f"{locus}/batch_tables(steps={steps})"
+        single = fresh.to_driver_tables(steps)
+        if bt.n_grids != bplan.n_grids or bt.n_grids < 1:
+            bad(
+                f"tables carry n_grids={bt.n_grids}, plan has "
+                f"{bplan.n_grids}",
+                _loc=t_locus,
+            )
+        if bt.grid_stride != bplan.grid_stride:
+            bad(
+                f"tables carry grid_stride={bt.grid_stride}, plan has "
+                f"{bplan.grid_stride}",
+                _loc=t_locus,
+            )
+        # the batch extension is ONLY the two scalars: the embedded
+        # per-grid tables must be byte-identical to the single-grid
+        # serialization P306 already proved
+        for name, got, want in (
+            ("blocks", bt.tables.blocks, single.blocks),
+            ("segments", bt.tables.segments, single.segments),
+            ("windows", bt.tables.windows, single.windows),
+        ):
+            if got.dtype != want.dtype or not np.array_equal(got, want):
+                bad(
+                    f"embedded {name} table differs from the single-grid "
+                    "serialization",
+                    hint="batching must change scheduling, never the "
+                    "per-grid geometry the driver executes",
+                    _loc=t_locus,
+                )
+        if (
+            bt.tables.steps != single.steps
+            or bt.tables.scratch_floats != single.scratch_floats
+        ):
+            bad(
+                f"embedded scalars (steps={bt.tables.steps}, "
+                f"scratch_floats={bt.tables.scratch_floats}) differ from "
+                f"single-grid ({single.steps}, {single.scratch_floats})",
+                _loc=t_locus,
+            )
+        # the flat claim-counter decomposition must be a bijection onto
+        # (grid, block) pairs — mirrors the C worker's t -> (g, b)
+        n_blocks = bt.n_blocks
+        if bt.n_units != bplan.n_grids * n_blocks:
+            bad(
+                f"n_units {bt.n_units} != n_grids * n_blocks "
+                f"({bplan.n_grids} * {n_blocks})",
+                _loc=t_locus,
+            )
+        else:
+            claimed = [
+                bt.unit_to_grid_block(t) for t in range(bt.n_units)
+            ]
+            want_units = [
+                (g, b)
+                for g in range(bplan.n_grids)
+                for b in range(n_blocks)
+            ]
+            if claimed != want_units:
+                first = next(
+                    (i for i, (c, w) in enumerate(zip(claimed, want_units))
+                     if c != w),
+                    0,
+                )
+                bad(
+                    f"unit decomposition is not the (grid, block) "
+                    f"bijection (first bad unit {first}: "
+                    f"{claimed[first]} != {want_units[first]})",
+                    hint="a skewed decode makes some blocks run twice "
+                    "and others never",
+                    _loc=t_locus,
+                )
+    return findings
+
+
 def lint_plan(plan: PassPlan) -> list[Finding]:
     """Prove the plan's geometric invariants; never executes a pass."""
     locus = _plan_locus(plan)
@@ -481,4 +608,13 @@ def lint_plan(plan: PassPlan) -> list[Finding]:
     findings.extend(_check_segments(plan, locus))
     findings.extend(_check_windows(plan, locus))
     findings.extend(_check_driver_tables(plan, locus))
+    return findings
+
+
+def lint_batch_plan(bplan: BatchPlan) -> list[Finding]:
+    """Prove a batch plan: the per-grid invariants plus the P307
+    batched-tables round-trip."""
+    findings = lint_plan(bplan.plan)
+    locus = f"batch[{bplan.n_grids}x]{_plan_locus(bplan.plan)}"
+    findings.extend(_check_batch_tables(bplan, locus))
     return findings

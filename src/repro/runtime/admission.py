@@ -29,6 +29,14 @@ from typing import Any
 
 from repro.errors import ConfigurationError
 
+#: Floor on every ``retry_after_s`` hint the admission layer emits.  A
+#: raw deficit of ``epsilon / rate`` (or a momentarily empty backlog)
+#: can round to ``0.0`` — a hint that tells clients to hammer the
+#: service in a zero-delay retry loop.  Every surfaced hint is clamped
+#: to this positive floor instead (invariant: ``retry_after_s > 0``,
+#: asserted by the admission tests).
+MIN_RETRY_AFTER_S = 1e-3
+
 
 class TokenBucket:
     """``rate`` tokens/second refilling up to ``burst``; never blocks.
@@ -62,8 +70,10 @@ class TokenBucket:
         """Take ``tokens`` if available; returns the retry-after hint.
 
         ``0.0`` means the acquire succeeded.  A positive return is the
-        time (seconds) until the bucket will hold enough tokens; the
-        tokens were *not* taken.
+        time (seconds) until the bucket will hold enough tokens — never
+        less than :data:`MIN_RETRY_AFTER_S`, so a hair's-breadth deficit
+        cannot hand clients a zero-delay retry hint; the tokens were
+        *not* taken.
         """
         if self.rate is None:
             return 0.0
@@ -75,7 +85,7 @@ class TokenBucket:
         if self.tokens >= tokens:
             self.tokens -= tokens
             return 0.0
-        return (tokens - self.tokens) / self.rate
+        return max((tokens - self.tokens) / self.rate, MIN_RETRY_AFTER_S)
 
 
 @dataclass

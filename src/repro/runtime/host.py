@@ -311,6 +311,35 @@ class StencilProgram:
         """
         return self._engine.run(grid, iterations, checkpoint=checkpoint)
 
+    def batch_kernel_time_s(
+        self, grid_shape: tuple[int, ...], iterations: int, n_grids: int
+    ) -> float:
+        """Modeled time of one *batched* launch over ``n_grids`` grids.
+
+        Per-grid work scales linearly; the fixed launch overhead
+        (:data:`~repro.models.performance.LAUNCH_OVERHEAD_S`) is paid
+        once per batch — the amortization the batch engine buys.  Fmax
+        derating while a fault plan is armed applies as in
+        :meth:`kernel_time_s`.
+        """
+        fmax = self.fmax_mhz
+        inj = fault_hooks.ACTIVE
+        if inj is not None:
+            fmax = inj.derate_fmax(fmax)
+        return self._model.predict_batch(
+            self.spec, self.config, grid_shape, iterations, n_grids,
+            fmax_mhz=fmax,
+        ).time_s
+
+    def execute_batch(self, grids, iterations: int, checkpoint=None):
+        """Numerically execute one batched launch over many grids.
+
+        Forwards to :meth:`FPGAAccelerator.run_batch`; returns its
+        :class:`~repro.core.batch.BatchResult` (per-grid outputs and
+        per-grid typed errors — one grid's fault fails only that entry).
+        """
+        return self._engine.run_batch(grids, iterations, checkpoint=checkpoint)
+
     def power_watts(self) -> float:
         """Modeled board power while this kernel runs."""
         return fpga_power_watts(
@@ -596,6 +625,115 @@ class CommandQueue:
             replayed_passes=stats.replayed_passes if checkpoint is not None else 0,
             checkpoint_overhead_s=ckpt_s,
         )
+
+    def enqueue_batch_kernel(
+        self,
+        program: StencilProgram,
+        src: Buffer,
+        dst: Buffer,
+        iterations: int,
+        n_grids: int,
+        watchdog_s: float | None = None,
+        checkpoint=None,
+    ):
+        """Run one *batched* kernel launch over a packed slab.
+
+        ``src`` holds the slab — ``n_grids`` same-shape grids stacked on
+        axis 0 — and is transferred, scrubbed and CRC-verified as one
+        buffer (the transfer amortization is real: one write, one read
+        per batch).  Duration on the simulated clock comes from
+        :meth:`StencilProgram.batch_kernel_time_s` (launch overhead paid
+        once).  Returns ``(event, batch)`` where ``batch`` is the
+        :class:`~repro.core.batch.BatchResult`.
+
+        Failure domains: *slab-level* faults (transfer CRC, DRAM scrub,
+        watchdog expiry) retry the whole batch under the queue's policy
+        exactly like :meth:`enqueue_kernel`; *per-grid* faults (an SEU
+        detected inside one grid of an armed batch) are captured in
+        ``batch.errors`` and never trigger a whole-batch retry — one
+        grid's fault fails only that entry.  Failed entries keep their
+        input state in ``dst``'s slab; callers must consult
+        ``batch.errors`` before trusting a grid's output.
+        """
+        if watchdog_s is not None and watchdog_s <= 0:
+            raise ConfigurationError(f"watchdog_s must be > 0, got {watchdog_s}")
+        if n_grids < 1:
+            raise ConfigurationError(f"n_grids must be >= 1, got {n_grids}")
+        inj = fault_hooks.ACTIVE
+        attempts = 0
+        wait_s = 0.0
+        charged_s = 0.0
+        while True:
+            attempts += 1
+            try:
+                if inj is not None:
+                    inj.touch_sram(src.view(), site="dram")
+                    self._scrub(src)
+                slab = src.data
+                if slab.shape[0] != n_grids:
+                    raise ConfigurationError(
+                        f"slab has {slab.shape[0]} grids, expected {n_grids}"
+                    )
+                grid_shape = slab.shape[1:]
+                duration = program.batch_kernel_time_s(
+                    grid_shape, iterations, n_grids
+                )
+                if watchdog_s is not None and duration > watchdog_s:
+                    charged_s += watchdog_s  # killed at the deadline
+                    raise fault_hooks.report_detection(
+                        WatchdogTimeoutError(
+                            f"batched kernel exceeded watchdog: modeled "
+                            f"{duration:.4f} s > {watchdog_s:.4f} s"
+                        )
+                    )
+                batch = program.execute_batch(
+                    [slab[g] for g in range(n_grids)], iterations,
+                    checkpoint=checkpoint,
+                )
+                out_slab = np.empty_like(slab)
+                for g in range(n_grids):
+                    out = batch.outputs[g]
+                    # failed entries keep the input state; batch.errors
+                    # marks them invalid for the caller
+                    out_slab[g] = slab[g] if out is None else out
+                dst.write(out_slab)
+                break
+            except FaultDetectedError as err:
+                if not isinstance(err, WatchdogTimeoutError):
+                    charged_s += program.batch_kernel_time_s(
+                        src.data.shape[1:], iterations, n_grids
+                    )
+                if attempts > self.retry_policy.max_retries:
+                    self._record(
+                        "batch-kernel-failed",
+                        charged_s + wait_s,
+                        attempts=attempts,
+                        retry_wait_s=wait_s,
+                    )
+                    raise
+                wait_s += self.retry_policy.backoff_for(attempts)
+        if attempts > 1:
+            fault_hooks.report_recovery(
+                f"batch-kernel recovered after {attempts} attempts"
+            )
+        stats = batch.stats
+        replay_s = ckpt_s = 0.0
+        if checkpoint is not None:
+            per_pass_s = duration / max(1, stats.passes)
+            replay_s = stats.replayed_passes * per_pass_s
+            ckpt_s = stats.checkpoints * self._transfer_time_s(slab.nbytes)
+        event = self._record(
+            "batch-kernel",
+            charged_s + wait_s + duration + replay_s + ckpt_s,
+            attempts=attempts,
+            retry_wait_s=wait_s,
+            rollbacks=stats.rollbacks if checkpoint is not None else 0,
+            replayed_passes=(
+                stats.replayed_passes if checkpoint is not None else 0
+            ),
+            checkpoint_overhead_s=ckpt_s,
+        )
+        return event, batch
 
     def finish(self) -> float:
         """Drain the queue; returns the simulated clock."""

@@ -138,6 +138,100 @@ class JobResult:
     replayed_passes: int = 0
 
 
+@dataclass(frozen=True)
+class BatchStencilJob:
+    """A batch of same-shape small grids executed as *one* scheduled unit.
+
+    All grids share one ``(spec, config, shape, iterations)`` workload —
+    the batch engine packs them into a single slab and the device pays
+    one launch for the lot.  SLO semantics are per *batch*:
+    ``deadline_s`` budgets the whole batch on the executing device's
+    clock (one job, one deadline — a batch is never partially late);
+    ``checkpoint`` snapshots the whole slab per ``k`` passes, so a
+    rollback replays every grid of the affected passes.  Fault isolation
+    stays per *grid*: an SEU detected inside one grid fails only that
+    entry of the :class:`BatchJobResult`.
+    """
+
+    job_id: str
+    spec: StencilSpec
+    config: BlockingConfig
+    grids: tuple[np.ndarray, ...] = field(repr=False)
+    iterations: int = 1
+    deadline_s: float | None = None
+    checkpoint: CheckpointPolicy | int | None = None
+    watchdog_factor: float | None = None
+    engine: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in (None, "auto", "numpy", "native", "native-driver"):
+            raise ConfigurationError(
+                "engine must be None, 'auto', 'numpy', 'native' or "
+                f"'native-driver', got {self.engine!r}"
+            )
+        if self.iterations < 1:
+            raise ConfigurationError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+        if self.watchdog_factor is not None and self.watchdog_factor <= 0:
+            raise ConfigurationError(
+                f"watchdog_factor must be > 0, got {self.watchdog_factor}"
+            )
+        if len(self.grids) < 1:
+            raise ConfigurationError(
+                "batch needs at least one grid",
+                param="grids", value=0, constraint="len(grids) >= 1",
+            )
+        shape = tuple(self.grids[0].shape)
+        for g, grid in enumerate(self.grids):
+            if tuple(grid.shape) != shape:
+                raise ConfigurationError(
+                    f"grid {g} has shape {tuple(grid.shape)}, batch is "
+                    f"{shape}",
+                    param="grids", value=tuple(grid.shape),
+                    constraint=f"every grid shape == {shape}",
+                )
+
+
+@dataclass(frozen=True)
+class BatchJobResult:
+    """Outcome of one admitted batch.
+
+    ``status`` is ``"completed"`` (every grid present), ``"partial"``
+    (some grids failed per-grid — their ``results`` slot is ``None`` and
+    ``error_types``/``errors`` name the typed per-grid failure) or
+    ``"failed"`` (the whole batch failed: every slot carries the same
+    batch-level error).  Partial batches are final — the scheduler never
+    re-dispatches a batch for per-grid faults; callers retry individual
+    failed entries as single jobs if they want another attempt.
+    """
+
+    job_id: str
+    status: str
+    device: int | None
+    engine: str | None
+    results: tuple[np.ndarray | None, ...] = field(repr=False, default=())
+    error_types: tuple[str | None, ...] = ()
+    errors: tuple[str | None, ...] = ()
+    elapsed_s: float = 0.0
+    attempts: int = 0
+    dispatches: int = 1
+    rollbacks: int = 0
+    replayed_passes: int = 0
+
+    @property
+    def n_grids(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for e in self.error_types if e is not None)
+
+
 class CircuitBreaker:
     """Per-device breaker that degrades the execution engine.
 
@@ -382,6 +476,42 @@ class StencilScheduler:
         tried: frozenset[int] = frozenset()
         while True:
             result, retryable, tried = self._attempt(job, dispatches, tried)
+            if not retryable:
+                self._jobs_completed += 1
+                return result
+            dispatches = result.dispatches
+
+    def execute_batch(self, job: BatchStencilJob) -> BatchJobResult:
+        """Run one batch to completion now, bypassing the pending queue.
+
+        Same dispatch machinery as :meth:`execute_job` — device choice,
+        health accounting, breakers, re-dispatch on a *whole-batch*
+        transient fault (never on per-grid faults or a missed batch
+        deadline).  The serving layer coalesces compatible queued
+        requests into these.
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "scheduler is closed",
+                param="closed",
+                value=True,
+                constraint="execute_batch() requires an open scheduler",
+            )
+        if job.job_id in self._submitted:
+            raise ConfigurationError(f"duplicate job id {job.job_id!r}")
+        self._submitted.add(job.job_id)
+        dispatches = 0
+        tried: frozenset[int] = frozenset()
+        while True:
+            worker = self._pick_worker(tried)
+            result = self._execute_batch(worker, job, dispatches + 1)
+            tried = tried | {worker.index}
+            retryable = (
+                result.status == "failed"
+                and result.error_types[0] != "DeadlineExceededError"
+                and result.dispatches < self.max_dispatches
+                and any(w.index not in tried for w in self.workers)
+            )
             if not retryable:
                 self._jobs_completed += 1
                 return result
@@ -657,6 +787,153 @@ class StencilScheduler:
             device=worker.index,
             engine=engine_used,
             result=out,
+            elapsed_s=elapsed_s,
+            attempts=event.attempts,
+            dispatches=dispatches,
+            rollbacks=event.rollbacks,
+            replayed_passes=event.replayed_passes,
+        )
+
+    def _execute_batch(
+        self, worker: _Worker, job: BatchStencilJob, dispatches: int
+    ) -> BatchJobResult:
+        inj = fault_hooks.ACTIVE
+        detections_before = len(inj.detections) if inj is not None else 0
+        queue = worker.queue
+        start_s = queue.clock_s
+        preferred = job.engine or self.engine
+        engine_used = worker.engine(preferred)
+        n_grids = len(job.grids)
+
+        def _failed(err: BaseException, attempts: int = 0) -> BatchJobResult:
+            # whole-batch failure: every slot carries the same typed error
+            return BatchJobResult(
+                job_id=job.job_id,
+                status="failed",
+                device=worker.index,
+                engine=engine_used,
+                results=(None,) * n_grids,
+                error_types=(type(err).__name__,) * n_grids,
+                errors=(str(err),) * n_grids,
+                elapsed_s=queue.clock_s - start_s,
+                attempts=attempts,
+                dispatches=dispatches,
+            )
+
+        try:
+            program = self._build_program(
+                worker, job.spec, job.config, preferred
+            )
+        except ConfigurationError as err:
+            # a misconfigured batch is rejected typed, and is not the
+            # device's fault: no health penalty
+            return _failed(err)
+
+        slab = np.stack(
+            [np.asarray(g, dtype=np.float32) for g in job.grids]
+        ).astype(np.float32, copy=False)
+        grid_shape = slab.shape[1:]
+        nominal_s = program.batch_kernel_time_s(
+            grid_shape, job.iterations, n_grids
+        )
+        estimate_s = nominal_s + 2 * queue._transfer_time_s(slab.nbytes)
+        if job.deadline_s is not None and estimate_s > job.deadline_s:
+            return _failed(
+                DeadlineExceededError(
+                    f"batch {job.job_id!r}: modeled time {estimate_s:.4f} s "
+                    f"exceeds deadline {job.deadline_s:.4f} s; not dispatched"
+                )
+            )
+        watchdog_s = (
+            job.watchdog_factor * nominal_s
+            if job.watchdog_factor is not None
+            else None
+        )
+        checkpoint = (
+            job.checkpoint if job.checkpoint is not None else self.default_checkpoint
+        )
+
+        try:
+            src = Buffer(slab.nbytes)
+            dst = Buffer(slab.nbytes)
+            queue.enqueue_write_buffer(src, slab)
+            event, batch = queue.enqueue_batch_kernel(
+                program,
+                src,
+                dst,
+                job.iterations,
+                n_grids,
+                watchdog_s=watchdog_s,
+                checkpoint=checkpoint,
+            )
+            out_slab, _ = queue.enqueue_read_buffer(dst)
+        except FaultDetectedError as err:
+            worker.breaker.record_fault()
+            self._audit_degraded_pools()
+            self._record_health(worker, faulty=True)
+            worker.log(f"batch {job.job_id!r} failed: {type(err).__name__}")
+            return _failed(err, attempts=queue.retry_policy.max_retries + 1)
+
+        detections_after = len(inj.detections) if inj is not None else 0
+        faulty = (
+            detections_after > detections_before
+            or event.attempts > 1
+            or event.rollbacks > 0
+            or not batch.ok
+        )
+        if faulty:
+            worker.breaker.record_fault()
+            self._audit_degraded_pools()
+        else:
+            worker.breaker.record_success()
+        self._record_health(worker, faulty=faulty)
+
+        elapsed_s = queue.clock_s - start_s
+        if job.deadline_s is not None and elapsed_s > job.deadline_s:
+            worker.log(
+                f"batch {job.job_id!r} missed deadline "
+                f"({elapsed_s:.4f} s > {job.deadline_s:.4f} s); result discarded"
+            )
+            err_msg = (
+                f"batch {job.job_id!r}: elapsed {elapsed_s:.4f} s "
+                f"exceeds deadline {job.deadline_s:.4f} s"
+            )
+            return BatchJobResult(
+                job_id=job.job_id,
+                status="failed",
+                device=worker.index,
+                engine=engine_used,
+                results=(None,) * n_grids,
+                error_types=("DeadlineExceededError",) * n_grids,
+                errors=(err_msg,) * n_grids,
+                elapsed_s=elapsed_s,
+                attempts=event.attempts,
+                dispatches=dispatches,
+                rollbacks=event.rollbacks,
+                replayed_passes=event.replayed_passes,
+            )
+
+        results: list[np.ndarray | None] = []
+        error_types: list[str | None] = []
+        errors: list[str | None] = []
+        for g in range(n_grids):
+            err = batch.errors[g]
+            if err is None:
+                results.append(np.array(out_slab[g]))
+                error_types.append(None)
+                errors.append(None)
+            else:
+                results.append(None)
+                error_types.append(type(err).__name__)
+                errors.append(str(err))
+        return BatchJobResult(
+            job_id=job.job_id,
+            status="completed" if batch.ok else "partial",
+            device=worker.index,
+            engine=engine_used,
+            results=tuple(results),
+            error_types=tuple(error_types),
+            errors=tuple(errors),
             elapsed_s=elapsed_s,
             attempts=event.attempts,
             dispatches=dispatches,

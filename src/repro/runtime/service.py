@@ -33,6 +33,16 @@ shared installation needs on the *wall* clock:
   :class:`~repro.runtime.artifacts.ArtifactCache` (single-flight
   compilation, LRU-bounded pools); results record whether they rode a
   warm artifact (``coalesced``).
+* **batched dispatch** — when the popped request is a *small* grid and
+  compatible requests (same spec/config/shape/iterations/checkpoint/
+  deadline knobs) are waiting behind it, dispatch pulls up to
+  ``coalesce_max_batch`` of them out of the queue and runs the lot as
+  one :class:`~repro.runtime.scheduler.BatchStencilJob` — one launch,
+  one slab transfer, per-job overhead paid once (``repro.core.batch``).
+  Results and typed errors are split back per request (``batched``
+  marker); a per-grid transient failure inside an otherwise-healthy
+  batch falls back to the single-job retry ladder for that request
+  only, so batching never *reduces* anyone's retry budget.
 
 Every admitted request terminates with a :class:`ServiceResult` that is
 either bit-exact or carries a typed error — the overload chaos campaign
@@ -45,6 +55,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -57,10 +68,19 @@ from repro.errors import (
     ShedError,
 )
 from repro.models.performance import PerformanceModel
-from repro.runtime.admission import TokenBucket, WeightedFairQueue
+from repro.runtime.admission import (
+    MIN_RETRY_AFTER_S,
+    TokenBucket,
+    WeightedFairQueue,
+)
 from repro.runtime.artifacts import ArtifactCache, artifact_key
 from repro.runtime.checkpoint import CheckpointPolicy
-from repro.runtime.scheduler import JobResult, StencilJob, StencilScheduler
+from repro.runtime.scheduler import (
+    BatchStencilJob,
+    JobResult,
+    StencilJob,
+    StencilScheduler,
+)
 
 #: Engine tiers from fastest to most conservative; degradation walks
 #: right.  ``None`` (level 0) defers to the scheduler's preference.
@@ -106,6 +126,14 @@ class ServicePolicy:
     Retries use seeded, jittered exponential backoff
     (``retry_backoff_s * 2**attempt``, +/- ``retry_jitter``), bounded
     by ``max_retries`` and by the request's remaining deadline budget.
+
+    ``coalesce`` enables batched dispatch: up to ``coalesce_max_batch``
+    compatible queued requests ride one batched launch, but only for
+    grids of at most ``coalesce_max_cells`` cells — batching exists to
+    amortize per-launch overhead, which only dominates small grids.
+    ``metrics_window`` bounds the per-tenant latency reservoir (ring of
+    the most recent samples) so a long-lived service holds O(window)
+    memory per tenant, not O(requests).
     """
 
     max_queue_depth: int = 64
@@ -118,6 +146,10 @@ class ServicePolicy:
     degrade_hard_at: float = 0.875
     degraded_checkpoint: int = 2
     artifact_capacity: int = 8
+    coalesce: bool = True
+    coalesce_max_batch: int = 32
+    coalesce_max_cells: int = 32**3
+    metrics_window: int = 1024
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -150,6 +182,18 @@ class ServicePolicy:
             raise ConfigurationError(
                 f"degraded_checkpoint must be >= 1, got {self.degraded_checkpoint}"
             )
+        if self.coalesce_max_batch < 1:
+            raise ConfigurationError(
+                f"coalesce_max_batch must be >= 1, got {self.coalesce_max_batch}"
+            )
+        if self.coalesce_max_cells < 1:
+            raise ConfigurationError(
+                f"coalesce_max_cells must be >= 1, got {self.coalesce_max_cells}"
+            )
+        if self.metrics_window < 1:
+            raise ConfigurationError(
+                f"metrics_window must be >= 1, got {self.metrics_window}"
+            )
 
 
 @dataclass(frozen=True)
@@ -160,21 +204,27 @@ class ServiceResult:
     ``"failed"`` (``error_type``/``error`` name the typed failure).
     ``degraded`` marks jobs that ran below the service's preferred
     engine tier or with a shrunk checkpoint cadence; ``coalesced``
-    marks jobs that reused a warm cached program; ``retries`` counts
-    service-level re-dispatches (on top of the scheduler's own).
+    marks jobs that reused a warm cached program; ``batched`` marks
+    requests that rode a batched launch with ``batch_size`` siblings;
+    ``retries`` counts service-level re-dispatches (on top of the
+    scheduler's own).
     """
 
     request_id: str
     tenant: str
     status: str
     result: np.ndarray | None = field(repr=False, default=None)
-    job_result: JobResult | None = field(repr=False, default=None)
+    job_result: "JobResult | BatchJobResult | None" = field(
+        repr=False, default=None
+    )
     error_type: str | None = None
     error: str | None = None
     retry_after_s: float | None = None
     degraded: bool = False
     degraded_engine: str | None = None
     coalesced: bool = False
+    batched: bool = False
+    batch_size: int = 0
     retries: int = 0
     queue_wait_s: float = 0.0
     wall_elapsed_s: float = 0.0
@@ -232,13 +282,29 @@ class _Request:
 
 
 class ServiceMetrics:
-    """Thread-safe per-tenant counters and latency percentiles."""
+    """Thread-safe per-tenant counters and latency percentiles.
 
-    def __init__(self) -> None:
+    Latency/queue-wait samples live in a bounded per-tenant ring of the
+    ``window`` most recent observations — a long-lived service holds
+    O(window) memory per tenant no matter how many requests it serves,
+    and the percentiles become *recent* percentiles (the operationally
+    useful kind).  Degenerate sample counts are pinned: zero samples
+    emit no percentile keys; a single sample *is* both p50 and p99.
+    """
+
+    def __init__(self, window: int = 1024) -> None:
+        if window < 1:
+            raise ConfigurationError(
+                f"window must be >= 1, got {window}",
+                param="window",
+                value=window,
+                constraint="the latency reservoir must hold >= 1 sample",
+            )
+        self.window = window
         self._lock = threading.Lock()
         self._counters: dict[str, dict[str, int]] = {}
-        self._latencies: dict[str, list[float]] = {}
-        self._queue_waits: dict[str, list[float]] = {}
+        self._latencies: dict[str, deque[float]] = {}
+        self._queue_waits: dict[str, deque[float]] = {}
 
     def _tenant(self, tenant: str) -> dict[str, int]:
         return self._counters.setdefault(
@@ -252,6 +318,7 @@ class ServiceMetrics:
                 "deadline_misses": 0,
                 "degraded": 0,
                 "coalesced": 0,
+                "batched": 0,
                 "retries": 0,
             },
         )
@@ -262,8 +329,12 @@ class ServiceMetrics:
 
     def observe(self, tenant: str, latency_s: float, queue_wait_s: float) -> None:
         with self._lock:
-            self._latencies.setdefault(tenant, []).append(latency_s)
-            self._queue_waits.setdefault(tenant, []).append(queue_wait_s)
+            self._latencies.setdefault(
+                tenant, deque(maxlen=self.window)
+            ).append(latency_s)
+            self._queue_waits.setdefault(
+                tenant, deque(maxlen=self.window)
+            ).append(queue_wait_s)
 
     def snapshot(self) -> dict[str, dict]:
         """Counters plus p50/p99 wall latency (ms) per tenant."""
@@ -273,8 +344,15 @@ class ServiceMetrics:
                 entry: dict = dict(counters)
                 lat = self._latencies.get(tenant)
                 if lat:
-                    entry["p50_ms"] = float(np.percentile(lat, 50) * 1e3)
-                    entry["p99_ms"] = float(np.percentile(lat, 99) * 1e3)
+                    if len(lat) == 1:
+                        # pinned n=1 semantics: the sample is every
+                        # percentile (no interpolation artifacts)
+                        entry["p50_ms"] = entry["p99_ms"] = float(lat[0] * 1e3)
+                    else:
+                        samples = np.fromiter(lat, dtype=np.float64)
+                        entry["p50_ms"] = float(np.percentile(samples, 50) * 1e3)
+                        entry["p99_ms"] = float(np.percentile(samples, 99) * 1e3)
+                    entry["latency_samples"] = len(lat)
                     entry["mean_queue_wait_ms"] = float(
                         np.mean(self._queue_waits[tenant]) * 1e3
                     )
@@ -324,7 +402,7 @@ class StencilService:
             # observe the programs the scheduler actually reuses
             self.artifacts = scheduler.program_cache
         self.scheduler = scheduler
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(self.policy.metrics_window)
         self._quotas: dict[str, TenantQuota] = dict(quotas or {})
         self._buckets: dict[str, TokenBucket] = {}
         self._queue = WeightedFairQueue(self.policy.max_queue_depth)
@@ -557,10 +635,16 @@ class StencilService:
             with self._work:
                 self._sweep_locked(time.monotonic())
                 entry = self._queue.pop()
+                siblings = (
+                    self._collect_batch_locked(entry.item) if entry else []
+                )
             if entry is None:
                 return processed
-            self._process(entry.item)
-            processed += 1
+            if siblings:
+                self._process_batch([entry.item, *siblings])
+            else:
+                self._process(entry.item)
+            processed += 1 + len(siblings)
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -572,12 +656,58 @@ class StencilService:
                         return
                     self._work.wait(timeout=0.05)
                     continue
-                self._inflight += 1
+                siblings = self._collect_batch_locked(entry.item)
+                self._inflight += 1 + len(siblings)
             try:
-                self._process(entry.item)
+                if siblings:
+                    self._process_batch([entry.item, *siblings])
+                else:
+                    self._process(entry.item)
             finally:
                 with self._work:
-                    self._inflight -= 1
+                    self._inflight -= 1 + len(siblings)
+
+    def _collect_batch_locked(self, head: _Request) -> list[_Request]:
+        """Pull queued requests batch-compatible with ``head`` (lock held).
+
+        Compatibility is exact workload identity: same spec, config,
+        grid shape, iteration count, checkpoint and deadline knobs —
+        everything the batch engine needs for one shared
+        :class:`~repro.core.batch.BatchPlan` and one per-batch SLO.
+        Only small grids qualify (``coalesce_max_cells``): batching
+        amortizes per-launch overhead, which large grids never notice.
+        Pulled requests keep their own tickets, wall deadlines and
+        per-request error reporting.
+        """
+        limit = self.policy.coalesce_max_batch - 1
+        if (
+            not self.policy.coalesce
+            or limit < 1
+            or head.grid.size > self.policy.coalesce_max_cells
+            or self._queue.depth == 0
+        ):
+            return []
+        taken = 0
+
+        def compatible(entry) -> bool:
+            nonlocal taken
+            req: _Request = entry.item
+            if taken >= limit:
+                return False
+            match = (
+                req.spec == head.spec
+                and req.config == head.config
+                and tuple(req.grid.shape) == tuple(head.grid.shape)
+                and req.iterations == head.iterations
+                and req.sim_deadline_s == head.sim_deadline_s
+                and req.checkpoint == head.checkpoint
+                and req.watchdog_factor == head.watchdog_factor
+            )
+            if match:
+                taken += 1
+            return match
+
+        return [entry.item for entry in self._queue.remove_if(compatible)]
 
     def _sweep_locked(self, now: float) -> None:
         """Fail queued requests that ran out of wait or deadline budget."""
@@ -712,6 +842,154 @@ class StencilService:
             ),
         )
 
+    def _process_batch(self, reqs: list[_Request]) -> None:
+        """Run coalesced requests as one batched launch; split results.
+
+        Per-batch SLOs ride the scheduler's :class:`BatchStencilJob`
+        semantics (one simulated-clock deadline, whole-slab
+        checkpoints); wall-clock deadlines stay *per request* — an
+        expired request is failed typed before dispatch and a late
+        result is discarded for that request only.  Whole-batch
+        transient failures retry under the service ladder exactly like
+        single jobs; a *per-grid* transient inside a partial batch
+        drops that request back onto the single-job retry ladder, so
+        batching never shrinks a request's retry budget.
+        """
+        started = time.monotonic()
+        batch_size = len(reqs)
+        level = self._degrade_level()
+        engine = ENGINE_LADDER[level]
+        checkpoint = self._checkpoint_for(reqs[0], level)
+        retries = 0
+        coalesced = False
+        live = list(reqs)
+        result = None
+        while True:
+            still: list[_Request] = []
+            for req in live:
+                remaining = self._remaining_budget(req)
+                if remaining is not None and remaining <= 0.0:
+                    self._fail_deadline(
+                        req, retries, started - req.admitted_s
+                    )
+                else:
+                    still.append(req)
+            live = still
+            if not live:
+                return
+            flights_before = self.artifacts.stats["flights"]
+            job = BatchStencilJob(
+                job_id=f"{live[0].request_id}.b{retries}",
+                spec=live[0].spec,
+                config=live[0].config,
+                grids=tuple(np.asarray(r.grid) for r in live),
+                iterations=live[0].iterations,
+                deadline_s=live[0].sim_deadline_s,
+                checkpoint=checkpoint,
+                watchdog_factor=live[0].watchdog_factor,
+                engine=engine,
+            )
+            try:
+                result = self.scheduler.execute_batch(job)
+            except ConfigurationError as err:
+                for req in live:
+                    self._finish(
+                        req,
+                        ServiceResult(
+                            request_id=req.request_id,
+                            tenant=req.tenant,
+                            status="failed",
+                            error_type=type(err).__name__,
+                            error=str(err),
+                            batched=True,
+                            batch_size=batch_size,
+                            retries=retries,
+                            queue_wait_s=started - req.admitted_s,
+                            wall_elapsed_s=time.monotonic() - req.admitted_s,
+                        ),
+                    )
+                return
+            coalesced = coalesced or (
+                self.artifacts.stats["flights"] == flights_before
+            )
+            if result.status != "failed":
+                break
+            if result.error_types[0] not in RETRYABLE_ERRORS:
+                break
+            if retries >= self.policy.max_retries:
+                break
+            delay = self._backoff_s(retries)
+            budgets = [
+                b
+                for b in (self._remaining_budget(r) for r in live)
+                if b is not None
+            ]
+            if budgets and delay >= min(budgets):
+                break  # the retry could not land inside someone's budget
+            retries += 1
+            for req in live:
+                self.metrics.count(req.tenant, "retries")
+            time.sleep(delay)
+            # renewed pressure reading: a retry may ride a cheaper tier
+            level = max(level, self._degrade_level())
+            engine = ENGINE_LADDER[level]
+            checkpoint = self._checkpoint_for(live[0], level)
+
+        for i, req in enumerate(live):
+            queue_wait = started - req.admitted_s
+            elapsed = time.monotonic() - req.admitted_s
+            out = result.results[i]
+            err_type = result.error_types[i]
+            if out is not None:
+                if req.deadline_s is not None and elapsed > req.deadline_s:
+                    self._fail_deadline(req, retries, queue_wait, late=True)
+                    continue
+                degraded = level > 0 or (
+                    result.engine == "numpy"
+                    and self.scheduler.engine != "numpy"
+                    and engine != "numpy"
+                )
+                self._finish(
+                    req,
+                    ServiceResult(
+                        request_id=req.request_id,
+                        tenant=req.tenant,
+                        status="completed",
+                        result=out,
+                        job_result=result,
+                        degraded=degraded,
+                        degraded_engine=result.engine if degraded else None,
+                        coalesced=coalesced,
+                        batched=True,
+                        batch_size=batch_size,
+                        retries=retries,
+                        queue_wait_s=queue_wait,
+                        wall_elapsed_s=elapsed,
+                    ),
+                )
+            elif err_type in RETRYABLE_ERRORS and result.status == "partial":
+                # per-grid transient inside a healthy batch: this request
+                # alone re-enters the single-job retry ladder
+                self._process(req)
+            else:
+                self._finish(
+                    req,
+                    ServiceResult(
+                        request_id=req.request_id,
+                        tenant=req.tenant,
+                        status="failed",
+                        job_result=result,
+                        error_type=err_type,
+                        error=result.errors[i],
+                        coalesced=coalesced,
+                        batched=True,
+                        batch_size=batch_size,
+                        retries=retries,
+                        queue_wait_s=queue_wait,
+                        wall_elapsed_s=elapsed,
+                    ),
+                )
+
     # -- helpers ------------------------------------------------------------- #
 
     def _degrade_level(self) -> int:
@@ -768,10 +1046,12 @@ class StencilService:
 
     def _drain_estimate_s(self) -> float:
         """How long the current backlog should take to drain (the
-        ``retry_after_s`` hint on queue-full sheds and timeouts)."""
+        ``retry_after_s`` hint on queue-full sheds and timeouts).
+        Clamped to :data:`MIN_RETRY_AFTER_S` — a momentarily empty
+        backlog must not hand clients a zero-delay retry hint."""
         depth = self._queue.depth + self._inflight
         if depth == 0:
-            return 0.0
+            return MIN_RETRY_AFTER_S
         per_job = 0.0
         for entries in self._queue._queues.values():
             for entry in entries:
@@ -779,7 +1059,7 @@ class StencilService:
         devices = max(1, len(self.scheduler.workers))
         # modeled kernel time is simulated; wall dispatch dominates, so
         # floor the hint at one scheduling quantum per queued job
-        return max(depth * per_job / devices, depth * 1e-3)
+        return max(depth * per_job / devices, depth * 1e-3, MIN_RETRY_AFTER_S)
 
     def _rejection(
         self, req: _Request, message: str, *, shed: bool
@@ -829,6 +1109,8 @@ class StencilService:
         )
 
     def _finish(self, req: _Request, result: ServiceResult) -> None:
+        if result.batched:
+            self.metrics.count(req.tenant, "batched")
         if result.status == "completed":
             self.metrics.count(req.tenant, "completed")
             if result.degraded:

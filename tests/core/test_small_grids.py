@@ -1,0 +1,162 @@
+"""Small-grid correctness sweep (the PR's bugfix regression suite).
+
+Zero-extent grids used to die with an untyped ``ValueError`` on the
+NumPy engine and run silently (producing garbage) on the native driver;
+``BlockingConfig._check_shape`` now rejects them with a typed
+:class:`~repro.errors.ConfigurationError` before any engine is reached.
+Beyond the fix, this file sweeps the degenerate geometries the blocking
+math is most likely to get wrong — single-block grids, grids smaller
+than the stencil radius, extent-1 axes — on every engine, pinned
+bit-exact against the scalar reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockingConfig,
+    FPGAAccelerator,
+    StencilSpec,
+    make_grid,
+    reference_run,
+)
+from repro.core.blocking import BlockDecomposition
+from repro.errors import ConfigurationError
+
+ENGINES = ["numpy", "auto"]
+
+SPEC_2D = StencilSpec.star(2, 1)
+SPEC_3D = StencilSpec.star(3, 1)
+CONFIG_2D = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+CONFIG_3D = BlockingConfig(
+    dims=3, radius=1, bsize_x=32, bsize_y=8, parvec=4, partime=2
+)
+
+
+# -- zero-extent rejection (the fixed bug) ----------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "shape", [(0, 8), (8, 0), (0, 0)], ids=["rows0", "cols0", "both0"]
+)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_zero_extent_2d_raises_typed(shape, engine: str) -> None:
+    acc = FPGAAccelerator(SPEC_2D, CONFIG_2D, engine=engine)
+    try:
+        with pytest.raises(ConfigurationError) as exc:
+            acc.run(np.zeros(shape, dtype=np.float32), 1)
+        assert exc.value.param == "grid_shape"
+    finally:
+        acc.close()
+
+
+@pytest.mark.parametrize(
+    "shape",
+    [(0, 8, 8), (8, 0, 8), (8, 8, 0)],
+    ids=["z0", "y0", "x0"],
+)
+def test_zero_extent_3d_raises_typed(shape) -> None:
+    acc = FPGAAccelerator(SPEC_3D, CONFIG_3D)
+    try:
+        with pytest.raises(ConfigurationError) as exc:
+            acc.run(np.zeros(shape, dtype=np.float32), 1)
+        assert exc.value.param == "grid_shape"
+    finally:
+        acc.close()
+
+
+def test_zero_extent_rejected_by_decomposition_directly() -> None:
+    with pytest.raises(ConfigurationError) as exc:
+        BlockDecomposition(CONFIG_2D, (0, 16))
+    assert exc.value.param == "grid_shape"
+
+
+def test_zero_extent_rejected_by_run_batch() -> None:
+    acc = FPGAAccelerator(SPEC_2D, CONFIG_2D)
+    try:
+        with pytest.raises(ConfigurationError) as exc:
+            acc.run_batch([np.zeros((0, 8), dtype=np.float32)], 1)
+        assert exc.value.param == "grid_shape"
+    finally:
+        acc.close()
+
+
+# -- degenerate-but-valid geometries, bit-exact on every engine -------------- #
+
+SMALL_SHAPES_2D = [
+    (1, 1),    # single cell: every read clamps to the center
+    (1, 8),    # extent-1 blocked axis
+    (8, 1),    # extent-1 vector axis
+    (2, 2),    # extents == 2*radius
+    (3, 3),    # first shape with an interior cell
+    (5, 32),   # exactly one compute block wide
+    (7, 33),   # one block + a 1-column partial block
+]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "shape", SMALL_SHAPES_2D, ids=[f"{a}x{b}" for a, b in SMALL_SHAPES_2D]
+)
+@pytest.mark.parametrize("boundary", ["clamp", "periodic"])
+def test_small_2d_grids_match_reference(shape, engine, boundary) -> None:
+    grid = make_grid(shape, "mixed", seed=11)
+    acc = FPGAAccelerator(SPEC_2D, CONFIG_2D, boundary=boundary, engine=engine)
+    try:
+        out, _ = acc.run(grid, 3)
+        ref = reference_run(grid, SPEC_2D, 3, boundary=boundary)
+        assert np.array_equal(out, ref), f"{shape} diverged on {engine}"
+    finally:
+        acc.close()
+
+
+SMALL_SHAPES_3D = [
+    (1, 1, 1),
+    (2, 2, 2),
+    (1, 4, 8),
+    (4, 1, 33),
+]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "shape", SMALL_SHAPES_3D, ids=[f"{a}x{b}x{c}" for a, b, c in SMALL_SHAPES_3D]
+)
+def test_small_3d_grids_match_reference(shape, engine) -> None:
+    grid = make_grid(shape, "mixed", seed=13)
+    acc = FPGAAccelerator(SPEC_3D, CONFIG_3D, engine=engine)
+    try:
+        out, _ = acc.run(grid, 2)
+        assert np.array_equal(out, reference_run(grid, SPEC_3D, 2))
+    finally:
+        acc.close()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_sub_radius_grid_high_order(engine: str) -> None:
+    """Grid extents below the stencil radius: every read clamps."""
+    spec = StencilSpec.star(2, 4)
+    config = BlockingConfig(dims=2, radius=4, bsize_x=64, parvec=4, partime=1)
+    grid = make_grid((2, 3), "mixed", seed=17)  # extents < radius 4
+    acc = FPGAAccelerator(spec, config, engine=engine)
+    try:
+        out, _ = acc.run(grid, 2)
+        assert np.array_equal(out, reference_run(grid, spec, 2))
+    finally:
+        acc.close()
+
+
+def test_small_grid_batch_matches_small_grid_runs() -> None:
+    """Batching the degenerate shapes preserves bit-exactness too."""
+    for shape in [(1, 1), (2, 2), (1, 8)]:
+        gs = [make_grid(shape, "mixed", seed=20 + i) for i in range(3)]
+        acc = FPGAAccelerator(SPEC_2D, CONFIG_2D)
+        try:
+            batch = acc.run_batch(gs, iterations=2)
+            assert batch.ok
+            for g, out in zip(gs, batch.outputs):
+                assert np.array_equal(out, acc.run(g, 2)[0])
+        finally:
+            acc.close()

@@ -1,0 +1,115 @@
+"""Fault injection × batched execution: failures stay per-grid.
+
+An armed batch runs grid by grid through the hardened channel path
+(:meth:`FPGAAccelerator._run_batch_armed`), so one grid's SEU must fail
+*only that entry* of the :class:`~repro.core.batch.BatchResult` — the
+sibling grids complete bit-exact.  With checkpointing the affected grid
+rolls back and the whole batch comes home clean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockingConfig,
+    FPGAAccelerator,
+    StencilSpec,
+    make_grid,
+    reference_run,
+)
+from repro.errors import FaultDetectedError
+from repro.faults import FaultPlan, SEUFault, arm, crc32_array
+
+SPEC = StencilSpec.star(2, 1)
+CONFIG = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+SHAPE = (12, 20)
+ITERS = 2  # one pass per grid (partime=2)
+
+GRIDS = [make_grid(SHAPE, "mixed", seed=40 + i) for i in range(3)]
+REFS = [reference_run(g, SPEC, ITERS) for g in GRIDS]
+
+# The armed accelerator touches the block buffer (1 + steps) times per
+# block per pass; grids of an armed batch execute sequentially, so the
+# touch counter addresses grids by range.  Blocks-per-pass comes from a
+# dry run (halo overlap means it is not simply Nx / bsize_x).
+_BLOCKS = (
+    FPGAAccelerator(SPEC, CONFIG).run(GRIDS[0], ITERS)[1].blocks_per_pass
+)
+TOUCHES_PER_GRID = _BLOCKS * (1 + ITERS)
+
+
+def seu_in_grid(g: int, seed: int = 21) -> FaultPlan:
+    """A block-buffer SEU landing mid-pass inside grid ``g``'s run."""
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            SEUFault(at_touch=g * TOUCHES_PER_GRID + 1, site="block-buffer"),
+        ),
+    )
+
+
+@pytest.mark.parametrize("target", [0, 1, 2])
+def test_seu_fails_only_the_target_grid(target: int) -> None:
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    try:
+        with arm(seu_in_grid(target)) as inj:
+            batch = acc.run_batch(GRIDS, ITERS)
+        assert len(inj.fired) == 1
+        assert batch.n_failed == 1
+        assert not batch.ok
+        for g in range(3):
+            if g == target:
+                assert batch.outputs[g] is None
+                assert isinstance(batch.errors[g], FaultDetectedError)
+            else:
+                assert batch.errors[g] is None
+                assert np.array_equal(batch.outputs[g], REFS[g])
+    finally:
+        acc.close()
+
+
+def test_seu_with_checkpoint_recovers_whole_batch() -> None:
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    try:
+        with arm(seu_in_grid(1)):
+            batch = acc.run_batch(GRIDS, ITERS, checkpoint=1)
+        assert batch.ok
+        assert batch.stats.rollbacks == 1
+        for g in range(3):
+            assert np.array_equal(batch.outputs[g], REFS[g])
+    finally:
+        acc.close()
+
+
+def test_armed_golden_crc_mismatch_reports_detection() -> None:
+    """A wrong golden CRC under arm fails one entry and books a detection."""
+    crcs = [crc32_array(r) for r in REFS]
+    crcs[2] ^= 0x1  # silent-corruption stand-in: grid 2's golden is wrong
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    try:
+        with arm(FaultPlan(seed=4, faults=())) as inj:
+            batch = acc.run_batch(GRIDS, ITERS, expected_crcs=crcs)
+        assert len(inj.detections) == 1
+        assert batch.n_failed == 1
+        assert batch.outputs[2] is None
+        assert isinstance(batch.errors[2], FaultDetectedError)
+        for g in (0, 1):
+            assert np.array_equal(batch.outputs[g], REFS[g])
+    finally:
+        acc.close()
+
+
+def test_armed_faultfree_batch_matches_disarmed() -> None:
+    """Arming alone (no fault scheduled) must not perturb batch results."""
+    acc = FPGAAccelerator(SPEC, CONFIG)
+    try:
+        clean = acc.run_batch(GRIDS, ITERS)
+        with arm(FaultPlan(seed=9, faults=())):
+            armed = acc.run_batch(GRIDS, ITERS)
+        assert armed.ok
+        for g in range(3):
+            assert np.array_equal(armed.outputs[g], clean.outputs[g])
+    finally:
+        acc.close()

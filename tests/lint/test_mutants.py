@@ -13,11 +13,13 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.core.batch import BatchPlan, BatchTables
 from repro.core.blocking import BlockingConfig
 from repro.core.plan import PassPlan
 from repro.dsl.ast import Const, Equation, Grid
 from repro.lint import (
     ConfigPoint,
+    lint_batch_plan,
     lint_config,
     lint_driver_source,
     lint_equation,
@@ -232,6 +234,43 @@ def _p306_scratch_undersized():
     return lint_plan(plan)
 
 
+def _batch_plan(n_grids=4):
+    config = BlockingConfig(dims=2, radius=1, bsize_x=32, partime=4)
+    return BatchPlan(config, (64, 64), n_grids)
+
+
+def _p307_stride_overlap():
+    bplan = _batch_plan()
+    bplan.grid_stride = bplan.grid_stride // 2  # grids overlap in the slab
+    return lint_batch_plan(bplan)
+
+
+def _p307_table_drift():
+    # the batched serialization drifts from a freshly rebuilt per-grid
+    # plan (same tampering surface as the P306 mutants)
+    bplan = _batch_plan()
+    bplan.plan.to_driver_tables(4).segments[0, 2] += 1
+    return lint_batch_plan(bplan)
+
+
+def _p307_skewed_decode():
+    # transposed t -> (g, b) decode: some blocks run twice, others never
+    bplan = _batch_plan(n_grids=4)  # n_grids != n_blocks
+
+    class Skewed(BatchTables):
+        def unit_to_grid_block(self, t):
+            return t % self.n_grids, t // self.n_grids
+
+    original = bplan.to_batch_tables
+
+    def skewed(steps):
+        bt = original(steps)
+        return Skewed(bt.tables, bt.n_grids, bt.grid_stride)
+
+    bplan.to_batch_tables = skewed
+    return lint_batch_plan(bplan)
+
+
 # -------------------------- purity mutants ----------------------------- #
 
 _PREFIX = "import repro.faults.hooks as fault_hooks\n"
@@ -328,6 +367,9 @@ MUTANTS = [
     ("p306-record-drift", "P306", _p306_record_drift, "plan["),
     ("p306-segment-drift", "P306", _p306_segment_drift, "plan["),
     ("p306-scratch", "P306", _p306_scratch_undersized, "plan["),
+    ("p307-stride-overlap", "P307", _p307_stride_overlap, "batch["),
+    ("p307-table-drift", "P307", _p307_table_drift, "batch["),
+    ("p307-skewed-decode", "P307", _p307_skewed_decode, "batch["),
     ("h401-attr", "H401", _h401_attr, "mutant.py:"),
     ("h401-driver-c", "H401", _h401_driver_hook, "driver<mutant>.c:"),
     ("h401-arg", "H401", _h401_arg, "mutant.py:"),

@@ -122,3 +122,29 @@ def test_purity_clean_on_own_source_tree():
     from repro.lint.targets import source_root
 
     assert lint_tree(source_root()) == []
+
+
+# -- batch plan pass (P307) -------------------------------------------------- #
+
+
+def test_clean_batch_plans_lint_empty():
+    from repro.core.batch import BatchPlan
+    from repro.lint import lint_batch_plan
+
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=4)
+    for n_grids in (1, 4, 17):
+        for boundary in ("clamp", "periodic"):
+            bplan = BatchPlan(cfg, (64, 64), n_grids, boundary)
+            assert lint_batch_plan(bplan) == []
+
+
+def test_batch_lint_includes_per_grid_plan_findings():
+    """lint_batch_plan is a superset of lint_plan on the shared plan."""
+    from repro.core.batch import BatchPlan
+    from repro.lint import lint_batch_plan, lint_plan
+
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=4)
+    bplan = BatchPlan(cfg, (64, 64), 4)
+    plan_rules = {f.rule for f in lint_plan(bplan.plan)}
+    batch_rules = {f.rule for f in lint_batch_plan(bplan)}
+    assert plan_rules <= batch_rules

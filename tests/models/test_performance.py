@@ -180,3 +180,44 @@ def test_scaled_by_efficiency_preserves_both_accountings() -> None:
     assert derated.passes == est.passes
     assert derated.model_passes == est.model_passes
     assert derated.time_s == pytest.approx(est.time_s / 0.85)
+
+
+# -- batch amortization term ------------------------------------------------- #
+
+
+def test_predict_batch_scales_work_and_pays_overhead_once() -> None:
+    from repro.models.performance import LAUNCH_OVERHEAD_S
+
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+    model = PerformanceModel(NALLATECH_385A)
+    single = model.predict_measured(spec, cfg, (16, 16), 4)
+    batch = model.predict_batch(spec, cfg, (16, 16), 4, n_grids=64)
+    assert batch.time_s == pytest.approx(
+        64 * single.time_s + LAUNCH_OVERHEAD_S
+    )
+    assert batch.cycles == 64 * single.cycles
+    assert batch.dram_bytes == 64 * single.dram_bytes
+    assert batch.passes == single.passes  # per-grid pass count
+    with pytest.raises(ConfigurationError):
+        model.predict_batch(spec, cfg, (16, 16), 4, n_grids=0)
+
+
+def test_batch_amortization_limits() -> None:
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+    model = PerformanceModel(NALLATECH_385A)
+    # tiny grids, huge batch: launch overhead dominates, big win
+    tiny = model.batch_amortization(spec, cfg, (16, 16), 4, n_grids=1024)
+    assert tiny > 5.0
+    # batch of one still wins (shared launch == per-job launch minus nothing
+    # amortized), but only marginally
+    one = model.batch_amortization(spec, cfg, (16, 16), 4, n_grids=1)
+    assert 1.0 <= one < tiny
+    # large per-grid work: the overhead is noise, ratio -> 1
+    big_cfg = BlockingConfig(
+        dims=2, radius=1, bsize_x=256, parvec=4, partime=2
+    )
+    big = model.batch_amortization(spec, big_cfg, (512, 512), 64, n_grids=8)
+    assert big == pytest.approx(1.0, rel=0.05)
+    assert big < tiny

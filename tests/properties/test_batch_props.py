@@ -1,0 +1,109 @@
+"""Property-based batch equivalence: run_batch == B separate runs, bit for bit.
+
+The batch engine's contract (DESIGN note in :mod:`repro.core.batch`):
+packing any number of same-shape grids into one slab and driving them
+through one batched call changes *scheduling*, never numerics.  The
+strategies deliberately draw awkward shapes — partial blocks, extent-1
+axes, grids smaller than the halo — because those are where a slab
+off-by-one would first show.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BatchPlan,
+    BlockingConfig,
+    FPGAAccelerator,
+    StencilSpec,
+    make_grid,
+    reference_run,
+)
+
+
+@st.composite
+def batch_case(draw):
+    radius = draw(st.integers(1, 2))
+    partime = draw(st.integers(1, 3))
+    parvec = draw(st.sampled_from([1, 2, 4]))
+    halo = partime * radius
+    bsize_x = ((2 * halo) // parvec + 1) * parvec + draw(st.integers(1, 4)) * parvec
+    cfg = BlockingConfig(
+        dims=2, radius=radius, bsize_x=bsize_x, parvec=parvec, partime=partime
+    )
+    ny = draw(st.integers(1, 12))
+    nx = draw(st.integers(1, 40))
+    n_grids = draw(st.integers(1, 6))
+    iters = draw(st.integers(0, partime + 2))
+    seed = draw(st.integers(0, 2**16))
+    boundary = draw(st.sampled_from(["clamp", "periodic"]))
+    return cfg, (ny, nx), n_grids, iters, seed, boundary
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch_case())
+def test_batch_matches_per_grid_runs(case) -> None:
+    cfg, shape, n_grids, iters, seed, boundary = case
+    spec = StencilSpec.star(2, cfg.radius)
+    grids = [
+        make_grid(shape, "mixed", seed=seed + i) for i in range(n_grids)
+    ]
+    acc = FPGAAccelerator(spec, cfg, boundary=boundary, engine="numpy")
+    try:
+        batch = acc.run_batch(grids, iters)
+        assert batch.ok
+        for g, out in zip(grids, batch.outputs):
+            single, _ = acc.run(g, iters)
+            assert np.array_equal(out, single)
+    finally:
+        acc.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(batch_case())
+def test_batch_matches_reference(case) -> None:
+    cfg, shape, n_grids, iters, seed, boundary = case
+    spec = StencilSpec.star(2, cfg.radius)
+    grids = [
+        make_grid(shape, "mixed", seed=seed + i) for i in range(n_grids)
+    ]
+    acc = FPGAAccelerator(spec, cfg, boundary=boundary, engine="numpy")
+    try:
+        batch = acc.run_batch(grids, iters)
+        for g, out in zip(grids, batch.outputs):
+            assert np.array_equal(
+                out, reference_run(g, spec, iters, boundary=boundary)
+            )
+    finally:
+        acc.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch_case())
+def test_pack_unpack_round_trip(case) -> None:
+    cfg, shape, n_grids, _, seed, boundary = case
+    grids = [
+        make_grid(shape, "mixed", seed=seed + i) for i in range(n_grids)
+    ]
+    bplan = BatchPlan(cfg, shape, n_grids, boundary)
+    out = bplan.unpack(bplan.pack(grids))
+    for g, o in zip(grids, out):
+        assert np.array_equal(g, o)
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch_case())
+def test_unit_decomposition_is_bijective(case) -> None:
+    cfg, shape, n_grids, _, _, boundary = case
+    bplan = BatchPlan(cfg, shape, n_grids, boundary)
+    bt = bplan.to_batch_tables(cfg.partime)
+    decoded = [bt.unit_to_grid_block(t) for t in range(bt.n_units)]
+    assert decoded == [
+        (g, b) for g in range(n_grids) for b in range(bt.n_blocks)
+    ]
+    assert bplan.offsets() == tuple(
+        g * bplan.grid_stride for g in range(n_grids)
+    )

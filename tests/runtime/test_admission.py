@@ -167,3 +167,34 @@ def test_drain_returns_fair_order_and_empties() -> None:
     assert items == ["a0", "a1", "b0", "b1"]
     assert q.depth == 0
     assert q.pop() is None
+
+
+# -- retry-after floor ------------------------------------------------------- #
+
+
+def test_tiny_deficit_hint_is_floored() -> None:
+    from repro.runtime.admission import MIN_RETRY_AFTER_S
+
+    # drain the burst, then refill to a hair's breadth below one token:
+    # the raw deficit/rate hint would be ~1e-10s — useless as a client
+    # backoff.  The floor guarantees a schedulable positive delay.
+    bucket = TokenBucket(rate=1e6, burst=1.0)
+    assert bucket.try_acquire(0.0) == 0.0
+    hint = bucket.try_acquire((1.0 - 1e-4) / 1e6)
+    assert hint >= MIN_RETRY_AFTER_S
+
+
+@pytest.mark.parametrize("rate,burst", [(2.0, 3.0), (100.0, 1.0), (1e9, 8.0)])
+def test_failed_acquire_hint_is_always_positive(rate, burst) -> None:
+    from repro.runtime.admission import MIN_RETRY_AFTER_S
+
+    bucket = TokenBucket(rate=rate, burst=burst)
+    now = 0.0
+    hints = []
+    for _ in range(int(burst) + 50):
+        hint = bucket.try_acquire(now)
+        if hint > 0.0:
+            hints.append(hint)
+        now += 1e-12  # nearly-stopped clock: deficits stay microscopic
+    assert hints, "bucket never saturated"
+    assert all(h >= MIN_RETRY_AFTER_S for h in hints)

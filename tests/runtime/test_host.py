@@ -173,3 +173,63 @@ def test_host_device_sensor_uses_design_power() -> None:
     program = make_program()
     sensor = HostDevice().sensor_for(program)
     assert sensor.base_watts == pytest.approx(program.power_watts())
+
+
+# -- batched kernel enqueue -------------------------------------------------- #
+
+
+def _batch_setup(n_grids: int = 3):
+    spec = StencilSpec.star(2, 1)
+    cfg = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+    program = StencilProgram(spec, cfg)
+    grids = [make_grid((12, 20), "mixed", seed=90 + i) for i in range(n_grids)]
+    slab = np.stack(grids).astype(np.float32)
+    return program, grids, slab
+
+
+def test_batch_kernel_numerics_match_per_grid_kernels() -> None:
+    program, grids, slab = _batch_setup()
+    queue = CommandQueue()
+    src, dst = Buffer(slab.nbytes), Buffer(slab.nbytes)
+    queue.enqueue_write_buffer(src, slab)
+    queue.enqueue_batch_kernel(program, src, dst, 4, n_grids=len(grids))
+    out, _ = queue.enqueue_read_buffer(dst)
+    for g, grid in enumerate(grids):
+        assert np.array_equal(out[g], reference_run(grid, program.spec, 4))
+
+
+def test_batch_kernel_time_scales_with_n_grids() -> None:
+    program, grids, slab = _batch_setup()
+    queue = CommandQueue()
+    src, dst = Buffer(slab.nbytes), Buffer(slab.nbytes)
+    queue.enqueue_write_buffer(src, slab)
+    event, batch = queue.enqueue_batch_kernel(
+        program, src, dst, 4, n_grids=len(grids)
+    )
+    assert batch.ok
+    assert event.duration_s == pytest.approx(
+        program.batch_kernel_time_s(grids[0].shape, 4, len(grids))
+    )
+    # per-grid work scales linearly; launch overhead is paid once
+    from repro.models.performance import LAUNCH_OVERHEAD_S
+
+    single = program.kernel_time_s(grids[0].shape, 4)
+    assert event.duration_s == pytest.approx(
+        3 * single + LAUNCH_OVERHEAD_S
+    )
+
+
+def test_batch_kernel_validates_inputs() -> None:
+    program, grids, slab = _batch_setup()
+    queue = CommandQueue()
+    src, dst = Buffer(slab.nbytes), Buffer(slab.nbytes)
+    queue.enqueue_write_buffer(src, slab)
+    with pytest.raises(ConfigurationError):
+        queue.enqueue_batch_kernel(program, src, dst, 4, n_grids=0)
+    with pytest.raises(ConfigurationError):
+        queue.enqueue_batch_kernel(
+            program, src, dst, 4, n_grids=3, watchdog_s=0.0
+        )
+    with pytest.raises(ConfigurationError):
+        # slab leading axis disagrees with n_grids
+        queue.enqueue_batch_kernel(program, src, dst, 4, n_grids=5)

@@ -1,0 +1,138 @@
+"""Batched jobs through the scheduler (BatchStencilJob / execute_batch).
+
+The scheduler treats a batch as *one* job for placement, deadline and
+retry purposes; results split per grid only at the very end.  Partial
+batches (some grids fault-failed) are final — the scheduler never
+re-dispatches a partial batch, callers retry failed entries as single
+jobs (the service layer does exactly that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BlockingConfig, StencilSpec, make_grid, reference_run
+from repro.errors import ConfigurationError
+from repro.runtime import StencilJob, StencilScheduler
+from repro.runtime.scheduler import BatchStencilJob
+
+SPEC = StencilSpec.star(2, 1)
+CONFIG = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+SHAPE = (12, 20)
+GRIDS = tuple(make_grid(SHAPE, "mixed", seed=60 + i) for i in range(4))
+
+
+def batch_job(job_id: str, **kwargs) -> BatchStencilJob:
+    kwargs.setdefault("iterations", 4)
+    kwargs.setdefault("grids", GRIDS)
+    return BatchStencilJob(job_id=job_id, spec=SPEC, config=CONFIG, **kwargs)
+
+
+def test_batch_job_validation() -> None:
+    with pytest.raises(ConfigurationError) as exc:
+        batch_job("j", grids=())
+    assert exc.value.param == "grids"
+    with pytest.raises(ConfigurationError):
+        batch_job("j", iterations=0)
+    with pytest.raises(ConfigurationError):
+        batch_job("j", deadline_s=0.0)
+    mixed = (GRIDS[0], make_grid((8, 20), "mixed", seed=1))
+    with pytest.raises(ConfigurationError):
+        batch_job("j", grids=mixed)
+
+
+def test_execute_batch_completes_bit_exact() -> None:
+    sched = StencilScheduler(devices=1)
+    try:
+        result = sched.execute_batch(batch_job("b1"))
+        assert result.status == "completed"
+        assert result.n_grids == 4 and result.n_failed == 0
+        for g, out in zip(GRIDS, result.results):
+            assert np.array_equal(out, reference_run(g, SPEC, 4))
+    finally:
+        sched.close()
+
+
+def test_execute_batch_matches_single_jobs() -> None:
+    sched = StencilScheduler(devices=1)
+    try:
+        batch = sched.execute_batch(batch_job("b2"))
+        for i, g in enumerate(GRIDS):
+            single = sched.execute_job(
+                StencilJob(
+                    job_id=f"s{i}", spec=SPEC, config=CONFIG,
+                    grid=g, iterations=4,
+                )
+            )
+            assert single.status == "completed"
+            assert np.array_equal(batch.results[i], single.result)
+    finally:
+        sched.close()
+
+
+def test_execute_batch_duplicate_id_rejected() -> None:
+    sched = StencilScheduler(devices=1)
+    try:
+        sched.execute_batch(batch_job("dup"))
+        with pytest.raises(ConfigurationError):
+            sched.execute_batch(batch_job("dup"))
+    finally:
+        sched.close()
+
+
+def test_impossible_deadline_fails_whole_batch_typed() -> None:
+    sched = StencilScheduler(devices=1)
+    try:
+        result = sched.execute_batch(batch_job("late", deadline_s=1e-12))
+        assert result.status == "failed"
+        assert result.n_failed == result.n_grids == 4
+        assert set(result.error_types) == {"DeadlineExceededError"}
+        assert all(r is None for r in result.results)
+    finally:
+        sched.close()
+
+
+def test_batch_of_one_equals_single_job() -> None:
+    sched = StencilScheduler(devices=1)
+    try:
+        batch = sched.execute_batch(batch_job("one", grids=GRIDS[:1]))
+        single = sched.execute_job(
+            StencilJob(
+                job_id="one-s", spec=SPEC, config=CONFIG,
+                grid=GRIDS[0], iterations=4,
+            )
+        )
+        assert batch.status == "completed"
+        assert np.array_equal(batch.results[0], single.result)
+    finally:
+        sched.close()
+
+
+def test_bad_config_rejected_without_health_penalty() -> None:
+    bad = BlockingConfig(dims=2, radius=1, bsize_x=64, parvec=4, partime=2)
+    sched = StencilScheduler(devices=1)
+    try:
+        job = BatchStencilJob(
+            job_id="3d", spec=StencilSpec.star(3, 1), config=bad,
+            grids=GRIDS, iterations=2,
+        )
+        result = sched.execute_batch(job)
+        assert result.status == "failed"
+        assert set(result.error_types) == {"ConfigurationError"}
+        report = sched.device_report()
+        assert all(d["fault_rate"] == 0.0 for d in report)
+        assert not any(d["quarantined"] for d in report)
+    finally:
+        sched.close()
+
+
+def test_batch_checkpoint_runs_clean() -> None:
+    sched = StencilScheduler(devices=1)
+    try:
+        result = sched.execute_batch(batch_job("ck", checkpoint=1))
+        assert result.status == "completed"
+        for g, out in zip(GRIDS, result.results):
+            assert np.array_equal(out, reference_run(g, SPEC, 4))
+    finally:
+        sched.close()

@@ -68,7 +68,9 @@ def test_single_request_is_bit_exact() -> None:
 
 
 def test_identical_requests_coalesce_on_one_artifact() -> None:
-    svc = numpy_service(devices=2)
+    # coalesce=False pins the *warm-artifact* marker across separate
+    # dispatches; batched dispatch has its own suite (test_service_batch)
+    svc = numpy_service(devices=2, policy=ServicePolicy(coalesce=False))
     tickets = [svc.submit(**request(tenant=t)) for t in ("a", "b", "c", "d")]
     svc.run_pending()
     results = [t.result(0) for t in tickets]
@@ -257,10 +259,14 @@ def test_non_transient_failures_are_not_retried() -> None:
 
 
 def test_pressure_degrades_engine_with_explicit_marker() -> None:
+    # coalesce=False: the test pins the per-job pressure ladder easing
+    # as the queue drains; one batched launch would see one pressure
+    # reading for all eight requests
     svc = numpy_service(
         devices=1,
         policy=ServicePolicy(
-            max_queue_depth=8, degrade_at=0.25, degrade_hard_at=0.75
+            max_queue_depth=8, degrade_at=0.25, degrade_hard_at=0.75,
+            coalesce=False,
         ),
     )
     tickets = [svc.submit(**request(tenant=f"t{i}")) for i in range(8)]
@@ -339,3 +345,59 @@ def test_dispatch_thread_serves_concurrent_tenants() -> None:
     report = svc.report()
     assert sum(t["completed"] for t in report["tenants"].values()) == 12
     assert report["artifacts"]["flights"] == 1  # all 12 rode one artifact
+
+
+# -- bounded metrics reservoir (ServiceMetrics) ------------------------------ #
+
+
+def test_metrics_reservoir_is_bounded() -> None:
+    from repro.runtime.service import ServiceMetrics
+
+    m = ServiceMetrics(window=4)
+    for i in range(100):
+        m.count("t", "completed")
+        m.observe("t", latency_s=float(i), queue_wait_s=0.0)
+    snap = m.snapshot()["t"]
+    assert snap["latency_samples"] == 4
+    # only the 4 most recent samples (96..99) survive in the window
+    assert snap["p50_ms"] >= 96_000.0
+
+
+def test_metrics_zero_samples_emit_no_percentiles() -> None:
+    from repro.runtime.service import ServiceMetrics
+
+    m = ServiceMetrics()
+    m.count("t", "submitted")
+    snap = m.snapshot()["t"]
+    assert "p50_ms" not in snap and "p99_ms" not in snap
+
+
+def test_metrics_single_sample_pins_percentiles() -> None:
+    from repro.runtime.service import ServiceMetrics
+
+    m = ServiceMetrics()
+    m.count("t", "completed")
+    m.observe("t", latency_s=0.25, queue_wait_s=0.0)
+    snap = m.snapshot()["t"]
+    assert snap["p50_ms"] == snap["p99_ms"] == pytest.approx(250.0)
+    assert snap["latency_samples"] == 1
+
+
+def test_metrics_window_validated_and_policy_threads_through() -> None:
+    from repro.runtime.service import ServiceMetrics
+
+    with pytest.raises(ConfigurationError):
+        ServiceMetrics(window=0)
+    with pytest.raises(ConfigurationError):
+        ServicePolicy(metrics_window=0)
+    svc = numpy_service(policy=ServicePolicy(metrics_window=7))
+    assert svc.metrics.window == 7
+    svc.close()
+
+
+def test_drain_estimate_never_hands_out_zero_backoff() -> None:
+    from repro.runtime.admission import MIN_RETRY_AFTER_S
+
+    svc = numpy_service()
+    assert svc._drain_estimate_s() >= MIN_RETRY_AFTER_S
+    svc.close()

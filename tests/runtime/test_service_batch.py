@@ -1,0 +1,145 @@
+"""Batched dispatch at the service layer (request coalescing into batches).
+
+Compatible queued small-grid requests — same ``(spec, config, shape,
+iterations, deadline, checkpoint, watchdog)`` — ride one
+:class:`~repro.runtime.scheduler.BatchStencilJob`; results and errors
+split back per request.  The per-request contract (tickets, metrics,
+wall deadlines, degradation markers) is unchanged: batching is an
+throughput optimisation the caller only sees via ``result.batched``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BlockingConfig, StencilSpec, make_grid, reference_run
+from repro.runtime import (
+    ServicePolicy,
+    StencilScheduler,
+    StencilService,
+)
+
+SPEC = StencilSpec.star(2, 1)
+CONFIG = BlockingConfig(dims=2, radius=1, bsize_x=32, parvec=4, partime=2)
+SHAPE = (12, 20)
+GRID = make_grid(SHAPE, "mixed", seed=7)
+REF_4 = reference_run(GRID, SPEC, 4)
+
+
+def numpy_service(
+    devices: int = 1, *, policy: ServicePolicy | None = None, **sched_kwargs
+) -> StencilService:
+    sched = StencilScheduler(devices=devices, engine="numpy", **sched_kwargs)
+    return StencilService(sched, policy=policy, start=False)
+
+
+def request(tenant: str = "alice", **kwargs) -> dict:
+    kwargs.setdefault("iterations", 4)
+    kwargs.setdefault("grid", GRID)
+    return dict(tenant=tenant, spec=SPEC, config=CONFIG, **kwargs)
+
+
+def test_compatible_requests_ride_one_batch() -> None:
+    svc = numpy_service()
+    grids = [make_grid(SHAPE, "mixed", seed=70 + i) for i in range(4)]
+    tickets = [
+        svc.submit(**request(tenant=t, grid=g))
+        for t, g in zip("abcd", grids)
+    ]
+    # one run_pending drains the head plus its coalesced siblings
+    assert svc.run_pending() == 4
+    results = [t.result(0) for t in tickets]
+    for g, r in zip(grids, results):
+        assert r.status == "completed"
+        assert r.batched and r.batch_size == 4
+        assert np.array_equal(r.result, reference_run(g, SPEC, 4))
+    snap = svc.metrics.snapshot()
+    assert sum(e.get("batched", 0) for e in snap.values()) == 4
+    svc.close()
+
+
+def test_batched_results_match_unbatched() -> None:
+    grids = [make_grid(SHAPE, "mixed", seed=80 + i) for i in range(3)]
+    batched = numpy_service()
+    tickets = [batched.submit(**request(grid=g)) for g in grids]
+    batched.run_pending()
+    outs = [t.result(0).result for t in tickets]
+    batched.close()
+
+    plain = numpy_service(policy=ServicePolicy(coalesce=False))
+    for g, out in zip(grids, outs):
+        t = plain.submit(**request(grid=g))
+        plain.run_pending()
+        r = t.result(0)
+        assert not r.batched and r.batch_size == 0
+        assert np.array_equal(out, r.result)
+    plain.close()
+
+
+def test_incompatible_requests_do_not_coalesce() -> None:
+    svc = numpy_service()
+    svc.submit(**request())
+    t2 = svc.submit(**request(tenant="bob", iterations=2))  # differs
+    assert svc.run_pending() == 2  # drains both, but as separate jobs
+    assert not t2.result(0).batched
+    snap = svc.metrics.snapshot()
+    assert sum(e.get("batched", 0) for e in snap.values()) == 0
+    svc.close()
+
+
+def test_mixed_queue_batches_only_the_compatible_run() -> None:
+    svc = numpy_service()
+    t1 = svc.submit(**request(tenant="a"))
+    t2 = svc.submit(**request(tenant="b", iterations=2))
+    t3 = svc.submit(**request(tenant="c"))
+    assert svc.run_pending() == 3  # a + c ride one batch, b runs alone
+    r1, r2, r3 = (t.result(0) for t in (t1, t2, t3))
+    assert r1.batched and r3.batched and r1.batch_size == 2
+    assert not r2.batched
+    assert np.array_equal(r1.result, REF_4)
+    assert np.array_equal(r2.result, reference_run(GRID, SPEC, 2))
+    assert np.array_equal(r3.result, REF_4)
+    svc.close()
+
+
+def test_coalesce_false_disables_batching() -> None:
+    svc = numpy_service(policy=ServicePolicy(coalesce=False))
+    tickets = [svc.submit(**request(tenant=t)) for t in "ab"]
+    assert svc.run_pending() == 2
+    assert all(not t.result(0).batched for t in tickets)
+    snap = svc.metrics.snapshot()
+    assert sum(e.get("batched", 0) for e in snap.values()) == 0
+    svc.close()
+
+
+def test_large_grids_are_never_batched() -> None:
+    policy = ServicePolicy(coalesce_max_cells=64)  # 12*20 = 240 > 64
+    svc = numpy_service(policy=policy)
+    tickets = [svc.submit(**request(tenant=t)) for t in "ab"]
+    assert svc.run_pending() == 2
+    results = [t.result(0) for t in tickets]
+    assert all(r.status == "completed" and not r.batched for r in results)
+    svc.close()
+
+
+def test_coalesce_max_batch_caps_batch_size() -> None:
+    svc = numpy_service(policy=ServicePolicy(coalesce_max_batch=3))
+    tickets = [svc.submit(**request(tenant=t)) for t in "abcde"]
+    assert svc.run_pending() == 5  # one batch of 3, then one of 2
+    sizes = sorted(t.result(0).batch_size for t in tickets)
+    assert sizes == [2, 2, 3, 3, 3]
+    svc.close()
+
+
+def test_batched_latency_lands_in_metrics_reservoir() -> None:
+    svc = numpy_service(policy=ServicePolicy(metrics_window=8))
+    for t in "abcdef":
+        svc.submit(**request(tenant=t))
+    svc.run_pending()
+    snap = svc.metrics.snapshot()
+    assert sum(e.get("batched", 0) for e in snap.values()) == 6
+    total_samples = sum(
+        entry.get("latency_samples", 0) for entry in snap.values()
+    )
+    assert total_samples == 6
+    svc.close()
