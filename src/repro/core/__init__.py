@@ -12,6 +12,7 @@ from repro.core.reference import reference_step, reference_run
 from repro.core.blocking import BlockingConfig, BlockDecomposition
 from repro.core.batch import BatchPlan, BatchResult, BatchTables
 from repro.core.accelerator import FPGAAccelerator, AcceleratorStats
+from repro.core.sharding import HaloEdge, Shard, ShardPlan
 
 __all__ = [
     "Direction",
@@ -26,4 +27,7 @@ __all__ = [
     "BatchTables",
     "FPGAAccelerator",
     "AcceleratorStats",
+    "HaloEdge",
+    "Shard",
+    "ShardPlan",
 ]

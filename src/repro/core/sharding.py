@@ -1,0 +1,287 @@
+"""Spatial shard geometry for multi-device execution (StencilFlow/SASA style).
+
+One grid, N simulated devices: the grid is decomposed along the
+*streamed* axis (y in 2D, z in 3D — always array axis 0, matching
+:attr:`~repro.core.blocking.BlockingConfig.streamed_axis`) into
+contiguous per-shard interiors, each extended by a halo of
+``partime * radius`` rows on every side that touches another shard.
+Each shard then runs on its own :class:`~repro.core.FPGAAccelerator`
+and, after every pass, refreshes its halo rows from its neighbors'
+freshly-computed interiors (the halo exchange of
+:mod:`repro.runtime.sharded`).
+
+Why this is bit-exact
+---------------------
+
+A pass advances at most ``partime`` time steps, and the star stencil is
+purely local: after ``k`` steps a cell depends only on cells within
+``k * radius`` rows of it, and every engine computes each cell with a
+fixed accumulation order, independent of where the cell sits in the
+array.  A shard's sub-grid therefore reproduces the *global* run
+bit-for-bit for every cell at least ``partime * radius`` rows away from
+a cut edge — exactly the shard's interior, because the halo is
+``partime * radius`` deep.  The halo rows themselves are garbage after
+the pass (the sub-grid run resolved the cut edge with whatever boundary
+rule it was given), but they are *discarded and rewritten* by the
+exchange before the next pass reads them.  Along the blocked axes the
+sub-grid spans the full global extent, so the boundary mode (clamp or
+periodic) is globally correct there; at a *global* axis-0 border under
+clamp the shard has no halo and the clamp rule applies exactly as in the
+single-device run.  Under periodic boundaries every axis-0 edge is a cut
+edge (the first and last shards are neighbors through the wrap).
+
+The partition invariants — interiors tile the grid exactly, every halo
+row is covered by exactly one exchange edge sourced from a neighbor's
+interior — are proven without executing by lint rule P308
+(:func:`repro.lint.plan_pass.lint_shard_plan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocking import BlockingConfig
+from repro.errors import ConfigurationError
+
+#: Boundary modes a shard plan understands (same set as the accelerator).
+BOUNDARIES = ("clamp", "periodic")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One shard: its global interior rows and local halo geometry.
+
+    ``start``/``stop`` bound the *interior* (the rows this shard owns
+    and writes back) along global axis 0.  ``halo_lo``/``halo_hi`` are
+    the halo depths on the low/high side of the sub-grid (0 at a clamped
+    global border, ``config.halo`` at a cut edge).  The sub-grid is the
+    interior plus halos, so local row ``halo_lo + i`` is global row
+    ``start + i``.
+    """
+
+    index: int
+    start: int
+    stop: int
+    halo_lo: int
+    halo_hi: int
+
+    @property
+    def rows(self) -> int:
+        """Interior extent along axis 0."""
+        return self.stop - self.start
+
+    @property
+    def sub_rows(self) -> int:
+        """Sub-grid extent along axis 0 (interior plus halos)."""
+        return self.halo_lo + self.rows + self.halo_hi
+
+    @property
+    def interior(self) -> slice:
+        """Local axis-0 slice of the interior inside the sub-grid."""
+        return slice(self.halo_lo, self.halo_lo + self.rows)
+
+
+@dataclass(frozen=True)
+class HaloEdge:
+    """One directed halo transfer: ``src`` shard feeds ``dst`` shard.
+
+    ``src_rows`` selects the *interior* rows of the sender's sub-grid
+    that the receiver needs (local coordinates of the sender);
+    ``dst_rows`` is the receiver's halo zone they land in (local
+    coordinates of the receiver).  Both spans are ``halo`` rows deep.
+    ``side`` is the receiver's edge being fed (``"lo"`` or ``"hi"``) —
+    it disambiguates the two distinct transfers a 2-shard periodic plan
+    carries in the *same* direction (direct and through the wrap).
+    ``name`` keys the transport channel and the fault plan's
+    ``HaloCorruptFault.edge`` selector.
+    """
+
+    src: int
+    dst: int
+    src_rows: tuple[int, int]
+    dst_rows: tuple[int, int]
+    side: str
+
+    @property
+    def name(self) -> str:
+        return f"halo:{self.src}->{self.dst}:{self.side}"
+
+    @property
+    def rows(self) -> int:
+        return self.src_rows[1] - self.src_rows[0]
+
+
+class ShardPlan:
+    """Decomposition of one grid across ``shards`` simulated devices.
+
+    Interiors are the balanced contiguous split of the axis-0 extent
+    (the first ``extent % shards`` shards get one extra row).  The plan
+    is pure geometry — no arrays are held — so one plan can drive many
+    runs, exactly like :class:`~repro.core.plan.PassPlan`.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the geometry
+    cannot support bit-exact exchange: every shard interior must be at
+    least ``config.halo`` rows deep whenever it serves a halo to a
+    neighbor, so each halo strip is sourced from a *single* neighbor's
+    interior.
+    """
+
+    def __init__(
+        self,
+        config: BlockingConfig,
+        grid_shape: tuple[int, ...],
+        boundary: str = "clamp",
+        shards: int = 2,
+    ):
+        if boundary not in BOUNDARIES:
+            raise ConfigurationError(
+                f"boundary must be one of {BOUNDARIES}, got {boundary!r}",
+                param="boundary", value=boundary,
+                constraint=f"boundary in {BOUNDARIES}",
+            )
+        if shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {shards}",
+                param="shards", value=shards, constraint="shards >= 1",
+            )
+        config._check_shape(grid_shape)
+        self.config = config
+        self.grid_shape = tuple(int(s) for s in grid_shape)
+        self.boundary = boundary
+        self.periodic = boundary == "periodic"
+        self.n_shards = shards
+        self.halo = config.halo
+        extent = self.grid_shape[0]
+        if shards > extent:
+            raise ConfigurationError(
+                f"cannot split {extent} rows across {shards} shards",
+                param="shards", value=shards,
+                constraint="shards <= grid extent along axis 0",
+            )
+
+        base, extra = divmod(extent, shards)
+        shard_list: list[Shard] = []
+        cursor = 0
+        for i in range(shards):
+            rows = base + (1 if i < extra else 0)
+            lo_cut = self.periodic or i > 0
+            hi_cut = self.periodic or i < shards - 1
+            if shards == 1:
+                lo_cut = hi_cut = False  # a single shard never exchanges
+            halo_lo = self.halo if lo_cut else 0
+            halo_hi = self.halo if hi_cut else 0
+            if (halo_lo or halo_hi) and rows < self.halo:
+                raise ConfigurationError(
+                    f"shard {i} interior is {rows} rows but each exchanged "
+                    f"halo needs {self.halo} source rows "
+                    f"(partime={config.partime} * radius={config.radius})",
+                    param="shards", value=shards,
+                    constraint="every shard interior >= partime * radius",
+                )
+            shard_list.append(
+                Shard(
+                    index=i, start=cursor, stop=cursor + rows,
+                    halo_lo=halo_lo, halo_hi=halo_hi,
+                )
+            )
+            cursor += rows
+        self.shards: tuple[Shard, ...] = tuple(shard_list)
+
+        edges: list[HaloEdge] = []
+        for i in range(shards):
+            j = i + 1
+            if j >= shards:
+                if not self.periodic or shards == 1:
+                    break
+                j = 0  # wrap edge between the last and first shards
+            lo, hi = self.shards[i], self.shards[j]
+            # hi's low halo comes from the top of lo's interior ...
+            edges.append(
+                HaloEdge(
+                    src=lo.index, dst=hi.index,
+                    src_rows=(
+                        lo.halo_lo + lo.rows - self.halo,
+                        lo.halo_lo + lo.rows,
+                    ),
+                    dst_rows=(0, hi.halo_lo),
+                    side="lo",
+                )
+            )
+            # ... and lo's high halo from the bottom of hi's interior.
+            edges.append(
+                HaloEdge(
+                    src=hi.index, dst=lo.index,
+                    src_rows=(hi.halo_lo, hi.halo_lo + self.halo),
+                    dst_rows=(lo.halo_lo + lo.rows, lo.sub_rows),
+                    side="hi",
+                )
+            )
+        self.edges: tuple[HaloEdge, ...] = tuple(edges)
+
+    # ------------------------------------------------------------------ #
+
+    def sub_shape(self, shard: Shard) -> tuple[int, ...]:
+        """Sub-grid shape of one shard (halo-extended along axis 0)."""
+        return (shard.sub_rows,) + self.grid_shape[1:]
+
+    @property
+    def max_sub_shape(self) -> tuple[int, ...]:
+        """Largest sub-grid shape over the plan (sizes the cost model)."""
+        return (max(s.sub_rows for s in self.shards),) + self.grid_shape[1:]
+
+    def halo_bytes_per_edge(self) -> int:
+        """float32 bytes one halo strip occupies on the link."""
+        cells = self.halo
+        for s in self.grid_shape[1:]:
+            cells *= s
+        return 4 * cells
+
+    def scatter(self, grid: np.ndarray) -> list[np.ndarray]:
+        """Split a global grid into per-shard sub-grids (copies).
+
+        Halo rows are seeded from the neighbor interiors they will track
+        (modulo the extent under periodic boundaries), so pass 1 reads
+        the same values the single-device run reads.
+        """
+        if tuple(grid.shape) != self.grid_shape:
+            raise ConfigurationError(
+                f"grid shape {tuple(grid.shape)} does not match plan shape "
+                f"{self.grid_shape}",
+                param="grid", value=tuple(grid.shape),
+                constraint=f"grid.shape == {self.grid_shape}",
+            )
+        subs: list[np.ndarray] = []
+        extent = self.grid_shape[0]
+        for shard in self.shards:
+            rows = np.arange(
+                shard.start - shard.halo_lo, shard.stop + shard.halo_hi
+            )
+            if self.periodic:
+                rows = np.mod(rows, extent)
+            subs.append(np.ascontiguousarray(grid[rows]))
+        return subs
+
+    def gather(
+        self, subgrids: list[np.ndarray], out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Recompose the global grid from the shard interiors."""
+        if len(subgrids) != self.n_shards:
+            raise ConfigurationError(
+                f"expected {self.n_shards} sub-grids, got {len(subgrids)}",
+                param="subgrids", value=len(subgrids),
+                constraint=f"len(subgrids) == {self.n_shards}",
+            )
+        if out is None:
+            out = np.empty(self.grid_shape, dtype=np.float32)
+        for shard, sub in zip(self.shards, subgrids):
+            if tuple(sub.shape) != self.sub_shape(shard):
+                raise ConfigurationError(
+                    f"shard {shard.index} sub-grid has shape "
+                    f"{tuple(sub.shape)}, expected {self.sub_shape(shard)}",
+                    param="subgrids", value=tuple(sub.shape),
+                    constraint=f"sub.shape == {self.sub_shape(shard)}",
+                )
+            out[shard.start:shard.stop] = sub[shard.interior]
+        return out

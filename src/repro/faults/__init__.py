@@ -28,9 +28,11 @@ from repro.faults.injector import FaultInjector, FaultRecord
 from repro.faults.plan import (
     ChannelCorruptFault,
     ChannelStallFault,
+    DeviceLossFault,
     Fault,
     FaultPlan,
     FmaxDerateFault,
+    HaloCorruptFault,
     MemoryStallFault,
     SensorDropoutFault,
     SEUFault,
@@ -92,6 +94,8 @@ __all__ = [
     "SensorDropoutFault",
     "FmaxDerateFault",
     "MemoryStallFault",
+    "HaloCorruptFault",
+    "DeviceLossFault",
     "arm",
     "disarm",
     "active",

@@ -106,6 +106,8 @@ RULES: dict[str, Rule] = _catalog([
      "driver tables do not round-trip the plan's Python geometry"),
     ("P307", Severity.ERROR, "plan",
      "batch driver tables do not round-trip to the per-grid plan"),
+    ("P308", Severity.ERROR, "plan",
+     "shard plan partition or halo-exchange geometry is not exact"),
     # ---- hot-path purity pass ----------------------------------------- #
     ("H401", Severity.ERROR, "purity",
      "fault-injection hook used outside a disarmed guard"),

@@ -16,9 +16,12 @@ from repro.runtime.host import (
 from repro.runtime.scheduler import (
     CircuitBreaker,
     JobResult,
+    ShardedJob,
+    ShardedJobResult,
     StencilJob,
     StencilScheduler,
 )
+from repro.runtime.sharded import ShardedResult, ShardedRunner, ShardedStats
 from repro.runtime.service import (
     ServiceMetrics,
     ServicePolicy,
@@ -44,6 +47,11 @@ __all__ = [
     "ServicePolicy",
     "ServiceResult",
     "ServiceTicket",
+    "ShardedJob",
+    "ShardedJobResult",
+    "ShardedResult",
+    "ShardedRunner",
+    "ShardedStats",
     "StencilJob",
     "StencilProgram",
     "StencilScheduler",

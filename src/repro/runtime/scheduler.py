@@ -42,6 +42,7 @@ error — never silently wrong.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -53,10 +54,13 @@ from repro.core.stencil import StencilSpec
 from repro.errors import (
     ConfigurationError,
     DeadlineExceededError,
+    DeviceLostError,
     FaultDetectedError,
     SchedulerSaturatedError,
+    SchedulerShutdownError,
 )
 from repro.faults import hooks as fault_hooks
+from repro.models.performance import PerformanceModel
 from repro.runtime.artifacts import ArtifactCache
 from repro.runtime.checkpoint import CheckpointPolicy
 from repro.runtime.host import (
@@ -66,6 +70,7 @@ from repro.runtime.host import (
     RetryPolicy,
     StencilProgram,
 )
+from repro.runtime.sharded import ShardedRunner, ShardedStats
 
 
 @dataclass(frozen=True)
@@ -103,9 +108,13 @@ class StencilJob:
             raise ConfigurationError(
                 f"iterations must be >= 1, got {self.iterations}"
             )
-        if self.deadline_s is not None and self.deadline_s <= 0:
+        if self.deadline_s is not None and not (
+            math.isfinite(self.deadline_s) and self.deadline_s > 0
+        ):
             raise ConfigurationError(
-                f"deadline_s must be > 0, got {self.deadline_s}"
+                f"deadline_s must be finite and > 0, got {self.deadline_s}",
+                param="deadline_s", value=self.deadline_s,
+                constraint="math.isfinite(deadline_s) and deadline_s > 0",
             )
         if self.watchdog_factor is not None and self.watchdog_factor <= 0:
             raise ConfigurationError(
@@ -173,9 +182,13 @@ class BatchStencilJob:
             raise ConfigurationError(
                 f"iterations must be >= 1, got {self.iterations}"
             )
-        if self.deadline_s is not None and self.deadline_s <= 0:
+        if self.deadline_s is not None and not (
+            math.isfinite(self.deadline_s) and self.deadline_s > 0
+        ):
             raise ConfigurationError(
-                f"deadline_s must be > 0, got {self.deadline_s}"
+                f"deadline_s must be finite and > 0, got {self.deadline_s}",
+                param="deadline_s", value=self.deadline_s,
+                constraint="math.isfinite(deadline_s) and deadline_s > 0",
             )
         if self.watchdog_factor is not None and self.watchdog_factor <= 0:
             raise ConfigurationError(
@@ -230,6 +243,92 @@ class BatchJobResult:
     @property
     def n_failed(self) -> int:
         return sum(1 for e in self.error_types if e is not None)
+
+
+@dataclass(frozen=True)
+class ShardedJob:
+    """One grid decomposed across ``shards`` fleet devices as one unit.
+
+    The scheduler backs each shard with a distinct device (healthy
+    boards with the smallest clocks first) and hands the run to the
+    sharded execution layer (:class:`~repro.runtime.sharded
+    .ShardedRunner`): lockstep compute passes, CRC-guarded halo
+    exchange, per-shard tail replay and re-sharding on device loss all
+    happen *inside* the job.  ``deadline_s`` budgets the lockstep
+    simulated time of the whole run (compute + exchange + recovery
+    replay); ``checkpoint`` arms per-shard snapshots; ``engine`` is the
+    preferred engine — each shard still starts on its backing worker's
+    breaker-resolved engine, so a degraded board contributes a
+    conservative shard instead of being excluded.
+    """
+
+    job_id: str
+    spec: StencilSpec
+    config: BlockingConfig
+    grid: np.ndarray = field(repr=False)
+    iterations: int = 1
+    shards: int = 2
+    boundary: str = "clamp"
+    deadline_s: float | None = None
+    checkpoint: CheckpointPolicy | int | None = None
+    engine: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in (None, "auto", "numpy", "native", "native-driver"):
+            raise ConfigurationError(
+                "engine must be None, 'auto', 'numpy', 'native' or "
+                f"'native-driver', got {self.engine!r}"
+            )
+        if self.iterations < 1:
+            raise ConfigurationError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}",
+                param="shards", value=self.shards, constraint="shards >= 1",
+            )
+        if self.boundary not in ("clamp", "periodic"):
+            raise ConfigurationError(
+                f"boundary must be 'clamp' or 'periodic', got {self.boundary!r}",
+                param="boundary", value=self.boundary,
+                constraint="boundary in ('clamp', 'periodic')",
+            )
+        if self.deadline_s is not None and not (
+            math.isfinite(self.deadline_s) and self.deadline_s > 0
+        ):
+            raise ConfigurationError(
+                f"deadline_s must be finite and > 0, got {self.deadline_s}",
+                param="deadline_s", value=self.deadline_s,
+                constraint="math.isfinite(deadline_s) and deadline_s > 0",
+            )
+
+
+@dataclass(frozen=True)
+class ShardedJobResult:
+    """Outcome of one sharded job.
+
+    ``devices`` are the backing workers in shard order; ``engines`` are
+    the engines each shard *finished* on (``"lost"`` for a board that
+    died mid-run — the run itself completed on the survivors).
+    ``status`` is ``"completed"`` (bit-exact result present) or
+    ``"failed"`` (``error_type``/``error`` name the typed failure).
+    ``elapsed_s`` is the lockstep simulated time; ``stats`` carries the
+    full :class:`~repro.runtime.sharded.ShardedStats` when the run got
+    far enough to produce them.
+    """
+
+    job_id: str
+    status: str
+    devices: tuple[int, ...]
+    engines: tuple[str, ...]
+    result: np.ndarray | None = field(repr=False, default=None)
+    error_type: str | None = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    rollbacks: int = 0
+    replayed_passes: int = 0
+    stats: ShardedStats | None = None
 
 
 class CircuitBreaker:
@@ -516,6 +615,170 @@ class StencilScheduler:
                 self._jobs_completed += 1
                 return result
             dispatches = result.dispatches
+
+    def execute_sharded(self, job: ShardedJob) -> ShardedJobResult:
+        """Run one sharded job across ``job.shards`` fleet devices now.
+
+        Device choice mirrors :meth:`_pick_worker`: the ``shards``
+        non-quarantined workers with the smallest clocks back the
+        shards, in shard order (quarantined boards fill in only when
+        there are not enough healthy ones — the scheduler always makes
+        progress).  Each shard starts on its backing worker's
+        breaker-resolved engine.  Recovery lives *inside* the run —
+        halo retry, per-shard tail replay, engine degradation,
+        re-sharding on device loss — so a typed failure here is final:
+        the internal redundancy *is* the re-dispatch.  Health and
+        breakers are settled per backing worker from the run's
+        per-device fault counts, and every participating worker's
+        clock advances by the lockstep simulated time.
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "scheduler is closed",
+                param="closed",
+                value=True,
+                constraint="execute_sharded() requires an open scheduler",
+            )
+        if job.job_id in self._submitted:
+            raise ConfigurationError(f"duplicate job id {job.job_id!r}")
+        if job.shards > len(self.workers):
+            raise ConfigurationError(
+                f"job {job.job_id!r} wants {job.shards} shards but the "
+                f"fleet has {len(self.workers)} device(s)",
+                param="shards", value=job.shards,
+                constraint="shards <= len(devices)",
+            )
+        self._submitted.add(job.job_id)
+
+        self._probe_due_workers(force=False)
+        by_load = lambda w: (w.queue.clock_s, w.index)  # noqa: E731
+        healthy = sorted(
+            (w for w in self.workers if not w.quarantined), key=by_load
+        )
+        if len(healthy) < job.shards:
+            self._probe_due_workers(force=True)
+            healthy = sorted(
+                (w for w in self.workers if not w.quarantined), key=by_load
+            )
+        pool = healthy + sorted(
+            (w for w in self.workers if w.quarantined), key=by_load
+        )
+        workers = pool[: job.shards]
+        devices = tuple(w.index for w in workers)
+        preferred = job.engine or self.engine
+        engines = tuple(w.engine(preferred) for w in workers)
+
+        def _failed(
+            err: BaseException,
+            engines_now: tuple[str, ...] = engines,
+            elapsed_s: float = 0.0,
+        ) -> ShardedJobResult:
+            return ShardedJobResult(
+                job_id=job.job_id,
+                status="failed",
+                devices=devices,
+                engines=engines_now,
+                error_type=type(err).__name__,
+                error=str(err),
+                elapsed_s=elapsed_s,
+            )
+
+        grid = np.ascontiguousarray(job.grid, dtype=np.float32)
+        if job.deadline_s is not None:
+            estimate_s = PerformanceModel(workers[0].device.board).predict_sharded(
+                job.spec, job.config, grid.shape, job.iterations,
+                shards=job.shards, boundary=job.boundary,
+            ).time_s
+            if estimate_s > job.deadline_s:
+                self._jobs_completed += 1
+                return _failed(
+                    DeadlineExceededError(
+                        f"sharded job {job.job_id!r}: modeled time "
+                        f"{estimate_s:.4f} s exceeds deadline "
+                        f"{job.deadline_s:.4f} s; not dispatched"
+                    )
+                )
+        checkpoint = (
+            job.checkpoint if job.checkpoint is not None else self.default_checkpoint
+        )
+
+        try:
+            runner = ShardedRunner(
+                job.spec,
+                job.config,
+                job.boundary,
+                shards=job.shards,
+                engines=list(engines),
+                checkpoint=checkpoint,
+            )
+        except ConfigurationError as err:
+            # a misconfigured job is rejected typed, and is not the
+            # devices' fault: no health penalty
+            self._jobs_completed += 1
+            return _failed(err)
+
+        def _settle(fault_counts: tuple[int, ...]) -> None:
+            for w, n_faults in zip(workers, fault_counts):
+                if n_faults > 0:
+                    w.breaker.record_fault()
+                    self._audit_degraded_pools()
+                else:
+                    w.breaker.record_success()
+                self._record_health(w, faulty=n_faults > 0)
+
+        try:
+            sharded = runner.run(grid, job.iterations)
+        except (FaultDetectedError, DeviceLostError, ConfigurationError) as err:
+            _settle(runner.device_faults)
+            engines_now = runner.engines
+            runner.close()
+            for w in workers:
+                w.log(
+                    f"sharded job {job.job_id!r} failed: {type(err).__name__}"
+                )
+            self._jobs_completed += 1
+            return _failed(err, engines_now=engines_now)
+        runner.close()
+
+        stats = sharded.stats
+        _settle(stats.device_faults)
+        elapsed_s = stats.sim_time_s
+        for w in workers:
+            w.queue.clock_s += elapsed_s  # lockstep: every board is held
+        self._jobs_completed += 1
+        if job.deadline_s is not None and elapsed_s > job.deadline_s:
+            for w in workers:
+                w.log(
+                    f"sharded job {job.job_id!r} missed deadline "
+                    f"({elapsed_s:.4f} s > {job.deadline_s:.4f} s); "
+                    "result discarded"
+                )
+            return ShardedJobResult(
+                job_id=job.job_id,
+                status="failed",
+                devices=devices,
+                engines=stats.engines,
+                error_type="DeadlineExceededError",
+                error=(
+                    f"sharded job {job.job_id!r}: elapsed {elapsed_s:.4f} s "
+                    f"exceeds deadline {job.deadline_s:.4f} s"
+                ),
+                elapsed_s=elapsed_s,
+                rollbacks=stats.rollbacks,
+                replayed_passes=stats.replayed_passes,
+                stats=stats,
+            )
+        return ShardedJobResult(
+            job_id=job.job_id,
+            status="completed",
+            devices=devices,
+            engines=stats.engines,
+            result=sharded.grid,
+            elapsed_s=elapsed_s,
+            rollbacks=stats.rollbacks,
+            replayed_passes=stats.replayed_passes,
+            stats=stats,
+        )
 
     def _attempt(
         self, job: StencilJob, dispatches: int, tried: frozenset[int]
@@ -943,8 +1206,15 @@ class StencilScheduler:
 
     # -- lifecycle ---------------------------------------------------------- #
 
-    def close(self) -> None:
-        """Release the scheduler's owned program cache (idempotent).
+    def close(self, drain: bool = False) -> list[JobResult]:
+        """Shut down: settle pending work, release the owned program cache.
+
+        Jobs still in the pending queue are never silently dropped.
+        With ``drain=True`` the queue is drained first
+        (:meth:`run_until_idle`) and those results returned; with the
+        default ``drain=False`` every pending job is failed typed with
+        :class:`~repro.errors.SchedulerShutdownError` and those failure
+        results returned.  Idempotent — a second close returns ``[]``.
 
         A shared (caller-supplied) cache is the caller's to close — the
         serving layer closes its cache after its scheduler so coalesced
@@ -953,10 +1223,32 @@ class StencilScheduler:
         :class:`ConfigurationError`.
         """
         if self._closed:
-            return
+            return []
+        settled: list[JobResult] = []
+        if drain:
+            settled = self.run_until_idle()
         self._closed = True
+        while self._pending:
+            job, dispatches, _tried = self._pending.popleft()
+            err = SchedulerShutdownError(
+                f"scheduler closed with job {job.job_id!r} still pending; "
+                "resubmit to a live scheduler or use close(drain=True)"
+            )
+            settled.append(
+                JobResult(
+                    job_id=job.job_id,
+                    status="failed",
+                    device=None,
+                    engine=None,
+                    error_type=type(err).__name__,
+                    error=str(err),
+                    dispatches=dispatches,
+                )
+            )
+            self._jobs_completed += 1
         if self._owns_cache:
             self.program_cache.close()
+        return settled
 
     # -- introspection ------------------------------------------------------ #
 

@@ -53,6 +53,7 @@ load past saturation with faults armed to pin exactly that invariant.
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 import time
 from collections import deque
@@ -519,10 +520,15 @@ class StencilService:
         wall-clock budget covering queueing, dispatch and retries;
         ``sim_deadline_s`` is the scheduler's simulated-clock budget.
         """
-        if deadline_s is not None and deadline_s <= 0:
-            raise ConfigurationError(
-                f"deadline_s must be > 0, got {deadline_s}"
-            )
+        for name, value in (
+            ("deadline_s", deadline_s), ("sim_deadline_s", sim_deadline_s)
+        ):
+            if value is not None and not (math.isfinite(value) and value > 0):
+                raise ConfigurationError(
+                    f"{name} must be finite and > 0, got {value}",
+                    param=name, value=value,
+                    constraint=f"math.isfinite({name}) and {name} > 0",
+                )
         now = time.monotonic()
         with self._work:
             if self._closing or self._closed:

@@ -1,0 +1,167 @@
+"""Shard plan geometry (repro.core.sharding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BlockingConfig, make_grid
+from repro.core.sharding import ShardPlan
+from repro.errors import ConfigurationError
+
+
+def config(radius: int = 1, partime: int = 2, dims: int = 2) -> BlockingConfig:
+    kwargs = dict(
+        dims=dims, radius=radius, bsize_x=32, parvec=4, partime=partime
+    )
+    if dims == 3:
+        kwargs["bsize_y"] = 16
+    return BlockingConfig(**kwargs)
+
+
+# -- partition geometry ------------------------------------------------------ #
+
+
+@pytest.mark.parametrize("shards", [1, 2, 3, 4])
+@pytest.mark.parametrize("extent", [12, 17, 24])
+def test_interiors_tile_grid_exactly(shards: int, extent: int) -> None:
+    plan = ShardPlan(config(), (extent, 64), "clamp", shards)
+    spans = [(s.start, s.stop) for s in plan.shards]
+    assert spans[0][0] == 0
+    assert spans[-1][1] == extent
+    for (_, stop), (start, _) in zip(spans, spans[1:]):
+        assert stop == start
+    # balanced: largest and smallest interiors differ by at most one row
+    rows = [s.rows for s in plan.shards]
+    assert max(rows) - min(rows) <= 1
+
+
+def test_clamp_borders_have_no_halo() -> None:
+    plan = ShardPlan(config(), (12, 64), "clamp", 3)
+    assert plan.shards[0].halo_lo == 0
+    assert plan.shards[-1].halo_hi == 0
+    assert plan.shards[1].halo_lo == plan.halo
+    assert plan.shards[1].halo_hi == plan.halo
+
+
+def test_periodic_every_edge_is_cut() -> None:
+    plan = ShardPlan(config(), (12, 64), "periodic", 3)
+    for shard in plan.shards:
+        assert shard.halo_lo == plan.halo
+        assert shard.halo_hi == plan.halo
+    # the wrap edge exists: last shard feeds shard 0 and vice versa
+    pairs = {(e.src, e.dst) for e in plan.edges}
+    assert (2, 0) in pairs and (0, 2) in pairs
+
+
+def test_halo_depth_is_partime_times_radius() -> None:
+    plan = ShardPlan(config(radius=2, partime=3), (20, 64), "clamp", 2)
+    assert plan.halo == 6
+    for edge in plan.edges:
+        assert edge.rows == 6
+
+
+def test_single_shard_has_no_edges() -> None:
+    for boundary in ("clamp", "periodic"):
+        plan = ShardPlan(config(), (12, 64), boundary, 1)
+        assert plan.edges == ()
+        assert plan.shards[0].sub_rows == 12
+
+
+def test_two_shard_periodic_edges_are_distinct_channels() -> None:
+    # 2-shard periodic: two transfers in each direction (direct + wrap)
+    plan = ShardPlan(config(), (12, 64), "periodic", 2)
+    names = [e.name for e in plan.edges]
+    assert len(names) == 4
+    assert len(set(names)) == 4
+
+
+def test_edges_source_from_sender_interior() -> None:
+    for boundary in ("clamp", "periodic"):
+        plan = ShardPlan(config(radius=2), (24, 64), boundary, 3)
+        for edge in plan.edges:
+            src = plan.shards[edge.src]
+            lo, hi = edge.src_rows
+            assert src.halo_lo <= lo < hi <= src.halo_lo + src.rows
+            dst = plan.shards[edge.dst]
+            dlo, dhi = edge.dst_rows
+            assert dhi - dlo == plan.halo
+            # halo zone lies strictly outside the receiver interior
+            assert dhi <= dst.halo_lo or dlo >= dst.halo_lo + dst.rows
+
+
+# -- validation -------------------------------------------------------------- #
+
+
+def test_rejects_bad_boundary_and_shards() -> None:
+    with pytest.raises(ConfigurationError):
+        ShardPlan(config(), (12, 64), "mirror", 2)
+    with pytest.raises(ConfigurationError):
+        ShardPlan(config(), (12, 64), "clamp", 0)
+    with pytest.raises(ConfigurationError):
+        ShardPlan(config(), (4, 64), "clamp", 5)  # more shards than rows
+
+
+def test_rejects_interior_thinner_than_halo() -> None:
+    # halo = 4 but a 3-row interior cannot source a 4-row strip
+    with pytest.raises(ConfigurationError) as exc:
+        ShardPlan(config(radius=2, partime=2), (6, 64), "clamp", 2)
+    assert exc.value.param == "shards"
+
+
+# -- scatter / gather -------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("boundary", ["clamp", "periodic"])
+@pytest.mark.parametrize("shards", [2, 3])
+def test_scatter_gather_roundtrip(boundary: str, shards: int) -> None:
+    plan = ShardPlan(config(), (15, 64), boundary, shards)
+    grid = make_grid((15, 64), "mixed", seed=11)
+    subs = plan.scatter(grid)
+    for shard, sub in zip(plan.shards, subs):
+        assert sub.shape == plan.sub_shape(shard)
+        np.testing.assert_array_equal(
+            sub[shard.interior], grid[shard.start:shard.stop]
+        )
+    out = plan.gather(subs)
+    np.testing.assert_array_equal(out, grid)
+
+
+def test_scatter_seeds_halos_from_neighbor_interiors() -> None:
+    plan = ShardPlan(config(), (12, 64), "periodic", 2)
+    grid = make_grid((12, 64), "mixed", seed=5)
+    subs = plan.scatter(grid)
+    s0 = plan.shards[0]
+    # shard 0's high halo tracks the first rows of shard 1's interior
+    np.testing.assert_array_equal(
+        subs[0][s0.halo_lo + s0.rows:], grid[6:6 + plan.halo]
+    )
+    # shard 0's low halo wraps around to the grid's last rows
+    np.testing.assert_array_equal(subs[0][:s0.halo_lo], grid[-plan.halo:])
+
+
+def test_scatter_gather_shape_mismatch_typed() -> None:
+    plan = ShardPlan(config(), (12, 64), "clamp", 2)
+    with pytest.raises(ConfigurationError):
+        plan.scatter(make_grid((13, 64), "mixed", seed=1))
+    with pytest.raises(ConfigurationError):
+        plan.gather([np.zeros((3, 64), dtype=np.float32)])
+    subs = plan.scatter(make_grid((12, 64), "mixed", seed=1))
+    subs[0] = subs[0][:-1]
+    with pytest.raises(ConfigurationError):
+        plan.gather(subs)
+
+
+def test_pricing_helpers() -> None:
+    plan = ShardPlan(config(radius=2, partime=2), (20, 48), "clamp", 2)
+    assert plan.halo_bytes_per_edge() == 4 * plan.halo * 48
+    assert plan.max_sub_shape == (max(s.sub_rows for s in plan.shards), 48)
+
+
+def test_3d_plan_splits_streamed_axis() -> None:
+    plan = ShardPlan(config(dims=3), (10, 16, 32), "clamp", 2)
+    assert plan.sub_shape(plan.shards[0]) == (
+        plan.shards[0].sub_rows, 16, 32
+    )
+    grid = make_grid((10, 16, 32), "mixed", seed=2)
+    np.testing.assert_array_equal(plan.gather(plan.scatter(grid)), grid)

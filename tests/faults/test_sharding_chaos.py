@@ -1,0 +1,111 @@
+"""Shard chaos harness: randomized device/halo faults against sharding.
+
+The invariant under test (ISSUE 8): any single injected device fault,
+halo corruption, wedged exchange FIFO or board loss leaves a sharded
+run either bit-identical to the single-device reference or failed with
+a typed error — and replay stays confined to the faulted shards.
+Fixed-seed cases keep CI deterministic; a short randomized sweep widens
+coverage over time (its seed is printed on failure so any escape is
+reproducible).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.resilience import (
+    run_sharding_campaign,
+    run_sharding_replay_cost,
+)
+from repro.experiments import EXPERIMENTS
+
+FIXED_SEEDS = (2018, 385, 4242)
+
+
+# -- fixed-seed invariant cases ---------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", FIXED_SEEDS)
+def test_sharding_invariant_holds_fixed_seeds(seed: int) -> None:
+    scenarios = run_sharding_campaign(seed=seed, scenarios=5, iterations=8)
+    assert len(scenarios) == 5
+    for s in scenarios:
+        assert s.status in ("bit-exact", "failed-typed"), (
+            f"sharding invariant violated (campaign seed {seed}, plan seed "
+            f"{s.seed}, faults {s.fault_names}): {s.status} ({s.error_type})"
+        )
+        assert s.confined, (
+            f"replay escaped the faulted shards (campaign seed {seed}, "
+            f"plan seed {s.seed}): {s.replayed_passes} passes replayed "
+            f"for {s.faulty_shards} faulty shard(s)"
+        )
+
+
+def test_sharding_campaign_is_deterministic() -> None:
+    a = run_sharding_campaign(seed=2018, scenarios=4, iterations=6)
+    b = run_sharding_campaign(seed=2018, scenarios=4, iterations=6)
+    assert a == b
+
+
+# -- short randomized sweep --------------------------------------------------- #
+
+
+def test_sharding_invariant_randomized_sweep() -> None:
+    sweep_seed = random.SystemRandom().randrange(2**31)
+    rng = np.random.default_rng(sweep_seed)
+    for campaign_seed in rng.integers(0, 2**31, size=2):
+        scenarios = run_sharding_campaign(
+            seed=int(campaign_seed), scenarios=3, iterations=6
+        )
+        bad = [s for s in scenarios if s.status == "violation" or not s.confined]
+        assert not bad, (
+            f"sharding invariant violated in randomized sweep: re-run with "
+            f"run_sharding_campaign(seed={int(campaign_seed)}) "
+            f"(sweep seed {sweep_seed})"
+        )
+
+
+# -- recovery cost ------------------------------------------------------------- #
+
+
+def test_shard_tail_replay_beats_whole_run_retry() -> None:
+    replay = run_sharding_replay_cost(iterations=400, fault_at_fraction=0.9)
+    assert replay["whole_run"]["bit_exact"]
+    assert replay["tail_replay"]["bit_exact"]
+    # both recover the lost board's shard onto the survivors once...
+    assert replay["whole_run"]["reshards"] == 1
+    assert replay["tail_replay"]["reshards"] == 1
+    # ...but the snapshotted run replays only the tail since the last
+    # per-shard checkpoint, while the baseline rewinds to pass 0
+    assert (
+        replay["tail_replay"]["replayed_passes"]
+        <= replay["checkpoint_every"]
+    )
+    assert (
+        replay["whole_run"]["replayed_passes"] >= replay["fault_pass"]
+    )
+    assert replay["meets_3x_target"]
+    assert replay["replay_cost_ratio"] >= 3.0
+
+
+def test_shard_recovery_cost_scales_with_cadence() -> None:
+    coarse = run_sharding_replay_cost(iterations=200, checkpoint_every=50)
+    fine = run_sharding_replay_cost(iterations=200, checkpoint_every=10)
+    assert (
+        fine["tail_replay"]["replayed_passes"]
+        <= coarse["tail_replay"]["replayed_passes"]
+    )
+    assert fine["replay_cost_ratio"] >= coarse["replay_cost_ratio"]
+
+
+# -- experiment registration ---------------------------------------------------- #
+
+
+def test_sharding_experiment_registered_and_passes() -> None:
+    result = EXPERIMENTS["sharding"]()
+    assert result.exp_id == "sharding"
+    assert result.passed, [str(c) for c in result.comparisons]
+    assert result.data["replay_cost"]["meets_3x_target"]

@@ -36,6 +36,18 @@ def test_shipped_plans_clean():
         assert lint_plan(plan) == []
 
 
+def test_shipped_shard_plans_clean():
+    from repro.lint import lint_shard_plan
+    from repro.lint.targets import shipped_shard_plans
+
+    plans = shipped_shard_plans()
+    # 8 Table III rows x {2, 4} shards, plus periodic representatives
+    assert len(plans) >= 16
+    assert {p.boundary for p in plans} == {"clamp", "periodic"}
+    for plan in plans:
+        assert lint_shard_plan(plan) == []
+
+
 def test_paper_equation_lowers_to_identical_spec():
     import numpy as np
 
@@ -80,6 +92,18 @@ def test_plan_lint_never_executes(monkeypatch):
     # A 3D shipped geometry too (clamp, paper shape).
     plan3 = next(p for p in shipped_plans() if p.config.dims == 3)
     assert lint_plan(plan3) == []
+    # Shard plans are pure geometry as well (P308 never moves a cell).
+    from repro.core.sharding import ShardPlan
+    from repro.lint import lint_shard_plan
+
+    for boundary in ("clamp", "periodic"):
+        splan = ShardPlan(
+            BlockingConfig(dims=2, radius=2, bsize_x=48, partime=3),
+            (40, 40),
+            boundary,
+            2,
+        )
+        assert lint_shard_plan(splan) == []
 
 
 # ---------------------------------------------------------------------- #
@@ -122,6 +146,39 @@ def test_purity_clean_on_own_source_tree():
     from repro.lint.targets import source_root
 
     assert lint_tree(source_root()) == []
+
+
+def test_purity_scan_reaches_runtime_and_analysis():
+    """The tree walk covers the scheduler/sharding and campaign layers."""
+    from repro.lint.targets import source_root
+
+    root = source_root()
+    scanned = {str(p.relative_to(root)) for p in root.rglob("*.py")}
+    for expected in (
+        "runtime/sharded.py",
+        "runtime/scheduler.py",
+        "analysis/resilience.py",
+    ):
+        assert expected in scanned
+
+
+def test_purity_catches_violations_under_runtime_and_analysis(tmp_path):
+    """A seeded mutant in either subpackage trips the tree scan."""
+    from repro.lint.purity import lint_tree
+
+    for sub, source in (
+        ("runtime", "import numpy as np\n"
+                    "def f():\n    return np.random.default_rng()\n"),
+        ("analysis", "def f(a, cache):\n    cache[id(a)] = a\n"),
+    ):
+        pkg = tmp_path / sub
+        pkg.mkdir()
+        (pkg / "hot.py").write_text(source)
+    findings = lint_tree(tmp_path)
+    assert {f.rule for f in findings} == {"H403", "H402"}
+    loci = {f.locus.rsplit(":", 1)[0] for f in findings}
+    assert any("runtime" in locus for locus in loci)
+    assert any("analysis" in locus for locus in loci)
 
 
 # -- batch plan pass (P307) -------------------------------------------------- #

@@ -491,3 +491,184 @@ def test_fully_degraded_board_releases_fast_path_pools() -> None:
     assert after.engine == "numpy"
     assert np.array_equal(after.result, REF_4)
     sched.close()
+
+
+# -- shutdown semantics ------------------------------------------------------ #
+
+
+def test_non_finite_deadlines_rejected() -> None:
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ConfigurationError) as exc:
+            job("j", deadline_s=bad)
+        assert exc.value.param == "deadline_s"
+        with pytest.raises(ConfigurationError):
+            sharded_job("j", deadline_s=bad)
+
+
+def test_close_fails_pending_jobs_typed() -> None:
+    sched = StencilScheduler(devices=2, engine="numpy")
+    sched.submit(job("p1"))
+    sched.submit(job("p2"))
+    shed = sched.close()
+    assert [r.job_id for r in shed] == ["p1", "p2"]
+    for r in shed:
+        assert r.status == "failed"
+        assert r.error_type == "SchedulerShutdownError"
+        assert r.device is None and r.result is None
+    assert sched.pending == 0
+    # idempotent: a second close has nothing left to settle
+    assert sched.close() == []
+    with pytest.raises(ConfigurationError):
+        sched.submit(job("late"))
+
+
+def test_close_drain_finishes_pending_jobs() -> None:
+    sched = StencilScheduler(devices=2, engine="numpy")
+    sched.submit(job("d1"))
+    sched.submit(job("d2"))
+    results = sched.close(drain=True)
+    assert [r.job_id for r in results] == ["d1", "d2"]
+    for r in results:
+        assert r.status == "completed"
+        assert np.array_equal(r.result, REF_4)
+    assert sched.close() == []
+
+
+# -- sharded jobs ------------------------------------------------------------ #
+
+from repro.faults import DeviceLossFault  # noqa: E402
+from repro.runtime import ShardedJob  # noqa: E402
+
+SHARD_GRID = make_grid((24, 64), "mixed", seed=11)
+SHARD_REF = reference_run(SHARD_GRID, SPEC, 6)
+
+
+def sharded_job(job_id: str, **kwargs) -> ShardedJob:
+    kwargs.setdefault("iterations", 6)
+    kwargs.setdefault("checkpoint", 2)
+    return ShardedJob(
+        job_id=job_id, spec=SPEC, config=CONFIG, grid=SHARD_GRID, **kwargs
+    )
+
+
+def test_sharded_job_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        sharded_job("j", shards=0)
+    with pytest.raises(ConfigurationError):
+        sharded_job("j", boundary="mirror")
+    with pytest.raises(ConfigurationError):
+        sharded_job("j", iterations=0)
+    with pytest.raises(ConfigurationError):
+        sharded_job("j", engine="simd")
+    with pytest.raises(ConfigurationError):
+        sharded_job("j", deadline_s=0.0)
+
+
+def test_sharded_job_completes_bit_exact() -> None:
+    sched = StencilScheduler(devices=3, engine="numpy")
+    result = sched.execute_sharded(sharded_job("s1", shards=3))
+    assert result.status == "completed"
+    assert np.array_equal(result.result, SHARD_REF)
+    assert result.devices == (0, 1, 2)
+    assert result.engines == ("numpy",) * 3
+    # lockstep: every backing worker's clock advanced by the run
+    assert all(w.queue.clock_s >= result.elapsed_s for w in sched.workers)
+    sched.close()
+
+
+def test_sharded_job_admission_typed() -> None:
+    sched = StencilScheduler(devices=2, engine="numpy")
+    with pytest.raises(ConfigurationError):
+        sched.execute_sharded(sharded_job("too-wide", shards=3))
+    sched.execute_sharded(sharded_job("once", shards=2))
+    with pytest.raises(ConfigurationError):
+        sched.execute_sharded(sharded_job("once", shards=2))
+    sched.close()
+    with pytest.raises(ConfigurationError):
+        sched.execute_sharded(sharded_job("after-close"))
+
+
+def test_sharded_deadline_fails_fast_on_model() -> None:
+    sched = StencilScheduler(devices=2, engine="numpy")
+    result = sched.execute_sharded(sharded_job("late", deadline_s=1e-12))
+    assert result.status == "failed"
+    assert result.error_type == "DeadlineExceededError"
+    assert "not dispatched" in result.error
+    sched.close()
+
+
+def test_sharded_fault_charges_only_faulty_worker() -> None:
+    sched = StencilScheduler(devices=2, engine="numpy")
+    plan = FaultPlan(
+        seed=3, faults=(SEUFault(site="block-buffer", at_touch=2),)
+    )
+    with arm(plan):
+        result = sched.execute_sharded(sharded_job("seu", shards=2))
+    assert result.status == "completed"
+    assert np.array_equal(result.result, SHARD_REF)
+    assert result.rollbacks >= 1
+    faulty = [w for w, n in zip(sched.workers, result.stats.device_faults) if n]
+    clean = [w for w, n in zip(sched.workers, result.stats.device_faults) if not n]
+    assert len(faulty) == 1 and len(clean) == 1
+    assert faulty[0].window.count(True) == 1
+    assert clean[0].window.count(True) == 0
+    sched.close()
+
+
+def test_sharded_device_loss_survives_and_reports() -> None:
+    sched = StencilScheduler(devices=2, engine="numpy")
+    plan = FaultPlan(seed=3, faults=(DeviceLossFault(at_pass=1, device=1),))
+    with arm(plan):
+        result = sched.execute_sharded(sharded_job("loss", shards=2))
+    assert result.status == "completed"
+    assert np.array_equal(result.result, SHARD_REF)
+    assert "lost" in result.engines
+    assert result.stats.reshards == 1
+    sched.close()
+
+
+def test_checkpoint_quarantine_degradation_interplay() -> None:
+    """Recovered shard on a degraded, quarantined board stays bit-exact.
+
+    Three sharded runs against the same 2-device fleet: the first two
+    take an SEU on the shard backed by device 0, tripping its breaker
+    (threshold 1, first faulty run) and then quarantining it (fault
+    rate 1.0 over >= 2 samples).  The third run *still* backs a shard
+    with the sick board — resolved to its degraded numpy engine — takes
+    another SEU there, and recovers from its own shard checkpoints to
+    the bit-exact answer.
+    """
+    sched = StencilScheduler(
+        devices=2, engine="native", breaker_threshold=1
+    )
+    for run in ("first", "second"):
+        plan = FaultPlan(
+            seed=3, faults=(SEUFault(site="block-buffer", at_touch=2),)
+        )
+        with arm(plan):
+            result = sched.execute_sharded(sharded_job(run, shards=2))
+        assert result.status == "completed"
+        assert np.array_equal(result.result, SHARD_REF)
+    sick = next(w for w in sched.workers if w.breaker.tripped)
+    assert sick.quarantined
+    healthy = next(w for w in sched.workers if w is not sick)
+    assert not healthy.breaker.tripped
+
+    # at_touch=16 clears the re-admission probe's own touches and lands
+    # inside the shard backed by the sick board
+    plan = FaultPlan(
+        seed=3, faults=(SEUFault(site="block-buffer", at_touch=16),)
+    )
+    with arm(plan):
+        result = sched.execute_sharded(sharded_job("third", shards=2))
+    assert result.status == "completed"
+    assert np.array_equal(result.result, SHARD_REF)
+    assert result.rollbacks >= 1
+    # the probe re-admitted the sick board on its degraded engine, the
+    # SEU hit *its* shard, and shard checkpoints recovered it bit-exact
+    assert any("re-admitted" in e for e in sick.events)
+    sick_slot = result.devices.index(sick.index)
+    assert result.stats.device_faults[sick_slot] >= 1
+    assert result.engines[sick_slot] == "numpy"
+    assert result.engines[result.devices.index(healthy.index)] == "native"
+    sched.close()

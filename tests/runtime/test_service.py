@@ -193,6 +193,22 @@ def test_deadline_validation() -> None:
     svc.close()
 
 
+def test_non_finite_deadlines_rejected_at_admission() -> None:
+    svc = numpy_service()
+    for bad in (float("nan"), float("inf"), float("-inf"), -1.0):
+        with pytest.raises(ConfigurationError) as exc:
+            svc.submit(**request(deadline_s=bad))
+        assert exc.value.param == "deadline_s"
+        with pytest.raises(ConfigurationError) as exc:
+            svc.submit(**request(sim_deadline_s=bad))
+        assert exc.value.param == "sim_deadline_s"
+    with pytest.raises(ConfigurationError):
+        svc.submit(**request(sim_deadline_s=0.0))
+    # nothing was admitted: the queue stayed empty
+    assert svc.run_pending() == 0
+    svc.close()
+
+
 # -- bounded retries --------------------------------------------------------- #
 
 
