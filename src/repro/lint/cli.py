@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro.lint``.
 
-Runs the four analysis passes over the repository's shipped targets
+Runs the five analysis passes over the repository's shipped targets
 (see :mod:`repro.lint.targets`) and exits non-zero on any finding —
 the zero-findings gate CI enforces.  ``--json`` emits the machine
 format consumed as a CI artifact; ``--rules`` prints the rule catalog.
@@ -13,13 +13,14 @@ import sys
 from pathlib import Path
 
 from repro.lint import targets
+from repro.lint.concurrency import lint_concurrency_tree, lint_driver_concurrency
 from repro.lint.config_pass import lint_configs
 from repro.lint.findings import LintReport, render_rule_catalog
 from repro.lint.kernel import lint_equations
 from repro.lint.plan_pass import lint_plan, lint_shard_plan
 from repro.lint.purity import lint_driver_source, lint_tree
 
-PASS_NAMES = ("kernel", "config", "plan", "purity")
+PASS_NAMES = ("kernel", "config", "plan", "purity", "concurrency")
 
 
 def run_default_lint(
@@ -42,8 +43,16 @@ def run_default_lint(
         root = source_root if source_root is not None else targets.source_root()
         findings = lint_tree(root)
         for name, text in targets.shipped_driver_sources():
-            findings.extend(lint_driver_source(text, name))
+            findings.extend(
+                lint_driver_source(text, name, include_concurrency=False)
+            )
         report.extend("purity", findings)
+    if "concurrency" in passes:
+        root = source_root if source_root is not None else targets.source_root()
+        findings = lint_concurrency_tree(root)
+        for name, text in targets.shipped_driver_sources():
+            findings.extend(lint_driver_concurrency(text, name))
+        report.extend("concurrency", findings)
     return report
 
 

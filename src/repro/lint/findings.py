@@ -14,7 +14,10 @@ Rule ids are grouped by analysis pass:
 * ``P3xx`` — plan pass (:mod:`repro.lint.plan_pass`) over compiled
   :class:`repro.core.plan.PassPlan` geometry;
 * ``H4xx`` — hot-path purity pass (:mod:`repro.lint.purity`) over the
-  repository's own source.
+  repository's own source;
+* ``T5xx`` — concurrency pass (:mod:`repro.lint.concurrency`) over the
+  runtime/core/faults threading surfaces and the generated C driver's
+  pthread pool protocol.
 """
 
 from __future__ import annotations
@@ -115,6 +118,31 @@ RULES: dict[str, Rule] = _catalog([
      "id()-keyed state (object-identity reuse hazard)"),
     ("H403", Severity.ERROR, "purity",
      "unseeded random number generator on a simulation path"),
+    # ---- concurrency pass ---------------------------------------------- #
+    ("T501", Severity.ERROR, "concurrency",
+     "lock-acquisition graph contains a cycle (potential deadlock)"),
+    ("T502", Severity.ERROR, "concurrency",
+     "lock-guarded attribute written outside its lock"),
+    ("T503", Severity.WARNING, "concurrency",
+     "lock-guarded attribute read outside its lock"),
+    ("T504", Severity.ERROR, "concurrency",
+     "lint suppression comment lacks a justification"),
+    ("T505", Severity.ERROR, "concurrency",
+     "condition wait() outside a while-predicate loop"),
+    ("T506", Severity.ERROR, "concurrency",
+     "condition predicate mutated without a notify"),
+    ("T507", Severity.ERROR, "concurrency",
+     "thread or executor is never joined/shut down on a close path"),
+    ("T508", Severity.ERROR, "concurrency",
+     "resource released before its daemon thread is joined"),
+    ("T509", Severity.ERROR, "concurrency",
+     "driver block-claim counter mutated without the atomic op"),
+    ("T510", Severity.ERROR, "concurrency",
+     "driver condvar park/unpark protocol violated"),
+    ("T511", Severity.ERROR, "concurrency",
+     "blocking call made while holding a lock"),
+    ("T512", Severity.ERROR, "concurrency",
+     "untyped raise inside a lock-holding block"),
 ])
 
 

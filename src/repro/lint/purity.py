@@ -315,15 +315,27 @@ def lint_source(text: str, filename: str) -> list[Finding]:
 _DRIVER_HOOK_TOKENS = ("fault_hooks", "ACTIVE", "inject")
 
 
-def lint_driver_source(text: str, name: str) -> list[Finding]:
+def lint_driver_source(
+    text: str, name: str, include_concurrency: bool = True
+) -> list[Finding]:
     """Disarmed-guard scan over generated driver C source.
 
     The AST checks above cannot parse C; the invariant here is simpler
     and absolute: the fused driver must contain *no* fault-hook
     identifier at all, because nothing inside the one-ctypes-call pass
     can be guarded by a Python ``is not None`` check.
+
+    By default the concurrency pass's structural pthread-protocol
+    checks (T509/T510) run too, so programmatic callers of this one
+    function get the full driver verdict; the CLI sets
+    ``include_concurrency=False`` here because it runs that pass
+    separately (avoiding duplicate findings).
     """
     findings: list[Finding] = []
+    if include_concurrency:
+        from repro.lint.concurrency import lint_driver_concurrency
+
+        findings.extend(lint_driver_concurrency(text, name))
     for lineno, line in enumerate(text.splitlines(), start=1):
         token = next((t for t in _DRIVER_HOOK_TOKENS if t in line), None)
         if token is not None:

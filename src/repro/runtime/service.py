@@ -66,6 +66,7 @@ from repro.core.stencil import StencilSpec
 from repro.errors import (
     ConfigurationError,
     QueueTimeoutError,
+    SchedulerShutdownError,
     ShedError,
 )
 from repro.models.performance import PerformanceModel
@@ -237,12 +238,24 @@ class ServiceTicket:
     def __init__(self, request_id: str, tenant: str):
         self.request_id = request_id
         self.tenant = tenant
+        self._lock = threading.Lock()
         self._done = threading.Event()
         self._result: ServiceResult | None = None
 
-    def _fulfil(self, result: ServiceResult) -> None:
-        self._result = result
-        self._done.set()
+    def _fulfil(self, result: ServiceResult) -> bool:
+        """Record the terminal result exactly once (first writer wins).
+
+        Returns False when the ticket already holds a terminal result —
+        a late completion racing a shutdown shed, or vice versa — so
+        the caller knows its result was discarded and must not count it
+        in metrics.
+        """
+        with self._lock:
+            if self._done.is_set():
+                return False
+            self._result = result
+            self._done.set()
+            return True
 
     @property
     def done(self) -> bool:
@@ -259,8 +272,9 @@ class ServiceTicket:
                 f"request {self.request_id!r} still in flight after "
                 f"{timeout} s"
             )
-        assert self._result is not None
-        return self._result
+        with self._lock:
+            assert self._result is not None
+            return self._result
 
 
 @dataclass
@@ -414,6 +428,7 @@ class StencilService:
         self._estimates: dict[tuple, float] = {}
         self._seq = itertools.count()
         self._inflight = 0
+        self._inflight_reqs: dict[str, _Request] = {}
         self._closing = False
         self._closed = False
         self._thread: threading.Thread | None = None
@@ -424,20 +439,21 @@ class StencilService:
 
     def start(self) -> None:
         """Start the dispatch thread (no-op when already running)."""
-        if self._thread is not None and self._thread.is_alive():
-            return
-        if self._closed:
-            raise ConfigurationError(
-                "service is closed",
-                param="closed",
-                value=True,
-                constraint="start() requires an open service",
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            if self._closed:
+                raise ConfigurationError(
+                    "service is closed",
+                    param="closed",
+                    value=True,
+                    constraint="start() requires an open service",
+                )
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="stencil-service-dispatch",
+                daemon=True,
             )
-        self._thread = threading.Thread(
-            target=self._dispatch_loop, name="stencil-service-dispatch",
-            daemon=True,
-        )
-        self._thread.start()
+            self._thread.start()
 
     def close(self, drain: bool = True, timeout_s: float = 60.0) -> None:
         """Stop admitting; drain or shed the queue; release resources.
@@ -461,7 +477,7 @@ class StencilService:
                         ),
                     )
             self._work.notify_all()
-        thread = self._thread
+            thread = self._thread
         if thread is not None and thread.is_alive():
             thread.join(timeout=timeout_s)
         with self._work:
@@ -472,6 +488,28 @@ class StencilService:
                         entry.item, "service shutting down", shed=True
                     ),
                 )
+            # a join timeout leaves the dispatch thread mid-batch: fail
+            # those tickets typed now (first writer wins, so a straggler
+            # completion landing later is discarded, never double-counted)
+            for req in list(self._inflight_reqs.values()):
+                elapsed = time.monotonic() - req.admitted_s
+                self._finish_locked(
+                    req,
+                    ServiceResult(
+                        request_id=req.request_id,
+                        tenant=req.tenant,
+                        status="failed",
+                        error_type="SchedulerShutdownError",
+                        error=str(
+                            SchedulerShutdownError(
+                                f"service closed while request "
+                                f"{req.request_id!r} was in flight"
+                            )
+                        ),
+                        wall_elapsed_s=elapsed,
+                    ),
+                )
+            self._inflight_reqs.clear()
             self._closed = True
         self.scheduler.close()
         self.artifacts.close()
@@ -629,7 +667,9 @@ class StencilService:
         Returns the number of requests processed.  Invalid while the
         dispatch thread is running.
         """
-        if self._thread is not None and self._thread.is_alive():
+        with self._lock:
+            thread = self._thread
+        if thread is not None and thread.is_alive():
             raise ConfigurationError(
                 "run_pending() conflicts with the running dispatch thread",
                 param="start",
@@ -663,15 +703,40 @@ class StencilService:
                     self._work.wait(timeout=0.05)
                     continue
                 siblings = self._collect_batch_locked(entry.item)
-                self._inflight += 1 + len(siblings)
+                batch = [entry.item, *siblings]
+                for req in batch:
+                    self._inflight_reqs[req.request_id] = req
+                self._inflight += len(batch)
             try:
                 if siblings:
-                    self._process_batch([entry.item, *siblings])
+                    self._process_batch(batch)
                 else:
-                    self._process(entry.item)
+                    self._process(batch[0])
+            except BaseException as err:  # noqa: BLE001 - tickets must terminate
+                # a dispatch-loop crash (or a close() racing an in-flight
+                # coalesced batch) must never strand a ticket: fail every
+                # unfulfilled one typed before the loop unwinds
+                for req in batch:
+                    self._finish(
+                        req,
+                        ServiceResult(
+                            request_id=req.request_id,
+                            tenant=req.tenant,
+                            status="failed",
+                            error_type="SchedulerShutdownError"
+                            if self._is_closing()
+                            else type(err).__name__,
+                            error=f"dispatch failed: {err}",
+                            wall_elapsed_s=time.monotonic() - req.admitted_s,
+                        ),
+                    )
+                if not isinstance(err, Exception):
+                    raise
             finally:
                 with self._work:
-                    self._inflight -= 1 + len(siblings)
+                    for req in batch:
+                        self._inflight_reqs.pop(req.request_id, None)
+                    self._inflight -= len(batch)
 
     def _collect_batch_locked(self, head: _Request) -> list[_Request]:
         """Pull queued requests batch-compatible with ``head`` (lock held).
@@ -998,11 +1063,16 @@ class StencilService:
 
     # -- helpers ------------------------------------------------------------- #
 
+    def _is_closing(self) -> bool:
+        with self._lock:
+            return self._closing
+
     def _degrade_level(self) -> int:
         """0 = preferred tier, 1 = mid ladder, 2 = most conservative."""
         if all(w.breaker.tripped for w in self.scheduler.workers):
             return 2
-        frac = self._queue.depth / self._queue.capacity
+        with self._lock:
+            frac = self._queue.depth / self._queue.capacity
         if frac >= self.policy.degrade_hard_at:
             return 2
         if frac >= self.policy.degrade_at:
@@ -1115,6 +1185,8 @@ class StencilService:
         )
 
     def _finish(self, req: _Request, result: ServiceResult) -> None:
+        if not req.ticket._fulfil(result):
+            return  # already terminal (e.g. shed at close); first answer wins
         if result.batched:
             self.metrics.count(req.tenant, "batched")
         if result.status == "completed":
@@ -1128,21 +1200,22 @@ class StencilService:
         self.metrics.observe(
             req.tenant, result.wall_elapsed_s, result.queue_wait_s
         )
-        req.ticket._fulfil(result)
 
     def _finish_locked(self, req: _Request, result: ServiceResult) -> None:
         """Finish while already holding the service lock (sweeps, sheds)."""
+        if not req.ticket._fulfil(result):
+            return
         self.metrics.count(req.tenant, "failed")
         self.metrics.observe(
             req.tenant, result.wall_elapsed_s, result.queue_wait_s
         )
-        req.ticket._fulfil(result)
 
     # -- introspection -------------------------------------------------------- #
 
     @property
     def queue_depth(self) -> int:
-        return self._queue.depth
+        with self._lock:
+            return self._queue.depth
 
     def report(self) -> dict:
         """One structure with tenant metrics, cache stats and devices."""

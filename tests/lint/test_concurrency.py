@@ -1,0 +1,254 @@
+"""Concurrency lint pass (repro.lint.concurrency, rules T501-T512).
+
+The mutant suite (test_mutants.py) proves each rule fires on a crafted
+violation; this file covers the analysis machinery itself — lock-graph
+construction, suppression semantics, locked-only helper inference,
+condition canonicalization — and the gate the CI job enforces: the
+shipped tree is finding-free.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import (
+    build_lock_graph,
+    find_lock_cycle,
+    lint_concurrency_source,
+    lint_concurrency_tree,
+    lint_driver_concurrency,
+)
+from repro.lint.cli import PASS_NAMES, run_default_lint
+from repro.lint.targets import shipped_driver_sources, source_root
+
+
+def _lint(snippet: str) -> list:
+    return lint_concurrency_source(textwrap.dedent(snippet), "probe.py")
+
+
+def _rules(snippet: str) -> set[str]:
+    return {f.rule for f in _lint(snippet)}
+
+
+# -- the shipped-tree gate ---------------------------------------------- #
+
+
+def test_shipped_tree_is_finding_free() -> None:
+    assert lint_concurrency_tree(source_root()) == []
+
+
+def test_shipped_drivers_pass_protocol_checks() -> None:
+    for name, text in shipped_driver_sources():
+        assert lint_driver_concurrency(text, name) == []
+
+
+def test_concurrency_pass_runs_by_default() -> None:
+    assert "concurrency" in PASS_NAMES
+    report = run_default_lint(("concurrency",))
+    assert report.passes_run == ["concurrency"]
+    assert report.findings == []
+
+
+# -- lock graph --------------------------------------------------------- #
+
+_ORDERED = """
+    import threading
+
+    class Outer:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.inner = Inner()
+
+        def step(self):
+            with self._lock:
+                self.inner.poke()
+
+    class Inner:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def poke(self):
+            with self._lock:
+                pass
+"""
+
+
+def test_build_lock_graph_resolves_call_edges() -> None:
+    graph, sites = build_lock_graph(textwrap.dedent(_ORDERED), "probe.py")
+    assert ("Inner", "_lock") in graph[("Outer", "_lock")]
+    edge = (("Outer", "_lock"), ("Inner", "_lock"))
+    filename, lineno = sites[edge]
+    assert filename == "probe.py" and lineno > 0
+    assert find_lock_cycle(graph) is None
+    assert _rules(_ORDERED) == set()
+
+
+def test_condition_aliases_its_wrapped_lock() -> None:
+    # with self._lock: with self._work: re-acquires the *same* mutex —
+    # a guaranteed self-deadlock the canonicalization must see through
+    assert "T501" in _rules("""
+        import threading
+
+        class Service:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._work = threading.Condition(self._lock)
+
+            def step(self):
+                with self._lock:
+                    with self._work:
+                        pass
+    """)
+
+
+def test_fulfilled_wait_under_own_condition_is_not_blocking() -> None:
+    # the canonical condvar shape: wait on the held lock's condition
+    assert _rules("""
+        import threading
+
+        class Loop:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._work = threading.Condition(self._lock)
+                self._closing = False
+
+            def run(self):
+                with self._work:
+                    while not self._closing:
+                        self._work.wait(timeout=0.05)
+
+            def close(self):
+                with self._work:
+                    self._closing = True
+                    self._work.notify_all()
+    """) == set()
+
+
+# -- guarded fields and suppressions ------------------------------------ #
+
+
+def test_locked_only_helpers_are_lock_context() -> None:
+    # _bump_locked is only ever called under the lock: its unlocked-
+    # looking access is fine, and the fixpoint must prove that
+    assert _rules("""
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0
+
+            def bump(self):
+                with self._lock:
+                    self._bump_locked()
+
+            def _bump_locked(self):
+                self._n += 1
+    """) == set()
+
+
+def test_justified_suppression_silences_without_t504() -> None:
+    findings = _lint("""
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0
+
+            def bump(self):
+                with self._lock:
+                    self._n += 1
+
+            def peek(self):
+                return self._n  # lint: unguarded -- monotonic stat, torn read ok
+    """)
+    assert findings == []
+
+
+def test_blocking_ok_suppression_is_honored_but_must_justify() -> None:
+    base = """
+        import threading
+        import time
+
+        class Slow:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def step(self):
+                with self._lock:
+                    time.sleep(0.01){suffix}
+    """
+    assert "T511" in _rules(base.format(suffix=""))
+    justified = _rules(
+        base.format(suffix="  # lint: blocking-ok -- test-only pacing")
+    )
+    assert justified == set()
+    bare = _rules(base.format(suffix="  # lint: blocking-ok"))
+    assert "T511" not in bare and "T504" in bare
+
+
+def test_sync_primitive_attributes_are_exempt() -> None:
+    # the Event itself is a synchronizer; touching it unlocked is fine
+    assert _rules("""
+        import threading
+
+        class Flag:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._done = threading.Event()
+                self._n = 0
+
+            def bump(self):
+                with self._lock:
+                    self._n += 1
+
+            def finish(self):
+                self._done.set()
+    """) == set()
+
+
+# -- lifecycle and typed raises ----------------------------------------- #
+
+
+def test_join_via_local_alias_satisfies_t507() -> None:
+    assert _rules("""
+        import threading
+
+        class Runner:
+            def __init__(self):
+                self._thread = threading.Thread(target=self._run)
+
+            def _run(self):
+                pass
+
+            def close(self):
+                t = self._thread
+                t.join(timeout=5.0)
+    """) == set()
+
+
+def test_typed_raise_under_lock_is_clean() -> None:
+    assert _rules("""
+        import threading
+
+        from repro.errors import ConfigurationError
+
+        class Registry:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = {}
+
+            def add(self, key):
+                with self._lock:
+                    if key in self._items:
+                        raise ConfigurationError("duplicate")
+                    self._items[key] = key
+    """) == set()
+
+
+def test_syntax_error_reports_instead_of_crashing() -> None:
+    findings = lint_concurrency_source("def broken(:\n", "bad.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "T501"
+    assert "cannot parse" in findings[0].message

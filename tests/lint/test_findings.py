@@ -9,9 +9,9 @@ import pytest
 from repro.lint import RULES, Finding, LintReport, Severity, render_rule_catalog
 
 
-def test_catalog_has_all_four_passes_and_enough_rules():
+def test_catalog_has_all_five_passes_and_enough_rules():
     passes = {rule.pass_name for rule in RULES.values()}
-    assert passes == {"kernel", "config", "plan", "purity"}
+    assert passes == {"kernel", "config", "plan", "purity", "concurrency"}
     assert len(RULES) >= 12
     for rule_id, rule in RULES.items():
         assert rule.rule_id == rule_id

@@ -21,7 +21,9 @@ from repro.dsl.ast import Const, Equation, Grid
 from repro.lint import (
     ConfigPoint,
     lint_batch_plan,
+    lint_concurrency_source,
     lint_config,
+    lint_driver_concurrency,
     lint_driver_source,
     lint_equation,
     lint_plan,
@@ -391,6 +393,276 @@ def _h401_driver_hook():
     )
 
 
+# ----------------------- concurrency mutants --------------------------- #
+
+_THREADING = "import threading\n\n\n"
+
+
+def _t501_module_lock_cycle():
+    return lint_concurrency_source(
+        _THREADING
+        + "LOCK_A = threading.Lock()\n"
+        "LOCK_B = threading.Lock()\n\n\n"
+        "def forward():\n"
+        "    with LOCK_A:\n"
+        "        with LOCK_B:\n"
+        "            pass\n\n\n"
+        "def backward():\n"
+        "    with LOCK_B:\n"
+        "        with LOCK_A:\n"
+        "            pass\n",
+        "mutant.py",
+    )
+
+
+def _t501_cross_class_call_cycle():
+    # scheduler locks then calls into the cache; the cache's eviction
+    # path locks then calls back into the scheduler: AB-BA by calls
+    return lint_concurrency_source(
+        _THREADING
+        + "class Scheduler:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.cache = ArtifactCache()\n\n"
+        "    def submit(self):\n"
+        "        with self._lock:\n"
+        "            self.cache.put()\n\n\n"
+        "class ArtifactCache:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.sched = Scheduler()\n\n"
+        "    def put(self):\n"
+        "        with self._lock:\n"
+        "            pass\n\n"
+        "    def evict(self):\n"
+        "        with self._lock:\n"
+        "            self.sched.submit()\n",
+        "mutant.py",
+    )
+
+
+def _t502_unguarded_write():
+    return lint_concurrency_source(
+        _THREADING
+        + "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._n = 0\n\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self._n += 1\n\n"
+        "    def reset(self):\n"
+        "        self._n = 0\n",
+        "mutant.py",
+    )
+
+
+def _t503_unguarded_read():
+    return lint_concurrency_source(
+        _THREADING
+        + "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._n = 0\n\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self._n += 1\n\n"
+        "    def peek(self):\n"
+        "        return self._n\n",
+        "mutant.py",
+    )
+
+
+def _t504_bare_suppression():
+    # the suppression silences the T503, but its missing justification
+    # is itself an error: the escape hatch cannot silently grow
+    return lint_concurrency_source(
+        _THREADING
+        + "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._n = 0\n\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self._n += 1\n\n"
+        "    def peek(self):\n"
+        "        return self._n  # lint: unguarded\n",
+        "mutant.py",
+    )
+
+
+def _t505_wait_without_loop():
+    return lint_concurrency_source(
+        _THREADING
+        + "class Mailbox:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._cond = threading.Condition(self._lock)\n"
+        "        self._ready = False\n\n"
+        "    def take(self):\n"
+        "        with self._cond:\n"
+        "            if not self._ready:\n"
+        "                self._cond.wait()\n",
+        "mutant.py",
+    )
+
+
+def _t506_dropped_notify():
+    return lint_concurrency_source(
+        _THREADING
+        + "class Gate:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._cond = threading.Condition(self._lock)\n"
+        "        self._open = False\n\n"
+        "    def wait_open(self):\n"
+        "        with self._cond:\n"
+        "            while not self._open:\n"
+        "                self._cond.wait()\n\n"
+        "    def open(self):\n"
+        "        with self._cond:\n"
+        "            self._open = True\n",
+        "mutant.py",
+    )
+
+
+def _t507_thread_never_joined():
+    return lint_concurrency_source(
+        _THREADING
+        + "class Runner:\n"
+        "    def __init__(self):\n"
+        "        self._thread = threading.Thread(target=self._run)\n"
+        "        self._thread.start()\n\n"
+        "    def _run(self):\n"
+        "        pass\n\n"
+        "    def close(self):\n"
+        "        pass\n",
+        "mutant.py",
+    )
+
+
+def _t507_executor_never_shutdown():
+    return lint_concurrency_source(
+        "from concurrent.futures import ThreadPoolExecutor\n\n\n"
+        "class Pool:\n"
+        "    def __init__(self):\n"
+        "        self._pool = ThreadPoolExecutor(4)\n\n"
+        "    def close(self):\n"
+        "        self._pool = None\n",
+        "mutant.py",
+    )
+
+
+def _t508_close_before_daemon_join():
+    return lint_concurrency_source(
+        _THREADING
+        + "class Driver:\n"
+        "    def close(self):\n"
+        "        pass\n\n\n"
+        "class Owner:\n"
+        "    def __init__(self):\n"
+        "        self._driver = Driver()\n"
+        "        self._thread = threading.Thread(\n"
+        "            target=self._loop, daemon=True)\n\n"
+        "    def _loop(self):\n"
+        "        pass\n\n"
+        "    def close(self):\n"
+        "        self._driver.close()\n"
+        "        self._thread.join()\n",
+        "mutant.py",
+    )
+
+
+def _t509_nonatomic_claim():
+    return lint_driver_concurrency(
+        "static void *worker_main(void *arg) {\n"
+        "  pool *p = arg;\n"
+        "  i64 t = p->next_block++;\n"
+        "  return 0;\n"
+        "}\n",
+        "driver<mutant>.c",
+    )
+
+
+def _t509_unlocked_reset():
+    return lint_driver_concurrency(
+        "static void run_pass(pool *p) {\n"
+        "  p->next_block = 0;\n"
+        "  pthread_mutex_lock(&p->mu);\n"
+        "  p->generation++;\n"
+        "  pthread_cond_broadcast(&p->cv_work);\n"
+        "  pthread_mutex_unlock(&p->mu);\n"
+        "}\n",
+        "driver<mutant>.c",
+    )
+
+
+def _t510_wait_without_while():
+    return lint_driver_concurrency(
+        "static void *worker_main(void *arg) {\n"
+        "  pool *p = arg;\n"
+        "  pthread_mutex_lock(&p->mu);\n"
+        "  pthread_cond_wait(&p->cv_work, &p->mu);\n"
+        "  pthread_mutex_unlock(&p->mu);\n"
+        "  return 0;\n"
+        "}\n",
+        "driver<mutant>.c",
+    )
+
+
+def _t510_broadcast_before_bump():
+    return lint_driver_concurrency(
+        "static void run_pass(pool *p) {\n"
+        "  pthread_mutex_lock(&p->mu);\n"
+        "  pthread_cond_broadcast(&p->cv_work);\n"
+        "  p->generation++;\n"
+        "  pthread_mutex_unlock(&p->mu);\n"
+        "}\n",
+        "driver<mutant>.c",
+    )
+
+
+def _t510_wait_outside_mutex():
+    return lint_driver_concurrency(
+        "static void *worker_main(void *arg) {\n"
+        "  pool *p = arg;\n"
+        "  while (!p->shutdown)\n"
+        "    pthread_cond_wait(&p->cv_work, &p->mu);\n"
+        "  return 0;\n"
+        "}\n",
+        "driver<mutant>.c",
+    )
+
+
+def _t511_sleep_under_lock():
+    return lint_concurrency_source(
+        "import threading\nimport time\n\n\n"
+        "class Slow:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n\n"
+        "    def step(self):\n"
+        "        with self._lock:\n"
+        "            time.sleep(0.1)\n",
+        "mutant.py",
+    )
+
+
+def _t512_untyped_raise_under_lock():
+    return lint_concurrency_source(
+        _THREADING
+        + "class Registry:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._items = {}\n\n"
+        "    def add(self, key):\n"
+        "        with self._lock:\n"
+        "            if key in self._items:\n"
+        "                raise RuntimeError('duplicate')\n"
+        "            self._items[key] = key\n",
+        "mutant.py",
+    )
+
+
 MUTANTS = [
     ("k101-offaxis", "K101", _k101, "equation[u]"),
     ("k102-radius5", "K102", _k102, "equation[u]"),
@@ -439,12 +711,39 @@ MUTANTS = [
     ("h403-default-rng", "H403", _h403_default_rng, "mutant.py:"),
     ("h403-legacy-np", "H403", _h403_legacy, "mutant.py:"),
     ("h403-stdlib", "H403", _h403_stdlib, "mutant.py:"),
+    ("t501-module-lock-cycle", "T501", _t501_module_lock_cycle, "mutant.py:"),
+    ("t501-call-cycle", "T501", _t501_cross_class_call_cycle, "mutant.py:"),
+    ("t502-unguarded-write", "T502", _t502_unguarded_write, "mutant.py:"),
+    ("t503-unguarded-read", "T503", _t503_unguarded_read, "mutant.py:"),
+    ("t504-bare-suppression", "T504", _t504_bare_suppression, "mutant.py:"),
+    ("t505-wait-no-loop", "T505", _t505_wait_without_loop, "mutant.py:"),
+    ("t506-dropped-notify", "T506", _t506_dropped_notify, "mutant.py:"),
+    ("t507-thread-no-join", "T507", _t507_thread_never_joined, "mutant.py:"),
+    ("t507-executor-no-shutdown", "T507", _t507_executor_never_shutdown,
+     "mutant.py:"),
+    ("t508-close-before-join", "T508", _t508_close_before_daemon_join,
+     "mutant.py:"),
+    ("t509-nonatomic-claim", "T509", _t509_nonatomic_claim,
+     "driver<mutant>.c:"),
+    ("t509-unlocked-reset", "T509", _t509_unlocked_reset,
+     "driver<mutant>.c:"),
+    ("t510-wait-no-while", "T510", _t510_wait_without_while,
+     "driver<mutant>.c:"),
+    ("t510-early-broadcast", "T510", _t510_broadcast_before_bump,
+     "driver<mutant>.c:"),
+    ("t510-unlocked-wait", "T510", _t510_wait_outside_mutex,
+     "driver<mutant>.c:"),
+    ("t511-sleep-under-lock", "T511", _t511_sleep_under_lock, "mutant.py:"),
+    ("t512-untyped-raise", "T512", _t512_untyped_raise_under_lock,
+     "mutant.py:"),
 ]
 
 
 def test_mutant_suite_is_large_enough():
-    assert len(MUTANTS) >= 20
-    assert len({rule for _, rule, _, _ in MUTANTS}) >= 12
+    assert len(MUTANTS) >= 60
+    assert len({rule for _, rule, _, _ in MUTANTS}) >= 40
+    t_rules = [m for m in MUTANTS if m[1].startswith("T")]
+    assert len(t_rules) >= 10  # the concurrency pass is self-tested too
 
 
 @pytest.mark.parametrize(
