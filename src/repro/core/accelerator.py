@@ -45,7 +45,12 @@ import numpy as np
 from repro.core.batch import BatchPlan, BatchResult
 from repro.core.blocking import BlockingConfig
 from repro.core.channels import Channel
-from repro.core.native import native_driver_for, native_kernel_for
+from repro.core.native import (
+    native_driver_for,
+    native_kernel_for,
+    native_scalar_kernel_for,
+    native_vector_driver_for,
+)
 from repro.core.pe import (
     fill_stream_halo,
     pe_step,
@@ -119,6 +124,19 @@ class AcceleratorStats:
         return 4 * (self.words_read + self.words_written)
 
 
+def _aligned_f32(n: int, align: int = 64) -> np.ndarray:
+    """A float32 buffer of ``n`` elements whose base is ``align``-byte
+    aligned (NumPy only guarantees 16).  The view keeps the oversized
+    backing array alive; the vectorized driver's per-worker ping/pong
+    scratch bases then stay on cache-line boundaries because
+    ``scratch_floats`` is rounded to a 64-byte multiple at table-build
+    time."""
+    pad = align // 4
+    raw = np.empty(n + pad, dtype=np.float32)
+    off = (-raw.ctypes.data) % align // 4
+    return raw[off : off + n]
+
+
 class _Scratch:
     """Per-worker pool of preallocated, shape-exact scratch buffers.
 
@@ -160,18 +178,23 @@ class FPGAAccelerator:
         fault-injection runs always execute serially — the channel
         transport and injector bookkeeping are deliberately sequential.
     engine:
-        ``"auto"`` (default) walks the ladder ``native-driver -> native
-        -> numpy``: whole passes execute through the generated fused
-        pass driver (:class:`repro.core.native.NativeDriver`) when a C
-        compiler is available, falling back to per-stage native
-        microkernels and finally to the pure-NumPy path.  ``"numpy"``
-        forces the fallback; ``"native"`` pins the per-stage
-        microkernel; ``"native-driver"`` pins the fused driver — the
-        pinned engines raise :class:`ConfigurationError` when they
-        cannot be built.  All engines are bit-identical (tested); the
-        knob exists for benchmarking and for environments without a
-        toolchain.  :attr:`resolved_engine` reports what ``"auto"``
-        selected.
+        ``"auto"`` (default) walks the ladder ``native-vector ->
+        native-driver -> native -> numpy``: whole passes execute through
+        the generated *vectorized* fused pass driver (rows padded to
+        ``config.parvec`` SIMD lanes, ``#pragma omp simd`` inner loops,
+        final stage fused into the output grid) when a C compiler is
+        available, falling back to the scalar fused driver, per-stage
+        native microkernels, and finally the pure-NumPy path.
+        ``"numpy"`` forces the fallback; ``"native"`` pins the per-stage
+        microkernel; ``"native-scalar"`` pins the per-stage microkernel
+        *compiled with auto-vectorization disabled* (the benchmarking
+        baseline SIMD speedups are measured against — never selected by
+        ``"auto"``); ``"native-driver"`` pins the scalar fused driver;
+        ``"native-vector"`` pins the vectorized one — pinned engines
+        raise :class:`ConfigurationError` when they cannot be built.
+        All engines are bit-identical (tested); the knob exists for
+        benchmarking and for environments without a toolchain.
+        :attr:`resolved_engine` reports what ``"auto"`` selected.
 
     Notes
     -----
@@ -232,10 +255,13 @@ class FPGAAccelerator:
             )
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        if engine not in ("auto", "numpy", "native", "native-driver"):
+        if engine not in (
+            "auto", "numpy", "native", "native-scalar", "native-driver",
+            "native-vector",
+        ):
             raise ConfigurationError(
-                "engine must be 'auto', 'numpy', 'native' or "
-                f"'native-driver', got {engine!r}"
+                "engine must be 'auto', 'numpy', 'native', 'native-scalar', "
+                f"'native-driver' or 'native-vector', got {engine!r}"
             )
         self.spec = spec
         self.config = config
@@ -246,17 +272,36 @@ class FPGAAccelerator:
         )
         self._terms = stencil_terms(spec, spec.dims)
         self.engine = engine
-        self._native = None if engine == "numpy" else native_kernel_for(spec)
-        if engine == "native" and self._native is None:
+        if engine == "numpy":
+            self._native = None
+        elif engine == "native-scalar":
+            self._native = native_scalar_kernel_for(spec)
+        else:
+            self._native = native_kernel_for(spec)
+        self._native_kind = "native-scalar" if engine == "native-scalar" else "native"
+        if engine in ("native", "native-scalar") and self._native is None:
             raise ConfigurationError(
-                "engine='native' but no native kernel could be built "
+                f"engine={engine!r} but no native kernel could be built "
                 "(no C compiler, compile failure, or REPRO_NO_NATIVE set)"
             )
-        self._driver = (
-            native_driver_for(spec, workers)
-            if engine in ("auto", "native-driver")
-            else None
-        )
+        self._driver = None
+        self._driver_kind = "none"
+        if engine in ("auto", "native-vector"):
+            self._driver = native_vector_driver_for(
+                spec, workers, config.parvec
+            )
+            if self._driver is not None:
+                self._driver_kind = "native-vector"
+        if engine == "native-vector" and self._driver is None:
+            raise ConfigurationError(
+                "engine='native-vector' but no vectorized pass driver "
+                "could be built (no C compiler, compile failure, or "
+                "REPRO_NO_NATIVE set)"
+            )
+        if self._driver is None and engine in ("auto", "native-driver"):
+            self._driver = native_driver_for(spec, workers)
+            if self._driver is not None:
+                self._driver_kind = "native-driver"
         if engine == "native-driver" and self._driver is None:
             raise ConfigurationError(
                 "engine='native-driver' but no pass driver could be built "
@@ -270,19 +315,49 @@ class FPGAAccelerator:
         self._driver_scratch: np.ndarray | None = None
         self._closed = False
 
+    @classmethod
+    def for_workload(
+        cls,
+        spec: StencilSpec,
+        shape: tuple[int, ...],
+        boundary: str = "clamp",
+        iterations: int = 1,
+        engine: str = "auto",
+        workers: int = 1,
+    ) -> "FPGAAccelerator":
+        """An accelerator whose blocking config is picked by the autotuner.
+
+        Consults the persistent plan-selection cache in
+        :mod:`repro.runtime.autotune` (micro-benchmarking model-ranked
+        candidates on a cold key, reloading the persisted winner on a
+        warm one; :envvar:`REPRO_NO_AUTOTUNE` degrades to the analytical
+        model's choice).  Imported lazily — the core layer stays
+        importable without the runtime package and pinning a config by
+        hand never touches the tuner.
+        """
+        from repro.runtime.autotune import resolve_config
+
+        config = resolve_config(
+            spec, shape, boundary=boundary, iterations=iterations,
+            engine=engine,
+        )
+        return cls(
+            spec, config, boundary=boundary, workers=workers, engine=engine
+        )
+
     @property
     def resolved_engine(self) -> str:
         """The engine actually executing disarmed passes.
 
-        One of ``"native-driver"``, ``"native"`` or ``"numpy"`` — what
-        the ``"auto"`` ladder selected (pinned engines report
-        themselves).  Armed fault-injection runs always take the serial
-        channel path regardless.
+        One of ``"native-vector"``, ``"native-driver"``, ``"native"`` or
+        ``"numpy"`` — what the ``"auto"`` ladder selected (pinned
+        engines report themselves).  Armed fault-injection runs always
+        take the serial channel path regardless.
         """
         if self._driver is not None:
-            return "native-driver"
+            return self._driver_kind
         if self._native is not None:
-            return "native"
+            return self._native_kind
         return "numpy"
 
     @property
@@ -570,15 +645,15 @@ class FPGAAccelerator:
                     steps = min(config.partime, remaining)
                     out = pong[0] if current is not pong[0] else pong[1]
                     if use_driver:
-                        tables = plan.to_driver_tables(steps)
+                        tables = plan.to_driver_tables(
+                            steps, self._driver.vector_width
+                        )
                         need = self._driver.workers * 2 * tables.scratch_floats
                         if (
                             self._driver_scratch is None
                             or self._driver_scratch.size < need
                         ):
-                            self._driver_scratch = np.empty(
-                                need, dtype=np.float32
-                            )
+                            self._driver_scratch = _aligned_f32(need)
                         self._driver.run_batch_pass(
                             current, out, tables, plan.periodic,
                             self._driver_scratch, n_grids, bplan.grid_stride,
@@ -743,10 +818,10 @@ class FPGAAccelerator:
             windows = plan.windows(steps)
             self._run_pass_armed(src, out, plan, windows, steps, inj)
         elif use_driver:
-            tables = plan.to_driver_tables(steps)
+            tables = plan.to_driver_tables(steps, self._driver.vector_width)
             need = self._driver.workers * 2 * tables.scratch_floats
             if self._driver_scratch is None or self._driver_scratch.size < need:
-                self._driver_scratch = np.empty(need, dtype=np.float32)
+                self._driver_scratch = _aligned_f32(need)
             self._driver.run_pass(
                 src, out, tables, plan.periodic, self._driver_scratch
             )

@@ -57,22 +57,40 @@ def _c_literal(value: float) -> str:
     return f"{float(np.float32(value)).hex()}f"
 
 
-def _acc_lines(spec: StencilSpec, indent: str, steps: dict[int, str]) -> list[str]:
+def _acc_chain(spec: StencilSpec, indent: str, read) -> list[str]:
     """The per-element accumulation chain, shared by every generated kernel.
 
-    ``steps[axis]`` is the C expression for one positive step along
-    ``axis`` (e.g. ``"ps0"`` or ``"1"``).  Emitting the chain from one
-    helper guarantees the per-stage microkernel and the fused pass
-    driver execute the identical fixed accumulation order — the
-    bit-exactness invariant.
+    ``read(axis, off)`` returns the C expression loading the neighbor at
+    ``off`` along ``axis``; ``read(None, 0)`` loads the center.  Emitting
+    the chain from one helper guarantees every generated kernel — the
+    per-stage microkernels, the fused pass drivers, and the vectorized
+    direct-read stage — executes the identical fixed accumulation order:
+    the bit-exactness invariant.
     """
-    lines = [f"{indent}float acc = {_c_literal(spec.center)} * row[x];"]
+    lines = [f"{indent}float acc = {_c_literal(spec.center)} * {read(None, 0)};"]
     for axis, off, coeff in stencil_terms(spec, spec.dims):
-        lines.append(
-            f"{indent}acc += {_c_literal(coeff)} * "
-            f"row[x + ({off}) * {steps[axis]}];"
-        )
+        lines.append(f"{indent}acc += {_c_literal(coeff)} * {read(axis, off)};")
     return lines
+
+
+def _acc_lines(spec: StencilSpec, indent: str, steps: dict[int, str]) -> list[str]:
+    """Accumulation chain over a single strided ``row`` pointer.
+
+    ``steps[axis]`` is the C expression for one positive step along
+    ``axis`` (e.g. ``"ps0"`` or ``"1"``).
+    """
+
+    def read(axis: int | None, off: int) -> str:
+        if axis is None:
+            return "row[x]"
+        return f"row[x + ({off}) * {steps[axis]}]"
+
+    return _acc_chain(spec, indent, read)
+
+
+def _off_tag(off: int) -> str:
+    """C-identifier-safe suffix for a signed offset (``-4`` -> ``m4``)."""
+    return ("m" if off < 0 else "p") + str(abs(off))
 
 
 def kernel_source(spec: StencilSpec) -> str:
@@ -517,6 +535,600 @@ def driver_source(spec: StencilSpec) -> str:
     return "\n".join(head + body) + _DRIVER_EPILOGUE
 
 
+def vector_kernel_source(spec: StencilSpec) -> str:
+    """C source of the explicitly vectorized PE-stage kernel.
+
+    Same ``pe_stage`` contract as :func:`kernel_source`, with
+    ``#pragma omp simd`` on the unit-stride x loop (honored by
+    ``-fopenmp-simd`` without linking an OpenMP runtime).  Vectorizing
+    *across* x lanes never reorders one element's accumulation chain —
+    each lane still executes the fixed ``acc = c0*x; acc += ci*xi``
+    sequence from :func:`_acc_lines` — so the result stays bit-identical
+    to the scalar kernel, which the property suite asserts.
+    """
+    body: list[str] = []
+    if spec.dims == 2:
+        body += [
+            "void pe_stage(const float *restrict p, float *restrict out,",
+            "              long ps0,",
+            "              long y0, long y1, long x0, long x1,",
+            "              long os0) {",
+            "  for (long y = y0; y < y1; ++y) {",
+            "    const float *restrict row = p + y * ps0;",
+            "    float *restrict orow = out + (y - y0) * os0;",
+            "#pragma omp simd",
+            "    for (long x = x0; x < x1; ++x) {",
+        ]
+        body += _acc_lines(spec, "      ", {0: "ps0", 1: "1"})
+        body += [
+            "      orow[x - x0] = acc;",
+            "    }",
+            "  }",
+            "}",
+        ]
+    else:
+        body += [
+            "void pe_stage(const float *restrict p, float *restrict out,",
+            "              long ps0, long ps1,",
+            "              long z0, long z1, long y0, long y1,",
+            "              long x0, long x1,",
+            "              long os0, long os1) {",
+            "  for (long z = z0; z < z1; ++z) {",
+            "    for (long y = y0; y < y1; ++y) {",
+            "      const float *restrict row = p + z * ps0 + y * ps1;",
+            "      float *restrict orow = out + (z - z0) * os0 + (y - y0) * os1;",
+            "#pragma omp simd",
+            "      for (long x = x0; x < x1; ++x) {",
+        ]
+        body += _acc_lines(spec, "        ", {0: "ps0", 1: "ps1", 2: "1"})
+        body += [
+            "        orow[x - x0] = acc;",
+            "      }",
+            "    }",
+            "  }",
+            "}",
+        ]
+    return "\n".join(body) + "\n"
+
+
+def vector_driver_source(spec: StencilSpec, vector_width: int) -> str:
+    """C source of the vectorized fused pass driver.
+
+    Differences from the scalar :func:`driver_source` — the paper's
+    ``parvec`` story mapped onto CPU SIMD lanes:
+
+    * **fused read kernel**: stage 0 reads the source grid *directly*
+      through per-axis index maps decoded from the gather segments —
+      lint rule P304 proves the segments encode exactly the clamp/wrap
+      source mapping the read kernel would materialize — so the gather
+      copy and the stage-0 halo fill disappear entirely.  The window's
+      x extent is decomposed once per block into pure (unit-stride)
+      and impure (clamped/wrapped) runs — the map is row-invariant, so
+      the decomposition is too — and pure runs take contiguous vector
+      loads while impure runs vectorize through gathered loads;
+    * every scratch row is padded to ``vector_width`` floats
+      (``roundup(nx, VEC)``), so consecutive rows start on lane
+      boundaries and the compiler keeps one steady-state vector loop
+      per row instead of re-peeling at every row;
+    * the inner x loops carry ``#pragma omp simd`` + ``restrict``,
+      batching ``VEC`` independent per-element accumulation chains per
+      instruction — lanes never reassociate *within* a chain, so the
+      bits match the scalar engines exactly (``-ffp-contract=off``
+      still forbids FMA fusion);
+    * the final stage of a *full* pass streams its results straight
+      into the output grid (``stage_out``, or ``stage_in`` itself when
+      ``steps == 1``) instead of bouncing through the ping-pong buffer
+      and re-copying: lint rule P305 proves the final window lands
+      exactly on the compute region the write kernel would copy, and
+      the driver re-checks that geometry per block at runtime so short
+      (tail) passes — whose final window is wider — safely fall back
+      to the write-kernel path.
+
+    The pool/ABI (``driver_create``/``driver_run_pass``/
+    ``driver_destroy``) is shared with the scalar driver, so
+    :class:`NativeDriver` runs either library unchanged.
+    """
+    rad = spec.radius
+    rec = DRIVER_RECORD_LEN[spec.dims]
+    head = [
+        f"#define RAD {rad}",
+        f"#define REC {rec}",
+        f"#define VEC {int(vector_width)}",
+        _DRIVER_PRELUDE,
+    ]
+    axis_offs: dict[int, list[int]] = {}
+    for axis, off, _ in stencil_terms(spec, spec.dims):
+        offs = axis_offs.setdefault(axis, [])
+        if off not in offs:
+            offs.append(off)
+    z_offs = axis_offs.get(0, [])
+    body: list[str] = []
+    if spec.dims == 2:
+        body += [
+            "static void stage(const float *restrict a, float *restrict b,",
+            "                  i64 s0, i64 z0, i64 z1, i64 x0, i64 x1) {",
+            "  for (i64 z = z0; z < z1; ++z) {",
+            "    const float *restrict row = a + z * s0;",
+            "    float *restrict orow = b + z * s0;",
+            "#pragma omp simd",
+            "    for (i64 x = x0; x < x1; ++x) {",
+        ]
+        body += _acc_lines(spec, "      ", {0: "s0", 1: "1"})
+        body += [
+            "      orow[x] = acc;",
+            "    }",
+            "  }",
+            "}",
+            "",
+            "/* Final-stage write-back fused into the output grid: the",
+            " * window is the compute region (P305), so each computed lane",
+            " * lands directly at its destination -- no B round-trip, no",
+            " * write-kernel memcpy. */",
+            "static void stage_out(const float *restrict a,",
+            "                      float *restrict o, i64 s0, i64 os0,",
+            "                      i64 z0, i64 z1, i64 x0, i64 x1) {",
+            "  for (i64 z = z0; z < z1; ++z) {",
+            "    const float *restrict row = a + z * s0;",
+            "    float *restrict orow = o + (z - z0) * os0;",
+            "#pragma omp simd",
+            "    for (i64 x = x0; x < x1; ++x) {",
+        ]
+        body += _acc_lines(spec, "      ", {0: "s0", 1: "1"})
+        body += [
+            "      orow[x - x0] = acc;",
+            "    }",
+            "  }",
+            "}",
+            "",
+        ]
+        # -- stage_in: the read kernel fused into stage 0 --------------
+        setup = ["    const float *restrict rowc = src + zim[z + RAD] * gs0;"]
+        vsetup = ["      const float *restrict vc = rowc + xb;"]
+        for o in z_offs:
+            t = _off_tag(o)
+            setup.append(
+                f"    const float *restrict rz_{t} = "
+                f"src + zim[z + RAD + ({o})] * gs0;"
+            )
+            vsetup.append(f"      const float *restrict vz_{t} = rz_{t} + xb;")
+
+        def s_read(axis: int | None, off: int) -> str:
+            if axis is None:
+                return "rowc[xim[x]]"
+            if axis == 0:
+                return f"rz_{_off_tag(off)}[xim[x]]"
+            return f"rowc[xim[x + ({off})]]"
+
+        def v_read(axis: int | None, off: int) -> str:
+            if axis is None:
+                return "vc[xv]"
+            if axis == 0:
+                return f"vz_{_off_tag(off)}[xv]"
+            return f"vc[xv + ({off})]"
+
+        body += [
+            "/* Read-kernel-fused first stage: reads the source grid",
+            " * directly through the per-axis index maps (the P304 gather",
+            " * geometry).  `runs` decomposes the window's x extent into",
+            " * pure (unit-stride vector loads) and impure (gathered",
+            " * loads) runs, precomputed once per block. */",
+            "static void stage_in(const float *restrict src, i64 gs0,",
+            "                     float *restrict o, i64 os0,",
+            "                     const i64 *restrict zim,",
+            "                     const int *restrict xim,",
+            "                     const i64 *restrict runs, i64 nruns,",
+            "                     i64 n0, i64 x0) {",
+            "  for (i64 z = 0; z < n0; ++z) {",
+        ]
+        body += setup
+        body += [
+            "    float *restrict orow = o + z * os0;",
+            "    for (i64 ri = 0; ri < nruns; ++ri) {",
+            "      const i64 xs = runs[3 * ri], xe = runs[3 * ri + 1];",
+            "      if (!runs[3 * ri + 2]) {",
+            "#pragma omp simd",
+            "        for (i64 x = xs; x < xe; ++x) {",
+        ]
+        body += _acc_chain(spec, "          ", s_read)
+        body += [
+            "          orow[x - x0] = acc;",
+            "        }",
+            "        continue;",
+            "      }",
+            "      const i64 xb = (i64)xim[xs] - xs;",
+        ]
+        body += vsetup
+        body += [
+            "#pragma omp simd",
+            "      for (i64 xv = xs; xv < xe; ++xv) {",
+        ]
+        body += _acc_chain(spec, "        ", v_read)
+        body += [
+            "        orow[xv - x0] = acc;",
+            "      }",
+            "    }",
+            "  }",
+            "}",
+            "",
+            "/* clamp-duplicate refresh (P302: sources sit inside the",
+            " * stage window whenever a later stage reads the copies) */",
+            "static void refresh_dups(float *buf, i64 s0, i64 n0, i64 nx,",
+            "                         i64 dlx, i64 dhx) {",
+            "  for (i64 z = RAD; z < RAD + n0; ++z) {",
+            "    float *row = buf + z * s0;",
+            "    if (dlx) {",
+            "      const float v = row[dlx];",
+            "      for (i64 x = 0; x < dlx; ++x) row[x] = v;",
+            "    }",
+            "    if (dhx) {",
+            "      const float v = row[nx - 1 - dhx];",
+            "      for (i64 x = 0; x < dhx; ++x) row[nx - 1 - x] = v;",
+            "    }",
+            "  }",
+            "}",
+            "",
+            "static void do_block(const job_t *J, const float *src,",
+            "                     float *out, i64 bi, float *A, float *B) {",
+            "  const i64 *R = J->blocks + bi * REC;",
+            "  const i64 n0 = R[0], nx = R[1];",
+            "  const i64 dlx = R[2], dhx = R[3];",
+            "  const i64 wx = R[4], cx = R[5], rx = R[6];",
+            "  const i64 *segx = J->segs + 4 * R[7];",
+            "  const i64 nsx = R[8];",
+            "  const i64 s0 = (nx + VEC - 1) / VEC * VEC;",
+            "  /* read maps: footprint coordinate -> source element index",
+            "   * (the gather segments encode exactly this mapping, P304) */",
+            "  i64 zim[n0 + 2 * RAD];",
+            "  /* int indices so impure-run gathers vectorize",
+            "   * (vgatherdps needs 32-bit lanes) */",
+            "  int xim[nx];",
+            "  for (i64 z = 0; z < n0 + 2 * RAD; ++z) {",
+            "    i64 g = z - RAD;",
+            "    if (J->periodic) g = (g % n0 + n0) % n0;",
+            "    else g = g < 0 ? 0 : (g >= n0 ? n0 - 1 : g);",
+            "    zim[z] = g;",
+            "  }",
+            "  for (i64 j = 0; j < nsx; ++j) {",
+            "    const i64 xd0 = segx[4 * j], xd1 = segx[4 * j + 1];",
+            "    const i64 xs0 = segx[4 * j + 2], xs1 = segx[4 * j + 3];",
+            "    for (i64 x = xd0; x < xd1; ++x)",
+            "      xim[x] = (int)((xs1 - xs0 == 1) ? xs0 : xs0 + (x - xd0));",
+            "  }",
+            "  const i64 *W = J->wins + bi * J->steps * 4;",
+            "  /* window-0 x extent decomposed into pure / impure runs",
+            "   * (the map is row-invariant, so the decomposition is) */",
+            "  const i64 rx0 = W[2], rx1 = W[3];",
+            "  i64 runs[3 * (rx1 - rx0 > 0 ? rx1 - rx0 : 1)];",
+            "  i64 nruns = 0;",
+            "  for (i64 x = rx0; x < rx1;) {",
+            "    const i64 pure =",
+            "        (xim[x + RAD] - xim[x - RAD] == 2 * RAD);",
+            "    i64 xe = x + 1;",
+            "    while (xe < rx1 &&",
+            "           (xim[xe + RAD] - xim[xe - RAD] == 2 * RAD) == pure)",
+            "      ++xe;",
+            "    runs[3 * nruns] = x;",
+            "    runs[3 * nruns + 1] = xe;",
+            "    runs[3 * nruns + 2] = pure;",
+            "    ++nruns;",
+            "    x = xe;",
+            "  }",
+            "  /* stage 0: the read kernel fused into the first PE stage */",
+            "  {",
+            "    const i64 x0 = W[2], x1 = W[3];",
+            "    if (J->steps == 1 && W[0] == 0 && W[1] == n0",
+            "        && x0 == rx && x1 == rx + cx) {",
+            "      stage_in(src, J->gs0, out + wx, J->gs0,",
+            "               zim, xim, runs, nruns, n0, x0);",
+            "      return;",
+            "    }",
+            "    stage_in(src, J->gs0, A + RAD * s0 + x0, s0,",
+            "             zim, xim, runs, nruns, n0, x0);",
+            "    if (J->steps > 1 && !J->periodic && (dlx | dhx))",
+            "      refresh_dups(A, s0, n0, nx, dlx, dhx);",
+            "  }",
+            "  W += 4;",
+            "  /* stages 1..: ping-pong A -> B; final stage fused when the",
+            "   * window proves it covers exactly the compute region */",
+            "  for (i64 s = 1; s < J->steps; ++s, W += 4) {",
+            "    fill_halo(A, n0, s0, J->periodic);",
+            "    const i64 x0 = W[2], x1 = W[3];",
+            "    if (s + 1 == J->steps && W[0] == 0 && W[1] == n0",
+            "        && x0 == rx && x1 == rx + cx) {",
+            "      stage_out(A, out + wx, s0, J->gs0,",
+            "                RAD, RAD + n0, x0, x1);",
+            "      return;",
+            "    }",
+            "    stage(A, B, s0, W[0] + RAD, W[1] + RAD, x0, x1);",
+            "    if (s + 1 < J->steps && !J->periodic && (dlx | dhx))",
+            "      refresh_dups(B, s0, n0, nx, dlx, dhx);",
+            "    float *t = A; A = B; B = t;",
+            "  }",
+            "  /* write kernel (unfused tail passes only) */",
+            "  for (i64 z = 0; z < n0; ++z)",
+            "    memcpy(out + z * J->gs0 + wx, A + (z + RAD) * s0 + rx,",
+            "           (size_t)cx * sizeof(float));",
+            "}",
+        ]
+    else:
+        y_offs = axis_offs.get(1, [])
+        body += [
+            "static void stage(const float *restrict a, float *restrict b,",
+            "                  i64 s0, i64 s1, i64 z0, i64 z1,",
+            "                  i64 y0, i64 y1, i64 x0, i64 x1) {",
+            "  for (i64 z = z0; z < z1; ++z) {",
+            "    for (i64 y = y0; y < y1; ++y) {",
+            "      const float *restrict row = a + z * s0 + y * s1;",
+            "      float *restrict orow = b + z * s0 + y * s1;",
+            "#pragma omp simd",
+            "      for (i64 x = x0; x < x1; ++x) {",
+        ]
+        body += _acc_lines(spec, "        ", {0: "s0", 1: "s1", 2: "1"})
+        body += [
+            "        orow[x] = acc;",
+            "      }",
+            "    }",
+            "  }",
+            "}",
+            "",
+            "/* Final-stage write-back fused into the output grid: the",
+            " * window is the compute region (P305), so each computed lane",
+            " * lands directly at its destination -- no B round-trip, no",
+            " * write-kernel memcpy. */",
+            "static void stage_out(const float *restrict a,",
+            "                      float *restrict o, i64 s0, i64 s1,",
+            "                      i64 os0, i64 os1, i64 z0, i64 z1,",
+            "                      i64 y0, i64 y1, i64 x0, i64 x1) {",
+            "  for (i64 z = z0; z < z1; ++z) {",
+            "    for (i64 y = y0; y < y1; ++y) {",
+            "      const float *restrict row = a + z * s0 + y * s1;",
+            "      float *restrict orow = o + (z - z0) * os0",
+            "                               + (y - y0) * os1;",
+            "#pragma omp simd",
+            "      for (i64 x = x0; x < x1; ++x) {",
+        ]
+        body += _acc_lines(spec, "        ", {0: "s0", 1: "s1", 2: "1"})
+        body += [
+            "        orow[x - x0] = acc;",
+            "      }",
+            "    }",
+            "  }",
+            "}",
+            "",
+        ]
+        # -- stage_in: the read kernel fused into stage 0 --------------
+        setup = [
+            "      const float *restrict rowc = src"
+            " + zim[z + RAD] * gs0 + yoff[y];"
+        ]
+        vsetup = ["        const float *restrict vc = rowc + xb;"]
+        for o in z_offs:
+            t = _off_tag(o)
+            setup.append(
+                f"      const float *restrict rz_{t} = "
+                f"src + zim[z + RAD + ({o})] * gs0 + yoff[y];"
+            )
+            vsetup.append(
+                f"        const float *restrict vz_{t} = rz_{t} + xb;"
+            )
+        for o in y_offs:
+            t = _off_tag(o)
+            setup.append(
+                f"      const float *restrict ry_{t} = "
+                f"src + zim[z + RAD] * gs0 + yoff[y + ({o})];"
+            )
+            vsetup.append(
+                f"        const float *restrict vy_{t} = ry_{t} + xb;"
+            )
+
+        def s_read(axis: int | None, off: int) -> str:
+            if axis is None:
+                return "rowc[xim[x]]"
+            if axis == 0:
+                return f"rz_{_off_tag(off)}[xim[x]]"
+            if axis == 1:
+                return f"ry_{_off_tag(off)}[xim[x]]"
+            return f"rowc[xim[x + ({off})]]"
+
+        def v_read(axis: int | None, off: int) -> str:
+            if axis is None:
+                return "vc[xv]"
+            if axis == 0:
+                return f"vz_{_off_tag(off)}[xv]"
+            if axis == 1:
+                return f"vy_{_off_tag(off)}[xv]"
+            return f"vc[xv + ({off})]"
+
+        body += [
+            "/* Read-kernel-fused first stage: reads the source grid",
+            " * directly through the per-axis index maps (the P304 gather",
+            " * geometry).  `runs` decomposes the window's x extent into",
+            " * pure (unit-stride vector loads) and impure (gathered",
+            " * loads) runs, precomputed once per block. */",
+            "static void stage_in(const float *restrict src,",
+            "                     i64 gs0, i64 gs1,",
+            "                     float *restrict o, i64 os0, i64 os1,",
+            "                     const i64 *restrict zim,",
+            "                     const i64 *restrict yoff,",
+            "                     const int *restrict xim,",
+            "                     const i64 *restrict runs, i64 nruns,",
+            "                     i64 n0, i64 y0, i64 y1, i64 x0) {",
+            "  for (i64 z = 0; z < n0; ++z) {",
+            "    for (i64 y = y0; y < y1; ++y) {",
+        ]
+        body += setup
+        body += [
+            "      float *restrict orow = o + z * os0 + (y - y0) * os1;",
+            "      for (i64 ri = 0; ri < nruns; ++ri) {",
+            "        const i64 xs = runs[3 * ri], xe = runs[3 * ri + 1];",
+            "        if (!runs[3 * ri + 2]) {",
+            "#pragma omp simd",
+            "          for (i64 x = xs; x < xe; ++x) {",
+        ]
+        body += _acc_chain(spec, "            ", s_read)
+        body += [
+            "            orow[x - x0] = acc;",
+            "          }",
+            "          continue;",
+            "        }",
+            "        const i64 xb = (i64)xim[xs] - xs;",
+        ]
+        body += vsetup
+        body += [
+            "#pragma omp simd",
+            "        for (i64 xv = xs; xv < xe; ++xv) {",
+        ]
+        body += _acc_chain(spec, "          ", v_read)
+        body += [
+            "          orow[xv - x0] = acc;",
+            "        }",
+            "      }",
+            "    }",
+            "  }",
+            "}",
+            "",
+            "/* clamp-duplicate refresh -- y rows first, then x columns,",
+            " * matching refresh_border_duplicates order (P302: sources",
+            " * sit inside the stage window whenever later stages read",
+            " * the copies) */",
+            "static void refresh_dups(float *buf, i64 s0, i64 s1, i64 n0,",
+            "                         i64 ny, i64 nx, i64 dly, i64 dhy,",
+            "                         i64 dlx, i64 dhx) {",
+            "  for (i64 z = RAD; z < RAD + n0; ++z) {",
+            "    float *bz = buf + z * s0;",
+            "    for (i64 y = 0; y < dly; ++y)",
+            "      memcpy(bz + y * s1, bz + dly * s1,",
+            "             (size_t)nx * sizeof(float));",
+            "    for (i64 y = 0; y < dhy; ++y)",
+            "      memcpy(bz + (ny - 1 - y) * s1,",
+            "             bz + (ny - 1 - dhy) * s1,",
+            "             (size_t)nx * sizeof(float));",
+            "    if (dlx)",
+            "      for (i64 y = 0; y < ny; ++y) {",
+            "        float *row = bz + y * s1;",
+            "        const float v = row[dlx];",
+            "        for (i64 x = 0; x < dlx; ++x) row[x] = v;",
+            "      }",
+            "    if (dhx)",
+            "      for (i64 y = 0; y < ny; ++y) {",
+            "        float *row = bz + y * s1;",
+            "        const float v = row[nx - 1 - dhx];",
+            "        for (i64 x = 0; x < dhx; ++x) row[nx - 1 - x] = v;",
+            "      }",
+            "  }",
+            "}",
+            "",
+            "static void do_block(const job_t *J, const float *src,",
+            "                     float *out, i64 bi, float *A, float *B) {",
+            "  const i64 *R = J->blocks + bi * REC;",
+            "  const i64 n0 = R[0], ny = R[1], nx = R[2];",
+            "  const i64 dly = R[3], dhy = R[4], dlx = R[5], dhx = R[6];",
+            "  const i64 wy = R[7], wx = R[8], cy = R[9], cx = R[10];",
+            "  const i64 ry = R[11], rx = R[12];",
+            "  const i64 *segy = J->segs + 4 * R[13];",
+            "  const i64 nsy = R[14];",
+            "  const i64 *segx = J->segs + 4 * R[15];",
+            "  const i64 nsx = R[16];",
+            "  const i64 s1 = (nx + VEC - 1) / VEC * VEC;",
+            "  const i64 s0 = ny * s1;",
+            "  /* read maps: footprint coordinate -> source element index",
+            "   * (the gather segments encode exactly this mapping, P304) */",
+            "  i64 zim[n0 + 2 * RAD];",
+            "  i64 yoff[ny];",
+            "  /* int indices so impure-run gathers vectorize",
+            "   * (vgatherdps needs 32-bit lanes) */",
+            "  int xim[nx];",
+            "  for (i64 z = 0; z < n0 + 2 * RAD; ++z) {",
+            "    i64 g = z - RAD;",
+            "    if (J->periodic) g = (g % n0 + n0) % n0;",
+            "    else g = g < 0 ? 0 : (g >= n0 ? n0 - 1 : g);",
+            "    zim[z] = g;",
+            "  }",
+            "  for (i64 j = 0; j < nsy; ++j) {",
+            "    const i64 yd0 = segy[4 * j], yd1 = segy[4 * j + 1];",
+            "    const i64 ys0 = segy[4 * j + 2], ys1 = segy[4 * j + 3];",
+            "    for (i64 y = yd0; y < yd1; ++y)",
+            "      yoff[y] = J->gs1 *",
+            "          ((ys1 - ys0 == 1) ? ys0 : ys0 + (y - yd0));",
+            "  }",
+            "  for (i64 j = 0; j < nsx; ++j) {",
+            "    const i64 xd0 = segx[4 * j], xd1 = segx[4 * j + 1];",
+            "    const i64 xs0 = segx[4 * j + 2], xs1 = segx[4 * j + 3];",
+            "    for (i64 x = xd0; x < xd1; ++x)",
+            "      xim[x] = (int)((xs1 - xs0 == 1) ? xs0 : xs0 + (x - xd0));",
+            "  }",
+            "  const i64 *W = J->wins + bi * J->steps * 6;",
+            "  /* window-0 x extent decomposed into pure / impure runs",
+            "   * (the map is row-invariant, so the decomposition is) */",
+            "  const i64 rx0 = W[4], rx1 = W[5];",
+            "  i64 runs[3 * (rx1 - rx0 > 0 ? rx1 - rx0 : 1)];",
+            "  i64 nruns = 0;",
+            "  for (i64 x = rx0; x < rx1;) {",
+            "    const i64 pure =",
+            "        (xim[x + RAD] - xim[x - RAD] == 2 * RAD);",
+            "    i64 xe = x + 1;",
+            "    while (xe < rx1 &&",
+            "           (xim[xe + RAD] - xim[xe - RAD] == 2 * RAD) == pure)",
+            "      ++xe;",
+            "    runs[3 * nruns] = x;",
+            "    runs[3 * nruns + 1] = xe;",
+            "    runs[3 * nruns + 2] = pure;",
+            "    ++nruns;",
+            "    x = xe;",
+            "  }",
+            "  /* stage 0: the read kernel fused into the first PE stage */",
+            "  {",
+            "    const i64 y0 = W[2], y1 = W[3], x0 = W[4], x1 = W[5];",
+            "    if (J->steps == 1 && W[0] == 0 && W[1] == n0",
+            "        && y0 == ry && y1 == ry + cy",
+            "        && x0 == rx && x1 == rx + cx) {",
+            "      stage_in(src, J->gs0, J->gs1,",
+            "               out + wy * J->gs1 + wx, J->gs0, J->gs1,",
+            "               zim, yoff, xim, runs, nruns,",
+            "               n0, y0, y1, x0);",
+            "      return;",
+            "    }",
+            "    stage_in(src, J->gs0, J->gs1,",
+            "             A + RAD * s0 + y0 * s1 + x0, s0, s1,",
+            "             zim, yoff, xim, runs, nruns,",
+            "             n0, y0, y1, x0);",
+            "    if (J->steps > 1 && !J->periodic",
+            "        && (dly | dhy | dlx | dhx))",
+            "      refresh_dups(A, s0, s1, n0, ny, nx, dly, dhy, dlx, dhx);",
+            "  }",
+            "  W += 6;",
+            "  /* stages 1..: ping-pong A -> B; final stage fused when the",
+            "   * window proves it covers exactly the compute region */",
+            "  for (i64 s = 1; s < J->steps; ++s, W += 6) {",
+            "    fill_halo(A, n0, s0, J->periodic);",
+            "    const i64 y0 = W[2], y1 = W[3], x0 = W[4], x1 = W[5];",
+            "    if (s + 1 == J->steps && W[0] == 0 && W[1] == n0",
+            "        && y0 == ry && y1 == ry + cy",
+            "        && x0 == rx && x1 == rx + cx) {",
+            "      stage_out(A, out + wy * J->gs1 + wx, s0, s1,",
+            "                J->gs0, J->gs1, RAD, RAD + n0,",
+            "                y0, y1, x0, x1);",
+            "      return;",
+            "    }",
+            "    stage(A, B, s0, s1, W[0] + RAD, W[1] + RAD, y0, y1, x0, x1);",
+            "    if (s + 1 < J->steps && !J->periodic",
+            "        && (dly | dhy | dlx | dhx))",
+            "      refresh_dups(B, s0, s1, n0, ny, nx, dly, dhy, dlx, dhx);",
+            "    float *t = A; A = B; B = t;",
+            "  }",
+            "  /* write kernel (unfused tail passes only) */",
+            "  for (i64 z = 0; z < n0; ++z) {",
+            "    const float *az = A + (z + RAD) * s0;",
+            "    float *oz = out + z * J->gs0;",
+            "    for (i64 y = 0; y < cy; ++y)",
+            "      memcpy(oz + (wy + y) * J->gs1 + wx, az + (ry + y) * s1 + rx,",
+            "             (size_t)cx * sizeof(float));",
+            "  }",
+            "}",
+        ]
+    return "\n".join(head + body) + _DRIVER_EPILOGUE
+
+
 def _find_compiler() -> str | None:
     for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
         if cand and shutil.which(cand):
@@ -524,18 +1136,35 @@ def _find_compiler() -> str | None:
     return None
 
 
-def _compile(source: str, link: tuple[str, ...] = ()) -> str | None:
+def _compile(
+    source: str,
+    link: tuple[str, ...] = (),
+    extra: tuple[str, ...] = (),
+) -> str | None:
     """Compile ``source`` to a cached shared library; return its path.
 
     Content-addressed: the same source always maps to the same ``.so``
     in the temp directory, built at most once (atomic rename, so racing
     processes are safe).  ``link`` appends linker flags (the pass driver
-    needs ``-lpthread``).  Returns ``None`` on any failure.
+    needs ``-lpthread``); ``extra`` appends compiler flags (the vector
+    driver adds ``-funroll-loops`` so independent accumulation chains
+    overlap — unrolling never reassociates, so bits are unaffected).
+    Returns ``None`` on any failure.
     """
     compiler = _find_compiler()
     if compiler is None:
         return None
-    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    base = [
+        compiler,
+        "-O3",
+        "-ffp-contract=off",
+        "-fopenmp-simd",
+        "-shared",
+        "-fPIC",
+        *extra,
+    ]
+    tag = source + "\x00" + " ".join(base[1:])
+    digest = hashlib.sha256(tag.encode()).hexdigest()[:16]
     cache = os.path.join(tempfile.gettempdir(), f"repro_native_{digest}.so")
     if os.path.exists(cache):
         return cache
@@ -545,10 +1174,16 @@ def _compile(source: str, link: tuple[str, ...] = ()) -> str | None:
         so_path = os.path.join(workdir, "kernel.so")
         with open(c_path, "w") as fh:
             fh.write(source)
-        base = [compiler, "-O3", "-ffp-contract=off", "-shared", "-fPIC"]
-        for extra in (["-march=native"], []):
+        attempts = [
+            base + ["-march=native"],
+            base,
+            # last resort: a compiler without -fopenmp-simd (the pragma
+            # is then ignored as an unknown pragma, still correct)
+            [f for f in base if f != "-fopenmp-simd"],
+        ]
+        for cmd in attempts:
             proc = subprocess.run(
-                base + extra + ["-o", so_path, c_path] + list(link),
+                cmd + ["-o", so_path, c_path] + list(link),
                 capture_output=True,
                 timeout=120,
             )
@@ -663,6 +1298,43 @@ def native_kernel_for(spec: StencilSpec) -> NativeStencil | None:
     return kernel
 
 
+def native_scalar_kernel_for(spec: StencilSpec) -> NativeStencil | None:
+    """Like :func:`native_kernel_for` but compiled with vectorization off.
+
+    ``-fno-tree-vectorize -fno-tree-slp-vectorize`` pins the build to
+    genuinely scalar machine code.  At ``-O3`` the compiler otherwise
+    auto-vectorizes even the "scalar" engines' inner loops, which makes
+    engine-vs-engine timings understate the SIMD payoff; this build is
+    the honest per-lane baseline the vectorization speedup in
+    ``BENCH_engines.json`` is measured against (the paper's ``parvec``
+    speedups are likewise vector-vs-scalar on one kernel).  Accumulation
+    order is untouched, so the result stays bit-identical.
+    """
+    if os.environ.get(DISABLE_ENV):
+        return None
+    key = (
+        "scalar",
+        spec.dims,
+        spec.radius,
+        float(np.float32(spec.center)),
+        spec.coefficients.tobytes(),
+    )
+    if key in _KERNELS:
+        return _KERNELS[key]
+    lib_path = _compile(
+        kernel_source(spec),
+        extra=("-fno-tree-vectorize", "-fno-tree-slp-vectorize"),
+    )
+    kernel: NativeStencil | None = None
+    if lib_path is not None:
+        try:
+            kernel = NativeStencil(spec, lib_path)
+        except OSError:
+            kernel = None
+    _KERNELS[key] = kernel
+    return kernel
+
+
 class NativeDriver:
     """A compiled fused pass driver with its own persistent worker pool.
 
@@ -677,10 +1349,19 @@ class NativeDriver:
     (or an explicit :meth:`close`), so pools never leak across runs.
     """
 
-    def __init__(self, spec: StencilSpec, workers: int, lib_path: str):
+    def __init__(
+        self,
+        spec: StencilSpec,
+        workers: int,
+        lib_path: str,
+        vector_width: int = 1,
+    ):
         self.spec = spec
         self.workers = max(1, int(workers))
         self.lib_path = lib_path
+        #: SIMD lane count the compiled ``do_block`` pads rows to
+        #: (1 = the scalar driver; the driver ABI is identical).
+        self.vector_width = max(1, int(vector_width))
         lib = ctypes.CDLL(lib_path)
         lib.driver_create.argtypes = [ctypes.c_longlong]
         lib.driver_create.restype = ctypes.c_void_p
@@ -827,5 +1508,81 @@ def native_driver_for(spec: StencilSpec, workers: int) -> NativeDriver | None:
         return None
     try:
         return NativeDriver(spec, workers, lib_path)
+    except OSError:
+        return None
+
+
+_VECTOR_KERNELS: dict[tuple, NativeStencil | None] = {}
+
+
+def native_vector_kernel_for(spec: StencilSpec) -> NativeStencil | None:
+    """The compiled *vectorized* PE-stage kernel, or ``None``.
+
+    Same contract and caching discipline as :func:`native_kernel_for`;
+    the library is built from :func:`vector_kernel_source` (explicit
+    ``#pragma omp simd``), and the property suite asserts it is
+    bit-identical to the scalar kernel.
+    """
+    if os.environ.get(DISABLE_ENV):
+        return None
+    key = (
+        spec.dims,
+        spec.radius,
+        float(np.float32(spec.center)),
+        spec.coefficients.tobytes(),
+    )
+    if key in _VECTOR_KERNELS:
+        return _VECTOR_KERNELS[key]
+    lib_path = _compile(vector_kernel_source(spec))
+    kernel: NativeStencil | None = None
+    if lib_path is not None:
+        try:
+            kernel = NativeStencil(spec, lib_path)
+        except OSError:
+            kernel = None
+    _VECTOR_KERNELS[key] = kernel
+    return kernel
+
+
+#: Compiled vector-driver library path per ``(stencil key, vector
+#: width)`` — separate from the scalar cache because VEC is baked into
+#: the generated ``do_block``.
+_VECTOR_DRIVER_LIBS: dict[tuple, str | None] = {}
+
+
+def native_vector_driver_for(
+    spec: StencilSpec, workers: int, vector_width: int
+) -> NativeDriver | None:
+    """A fresh vectorized pass driver (own pool) for ``spec``, or ``None``.
+
+    ``vector_width`` is the SIMD lane count rows are padded to — the
+    paper's ``parvec`` mapped onto CPU lanes; it must match the
+    ``vector_width`` the accelerator passes to
+    :meth:`PassPlan.to_driver_tables` so the Python-side scratch sizing
+    covers the padded rows the C code derives per block.
+    """
+    if os.environ.get(DISABLE_ENV):
+        return None
+    vec = int(vector_width)
+    if vec < 1 or vec & (vec - 1):
+        return None
+    key = (
+        spec.dims,
+        spec.radius,
+        float(np.float32(spec.center)),
+        spec.coefficients.tobytes(),
+        vec,
+    )
+    if key not in _VECTOR_DRIVER_LIBS:
+        _VECTOR_DRIVER_LIBS[key] = _compile(
+            vector_driver_source(spec, vec),
+            link=("-lpthread",),
+            extra=("-funroll-loops",),
+        )
+    lib_path = _VECTOR_DRIVER_LIBS[key]
+    if lib_path is None:
+        return None
+    try:
+        return NativeDriver(spec, workers, lib_path, vector_width=vec)
     except OSError:
         return None

@@ -32,6 +32,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.core.blocking import Block, BlockDecomposition, BlockingConfig
+from repro.errors import ConfigurationError
 
 #: int64 fields per block record in :meth:`PassPlan.to_driver_tables`,
 #: by dimensionality.  The layouts are consumed verbatim by the
@@ -161,6 +162,18 @@ class DriverTables:
     windows: np.ndarray
     steps: int
     scratch_floats: int
+    #: Vector width the tables were built for: 1 for the scalar driver,
+    #: ``config.parvec`` for the vectorized driver.  When > 1 the block
+    #: buffers' x stride is padded to a multiple of this width, the
+    #: padding is folded into ``scratch_floats``, and the alignment
+    #: invariants below hold (asserted at build time, re-proved by lint
+    #: rule P309 without executing a pass).
+    vector_width: int = 1
+    #: Upper bound on any block's padded x stride (== the scalar max x
+    #: footprint when ``vector_width == 1``).  The generated C re-derives
+    #: each block's own stride as ``roundup(nx, vector_width)``; this
+    #: bound sizes the scratch.
+    padded_x: int = 0
 
 
 class PassPlan:
@@ -250,11 +263,13 @@ class PassPlan:
         )
 
         self._windows: dict[int, tuple[tuple[Window, ...], ...]] = {}
-        self._driver_tables: dict[int, DriverTables] = {}
+        self._driver_tables: dict[tuple[int, int], DriverTables] = {}
 
     # ------------------------------------------------------------------ #
 
-    def to_driver_tables(self, steps: int) -> DriverTables:
+    def to_driver_tables(
+        self, steps: int, vector_width: int = 1
+    ) -> DriverTables:
         """Serialize the plan for the generated native pass driver.
 
         Flattens every block's geometry (footprint, clamp-duplicate
@@ -262,10 +277,27 @@ class PassPlan:
         per-stage shrink windows for a ``steps``-pass into the int64
         arrays of :class:`DriverTables` — the entire pass description
         crosses the ctypes boundary once, as three pointers.  Cached per
-        ``steps`` (a run needs at most two tables, like
+        ``(steps, vector_width)`` (a run needs at most two tables, like
         :meth:`windows`).
+
+        ``vector_width > 1`` builds tables for the *vectorized* driver:
+        each block buffer's x stride is padded to a multiple of the
+        width, so every row of the ping-pong scratch buffers starts on a
+        vector boundary.  The padding is a pure layout change — the
+        extra lanes are never read by a stencil term (the windows stay
+        inside the unpadded footprint) — and the resulting alignment
+        invariants are asserted here, at table-build time, rather than
+        discovered as a fault inside native code.
         """
-        cached = self._driver_tables.get(steps)
+        if vector_width < 1 or vector_width & (vector_width - 1):
+            raise ConfigurationError(
+                f"vector_width must be a power of two >= 1, "
+                f"got {vector_width}",
+                param="vector_width",
+                value=vector_width,
+                constraint="vector_width in (1, 2, 4, 8, 16, ...)",
+            )
+        cached = self._driver_tables.get((steps, vector_width))
         if cached is not None:
             return cached
         ndim = self.config.dims
@@ -300,17 +332,48 @@ class PassPlan:
             windows.reshape(n_blocks, steps, ndim, 2)
         )
         segments = np.asarray(seg_rows, dtype=np.int64).reshape(-1, 4)
+        vec = int(vector_width)
+        padded_x = -(-self.max_footprint[-1] // vec) * vec
         scratch = self.max_footprint[0] + 2 * rad
-        for extent in self.max_footprint[1:]:
+        for extent in self.max_footprint[1:-1]:
             scratch *= extent
+        scratch *= padded_x
+        if vec > 1:
+            # Keep per-worker ping/pong bases on (at least) 64-byte
+            # boundaries when the allocator hands us a 64-byte-aligned
+            # base: worker w's buffers start at multiples of
+            # scratch_floats, so rounding the capacity itself up to 16
+            # floats preserves the base alignment for every worker.
+            unit = max(vec, 16)
+            scratch = -(-scratch // unit) * unit
+        # ---- table-build-time alignment assertions (lint P309 re-proves
+        # these from first principles without executing a pass) ----
+        if padded_x < self.max_footprint[-1] or padded_x % vec:
+            raise ConfigurationError(
+                f"padded x stride {padded_x} does not cover footprint "
+                f"{self.max_footprint[-1]} in whole vectors",
+                param="padded_x",
+                value=padded_x,
+                constraint="padded_x = roundup(max_nx, vector_width)",
+            )
+        if scratch % vec:
+            raise ConfigurationError(
+                f"scratch capacity {scratch} is not a multiple of the "
+                f"vector width {vec}",
+                param="scratch_floats",
+                value=scratch,
+                constraint="scratch_floats % vector_width == 0",
+            )
         tables = DriverTables(
             blocks=block_tab,
             segments=np.ascontiguousarray(segments),
             windows=windows,
             steps=steps,
             scratch_floats=int(scratch),
+            vector_width=vec,
+            padded_x=int(padded_x),
         )
-        self._driver_tables[steps] = tables
+        self._driver_tables[(steps, vec)] = tables
         return tables
 
     def windows(self, steps: int) -> tuple[tuple[Window, ...], ...]:

@@ -111,6 +111,8 @@ RULES: dict[str, Rule] = _catalog([
      "batch driver tables do not round-trip to the per-grid plan"),
     ("P308", Severity.ERROR, "plan",
      "shard plan partition or halo-exchange geometry is not exact"),
+    ("P309", Severity.ERROR, "plan",
+     "vectorized driver tables break an alignment or layout invariant"),
     # ---- hot-path purity pass ----------------------------------------- #
     ("H401", Severity.ERROR, "purity",
      "fault-injection hook used outside a disarmed guard"),

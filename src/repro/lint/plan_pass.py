@@ -42,6 +42,18 @@ updates or writes a single cell:
   extent under periodic boundaries).  This is the no-execution proof
   that the sharded runner's exchange reconstructs the single-device
   run's neighborhoods bit-for-bit.
+* P309 — the *vectorized* driver tables (``to_driver_tables(steps,
+  vector_width)``) keep the alignment invariants the simd kernels are
+  compiled against: ``padded_x = roundup(max x footprint, width)``,
+  scratch sized by the exact padded formula and rounded to
+  ``max(width, 16)`` floats (so per-worker ping/pong bases stay 64-byte
+  aligned), every block's own padded footprint fitting the shared
+  scratch — and the padding is layout-only: the geometry arrays are
+  byte-identical to the scalar serialization and no stage window
+  reaches into the padded lanes.  The build-time assertions inside
+  ``to_driver_tables`` prove these at construction; this check re-proves
+  them from first principles against the cached tables object the
+  driver actually executes.
 """
 
 from __future__ import annotations
@@ -490,6 +502,138 @@ def _check_driver_tables(plan: PassPlan, locus: str) -> list[Finding]:
     return findings
 
 
+def _check_vector_tables(plan: PassPlan, locus: str) -> list[Finding]:
+    """P309: vectorized tables keep alignment; padding is layout-only.
+
+    The vectorized driver pads each scratch row's x stride to a multiple
+    of the vector width so every row base stays on a vector boundary,
+    and sizes the ping-pong halves so per-worker bases keep (at least)
+    64-byte alignment.  Those invariants are *asserted* at table-build
+    time inside :meth:`PassPlan.to_driver_tables`; this check re-proves
+    them from first principles — block footprints, the config's radius,
+    the roundup formulas — against the tables object the driver would
+    actually execute (the build-time assertions cannot see a cached
+    tables object tampered after construction).  It also proves the
+    padding is a pure layout change: the geometry arrays must be
+    byte-identical to the scalar serialization, and no stage window may
+    reach into the padded lanes.
+    """
+    findings: list[Finding] = []
+    rad = plan.config.radius
+    steps = plan.config.partime
+    scalar = plan.to_driver_tables(steps)
+    # re-derive the per-axis maxima from the blocks, not the plan's own
+    # cached max_footprint (the point is an independent derivation)
+    ndim = plan.config.dims
+    max_fp = tuple(
+        max(bp.footprint[ax] for bp in plan.blocks) for ax in range(ndim)
+    )
+    for vec in sorted({2, 8, plan.config.parvec} - {1}):
+        tables = plan.to_driver_tables(steps, vec)
+        t_locus = f"{locus}/tables(steps={steps},vec={vec})"
+
+        def bad(message: str, hint: str = "", _loc=t_locus) -> None:
+            findings.append(
+                Finding(rule="P309", message=message, locus=_loc, hint=hint)
+            )
+
+        if tables.vector_width != vec:
+            bad(
+                f"tables.vector_width is {tables.vector_width}, built "
+                f"for width {vec}",
+                hint="the generated C sizes every row stride from this "
+                "field; a drifted width misaligns every row after the "
+                "first",
+            )
+            continue
+        want_padded = -(-max_fp[-1] // vec) * vec
+        if tables.padded_x != want_padded:
+            bad(
+                f"padded_x {tables.padded_x} != roundup(max x footprint "
+                f"{max_fp[-1]}, {vec}) = {want_padded}",
+                hint="too small truncates the widest block's rows; too "
+                "large silently oversizes every scratch row",
+            )
+        if tables.padded_x % vec or tables.padded_x < max_fp[-1]:
+            bad(
+                f"padded_x {tables.padded_x} is not a whole-vector cover "
+                f"of the x footprint {max_fp[-1]}",
+                hint="a misaligned stride breaks the aligned-load "
+                "contract the simd kernels are compiled against",
+            )
+        # scratch capacity: re-derive the exact sizing formula
+        want_scratch = max_fp[0] + 2 * rad
+        for extent in max_fp[1:-1]:
+            want_scratch *= extent
+        want_scratch *= want_padded
+        unit = max(vec, 16)
+        want_scratch = -(-want_scratch // unit) * unit
+        if tables.scratch_floats != want_scratch:
+            bad(
+                f"scratch_floats {tables.scratch_floats} != "
+                f"roundup((max t-extent + 2*rad) * middle extents * "
+                f"padded_x, {unit}) = {want_scratch}",
+                hint="undersized scratch lets a vector store run past "
+                "the allocation; the roundup to max(vec, 16) floats "
+                "keeps per-worker ping/pong bases 64-byte aligned",
+            )
+        if tables.scratch_floats % vec:
+            bad(
+                f"scratch_floats {tables.scratch_floats} is not a "
+                f"multiple of the vector width {vec}",
+                hint="worker w's buffers start at w * scratch_floats; "
+                "an unaligned capacity misaligns every worker but the "
+                "first",
+            )
+        # every block must fit: the C re-derives each block's own row
+        # stride as roundup(nx, vec)
+        for i, bp in enumerate(plan.blocks):
+            need = bp.footprint[0] + 2 * rad
+            for extent in bp.footprint[1:-1]:
+                need *= extent
+            need *= -(-bp.footprint[-1] // vec) * vec
+            if need > tables.scratch_floats:
+                bad(
+                    f"block {i} needs {need} floats at width {vec}, "
+                    f"scratch holds {tables.scratch_floats}",
+                    hint="per-block padded footprints must fit the "
+                    "shared scratch sizing",
+                    _loc=f"{t_locus}/block{i}",
+                )
+        # layout-only: the padding must not perturb the geometry the
+        # driver decodes — byte-identical to the scalar serialization
+        for name, got, want in (
+            ("blocks", tables.blocks, scalar.blocks),
+            ("segments", tables.segments, scalar.segments),
+            ("windows", tables.windows, scalar.windows),
+        ):
+            if got.shape != want.shape or not np.array_equal(got, want):
+                bad(
+                    f"{name} table differs from the vector_width=1 "
+                    "serialization",
+                    hint="x padding is a pure layout change; geometry "
+                    "drift means the vector engine computes a different "
+                    "stencil than the scalar one it must be bit-exact "
+                    "against",
+                )
+        # the padded lanes are never addressed by a stencil term: every
+        # stage window stays inside the unpadded block footprint
+        if tables.windows.shape == (len(plan.blocks), steps, ndim, 2):
+            for i, bp in enumerate(plan.blocks):
+                x_stops = tables.windows[i, :, -1, 1]
+                if int(x_stops.max(initial=0)) > bp.footprint[-1]:
+                    bad(
+                        f"block {i}: a stage window reaches x="
+                        f"{int(x_stops.max())} past the unpadded "
+                        f"footprint {bp.footprint[-1]}",
+                        hint="padded lanes hold unspecified values; a "
+                        "window covering them folds garbage into the "
+                        "accumulation",
+                        _loc=f"{t_locus}/block{i}",
+                    )
+    return findings
+
+
 def _check_batch_tables(bplan: BatchPlan, locus: str) -> list[Finding]:
     """P307: batch tables round-trip to the per-grid plan."""
     findings: list[Finding] = []
@@ -728,6 +872,7 @@ def lint_plan(plan: PassPlan) -> list[Finding]:
     findings.extend(_check_segments(plan, locus))
     findings.extend(_check_windows(plan, locus))
     findings.extend(_check_driver_tables(plan, locus))
+    findings.extend(_check_vector_tables(plan, locus))
     return findings
 
 

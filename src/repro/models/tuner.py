@@ -150,3 +150,50 @@ class Tuner:
     def best(self, grid_shape: tuple[int, ...], iterations: int) -> TunedDesign:
         """The single best design for a workload."""
         return self.tune(grid_shape, iterations, top_k=1)[0]
+
+    # ------------------------------------------------------------------ #
+    # empirical-autotuner support
+    # ------------------------------------------------------------------ #
+
+    def shortlist(
+        self,
+        grid_shape: tuple[int, ...],
+        iterations: int,
+        k: int = 4,
+    ) -> list[TunedDesign]:
+        """Model-ranked candidates worth micro-benchmarking for a workload.
+
+        The offline flow (:meth:`tune`) ranks the paper's fixed block-size
+        menu; the empirical autotuner instead needs a *shape-aware* menu —
+        a small grid tiled by one oversized block gives the measurement
+        nothing to choose between.  This widens the menu with the blocked
+        extents themselves and their halves/quarters (so candidate blocks
+        actually tile the target), re-runs the same area-filter + model
+        ranking, and returns the top ``k`` distinct configurations for
+        :class:`repro.runtime.autotune.Autotuner` to measure on the real
+        engine ladder.  Purely analytical — nothing is executed here.
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        blocked = [int(grid_shape[ax]) for ax in range(1, self.spec.dims)]
+        menu: list = list(self.bsizes)
+        if self.spec.dims == 2:
+            (nx,) = blocked
+            for bx in (nx, nx // 2, nx // 4):
+                if bx >= 1 and bx not in menu:
+                    menu.append(bx)
+        else:
+            ny, nx = blocked
+            for bx in (nx, nx // 2, nx // 4):
+                for by in (ny, ny // 2, ny // 4):
+                    if bx >= 1 and by >= 1 and (bx, by) not in menu:
+                        menu.append((bx, by))
+        wide = Tuner(
+            self.spec,
+            self.board,
+            area_model=self.area_model,
+            performance_model=self.performance_model,
+            bsizes=tuple(menu),
+            parvec_choices=self.parvec_choices,
+        )
+        return wide.tune(grid_shape, iterations, top_k=k)

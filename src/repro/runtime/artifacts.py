@@ -156,6 +156,32 @@ class ArtifactCache:
             old.close()
         return program
 
+    def get_tuned(
+        self,
+        spec: StencilSpec,
+        shape: tuple[int, ...],
+        boundary: str = "clamp",
+        iterations: int = 1,
+        board: Board = NALLATECH_385A,
+        engine: str = "auto",
+    ) -> StencilProgram:
+        """The warm program for a workload, config picked by the autotuner.
+
+        Resolves ``(spec, shape, boundary, engine)`` through the
+        persistent plan-selection cache (:mod:`repro.runtime.autotune`)
+        and delegates to :meth:`get` — so a tuned workload lands on the
+        same single-flight, LRU-bounded program the pinned-config path
+        uses, and repeated traffic pays one resolution file read plus a
+        dictionary hit.
+        """
+        from repro.runtime.autotune import resolve_config
+
+        config = resolve_config(
+            spec, shape, boundary=boundary, iterations=iterations,
+            engine=engine,
+        )
+        return self.get(spec, config, board, engine=engine)
+
     # ------------------------------------------------------------------ #
 
     def contains(self, key: ArtifactKey) -> bool:

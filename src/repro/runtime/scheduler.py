@@ -26,7 +26,8 @@ puts a resilient scheduler in front of a fleet of simulated
 * **degraded mode** — a per-device circuit breaker around the native
   engines (the fused pass driver and the per-stage microkernel):
   repeated faulted kernels on a device (or a compile failure when
-  ``engine="native"``/``"native-driver"`` is requested) trip the device
+  ``engine="native"``/``"native-driver"``/``"native-vector"`` is
+  requested) trip the device
   to the conservative NumPy engine, so its jobs complete slower rather
   than fail.  All engines are bit-identical, so degradation never
   changes results;
@@ -44,7 +45,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -85,12 +86,15 @@ class StencilJob:
     ``factor * modeled_time``.  ``engine`` overrides the scheduler's
     preferred engine for this job only (the serving layer's graceful-
     degradation ladder pins overloaded jobs to cheaper tiers); a tripped
-    device breaker still wins and forces ``"numpy"``.
+    device breaker still wins and forces ``"numpy"``.  ``config=None``
+    defers the blocking config to the empirical autotuner's persistent
+    plan-selection cache (resolved once at admission; see
+    :mod:`repro.runtime.autotune`).
     """
 
     job_id: str
     spec: StencilSpec
-    config: BlockingConfig
+    config: BlockingConfig | None
     grid: np.ndarray = field(repr=False)
     iterations: int = 1
     deadline_s: float | None = None
@@ -99,10 +103,12 @@ class StencilJob:
     engine: str | None = None
 
     def __post_init__(self) -> None:
-        if self.engine not in (None, "auto", "numpy", "native", "native-driver"):
+        if self.engine not in (
+            None, "auto", "numpy", "native", "native-driver", "native-vector"
+        ):
             raise ConfigurationError(
-                "engine must be None, 'auto', 'numpy', 'native' or "
-                f"'native-driver', got {self.engine!r}"
+                "engine must be None, 'auto', 'numpy', 'native', "
+                f"'native-driver' or 'native-vector', got {self.engine!r}"
             )
         if self.iterations < 1:
             raise ConfigurationError(
@@ -173,10 +179,12 @@ class BatchStencilJob:
     engine: str | None = None
 
     def __post_init__(self) -> None:
-        if self.engine not in (None, "auto", "numpy", "native", "native-driver"):
+        if self.engine not in (
+            None, "auto", "numpy", "native", "native-driver", "native-vector"
+        ):
             raise ConfigurationError(
-                "engine must be None, 'auto', 'numpy', 'native' or "
-                f"'native-driver', got {self.engine!r}"
+                "engine must be None, 'auto', 'numpy', 'native', "
+                f"'native-driver' or 'native-vector', got {self.engine!r}"
             )
         if self.iterations < 1:
             raise ConfigurationError(
@@ -274,10 +282,12 @@ class ShardedJob:
     engine: str | None = None
 
     def __post_init__(self) -> None:
-        if self.engine not in (None, "auto", "numpy", "native", "native-driver"):
+        if self.engine not in (
+            None, "auto", "numpy", "native", "native-driver", "native-vector"
+        ):
             raise ConfigurationError(
-                "engine must be None, 'auto', 'numpy', 'native' or "
-                f"'native-driver', got {self.engine!r}"
+                "engine must be None, 'auto', 'numpy', 'native', "
+                f"'native-driver' or 'native-vector', got {self.engine!r}"
             )
         if self.iterations < 1:
             raise ConfigurationError(
@@ -421,7 +431,8 @@ class StencilScheduler:
         :class:`~repro.errors.SchedulerSaturatedError` beyond it.
     engine:
         Preferred execution engine for healthy devices (``"auto"``,
-        ``"numpy"``, ``"native"`` or ``"native-driver"``); a device
+        ``"numpy"``, ``"native"``, ``"native-driver"`` or
+        ``"native-vector"``); a device
         whose circuit breaker has tripped always runs ``"numpy"``.
     quarantine_threshold / health_window / min_health_samples:
         A device is quarantined when its fault rate over the last
@@ -478,10 +489,12 @@ class StencilScheduler:
             raise ConfigurationError(
                 f"quarantine_threshold must be in (0, 1], got {quarantine_threshold}"
             )
-        if engine not in ("auto", "numpy", "native", "native-driver"):
+        if engine not in (
+            "auto", "numpy", "native", "native-driver", "native-vector"
+        ):
             raise ConfigurationError(
-                "engine must be 'auto', 'numpy', 'native' or "
-                f"'native-driver', got {engine!r}"
+                "engine must be 'auto', 'numpy', 'native', "
+                f"'native-driver' or 'native-vector', got {engine!r}"
             )
         if max_dispatches < 1:
             raise ConfigurationError(
@@ -530,8 +543,31 @@ class StencilScheduler:
             )
         if job.job_id in self._submitted:
             raise ConfigurationError(f"duplicate job id {job.job_id!r}")
+        job = self._resolve_config(job)
         self._submitted.add(job.job_id)
         self._pending.append((job, 0, frozenset()))
+
+    def _resolve_config(self, job: StencilJob) -> StencilJob:
+        """Fill in ``config=None`` from the plan-selection cache.
+
+        A job submitted without a blocking config takes whatever the
+        empirical autotuner (``repro.runtime.autotune``) picked for this
+        ``(stencil, shape, engine, cpu)`` — a persisted winner on a warm
+        key, a short shortlist-and-measure on a cold one, the analytical
+        model under ``REPRO_NO_AUTOTUNE``.  Resolution happens once at
+        admission, so every later dispatch/retry sees a pinned config.
+        """
+        if job.config is not None:
+            return job
+        from repro.runtime.autotune import resolve_config
+
+        config = resolve_config(
+            job.spec,
+            job.grid.shape,
+            iterations=job.iterations,
+            engine=job.engine or self.engine,
+        )
+        return replace(job, config=config)
 
     @property
     def pending(self) -> int:
@@ -568,6 +604,7 @@ class StencilScheduler:
                 value=True,
                 constraint="execute_job() requires an open scheduler",
             )
+        job = self._resolve_config(job)
         if job.job_id in self._submitted:
             raise ConfigurationError(f"duplicate job id {job.job_id!r}")
         self._submitted.add(job.job_id)
@@ -892,12 +929,13 @@ class StencilScheduler:
         ``(kernel, config, board, engine)`` key reuses one cached
         :class:`StencilProgram` — and therefore one compiled library and
         one live worker pool.  A native compile failure
-        (``engine="native"`` or ``"native-driver"`` requested but no
+        (``engine="native"``, ``"native-driver"`` or ``"native-vector"``
+        requested but no
         toolchain / failed build) trips the breaker and degrades to the
         NumPy engine instead of failing the job.
         """
         engine = worker.engine(preferred or self.engine)
-        if engine in ("native", "native-driver"):
+        if engine in ("native", "native-driver", "native-vector"):
             try:
                 return self.program_cache.get(
                     spec, config, worker.device.board, engine=engine
@@ -930,7 +968,7 @@ class StencilScheduler:
                 continue
             if all(w.breaker.tripped for w in group):
                 closed = self.program_cache.release_engines(
-                    name, ("auto", "native", "native-driver")
+                    name, ("auto", "native", "native-driver", "native-vector")
                 )
                 self._released_boards.add(name)
                 group[0].log(

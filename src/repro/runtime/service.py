@@ -24,7 +24,8 @@ shared installation needs on the *wall* clock:
   jittered exponential backoff, never past the remaining deadline
   budget.
 * **graceful degradation** — under queue pressure (or a fully degraded
-  fleet) dispatch pins jobs down the ``native-driver → native → numpy``
+  fleet) dispatch pins jobs down the ``native-vector → native-driver →
+  native → numpy``
   engine ladder and shrinks the checkpoint cadence; every downgraded
   result carries an explicit ``degraded`` marker.  All engines are
   bit-identical, so degradation trades latency, never correctness.
@@ -320,6 +321,7 @@ class ServiceMetrics:
         self._counters: dict[str, dict[str, int]] = {}
         self._latencies: dict[str, deque[float]] = {}
         self._queue_waits: dict[str, deque[float]] = {}
+        self._buckets: dict[str, dict[str, int]] = {}
 
     def _tenant(self, tenant: str) -> dict[str, int]:
         return self._counters.setdefault(
@@ -341,6 +343,35 @@ class ServiceMetrics:
     def count(self, tenant: str, key: str, n: int = 1) -> None:
         with self._lock:
             self._tenant(tenant)[key] += n
+
+    def observe_batch(self, bucket: str, size: int) -> None:
+        """Record one coalesced launch of ``size`` requests for a bucket.
+
+        Buckets are workload-shaped (one per distinct
+        ``(spec, config, shape, iterations)`` coalescing class), so the
+        per-bucket ``batch_size`` distribution shows which traffic
+        shapes actually amortize launches and which always ride alone.
+        """
+        with self._lock:
+            entry = self._buckets.setdefault(
+                bucket,
+                {"batches": 0, "requests": 0, "max_batch_size": 0},
+            )
+            entry["batches"] += 1
+            entry["requests"] += size
+            entry["max_batch_size"] = max(entry["max_batch_size"], size)
+
+    def bucket_snapshot(self) -> dict[str, dict]:
+        """Per-bucket coalescing stats (mean/max ``batch_size``)."""
+        with self._lock:
+            out: dict[str, dict] = {}
+            for bucket, entry in self._buckets.items():
+                stats = dict(entry)
+                stats["mean_batch_size"] = round(
+                    entry["requests"] / entry["batches"], 3
+                )
+                out[bucket] = stats
+            return out
 
     def observe(self, tenant: str, latency_s: float, queue_wait_s: float) -> None:
         with self._lock:
@@ -540,7 +571,7 @@ class StencilService:
         self,
         tenant: str,
         spec: StencilSpec,
-        config: BlockingConfig,
+        config: BlockingConfig | None,
         grid: np.ndarray,
         iterations: int = 1,
         *,
@@ -557,7 +588,17 @@ class StencilService:
         shed; both carry ``retry_after_s``.  ``deadline_s`` is a
         wall-clock budget covering queueing, dispatch and retries;
         ``sim_deadline_s`` is the scheduler's simulated-clock budget.
+        ``config=None`` defers the blocking config to the empirical
+        autotuner (:mod:`repro.runtime.autotune`): resolved once here at
+        admission — warm keys cost one persisted-selection read — so
+        queueing, coalescing and dispatch all see a pinned config.
         """
+        if config is None:
+            from repro.runtime.autotune import resolve_config
+
+            config = resolve_config(
+                spec, grid.shape, iterations=iterations, engine="auto"
+            )
         for name, value in (
             ("deadline_s", deadline_s), ("sim_deadline_s", sim_deadline_s)
         ):
@@ -738,12 +779,52 @@ class StencilService:
                         self._inflight_reqs.pop(req.request_id, None)
                     self._inflight -= len(batch)
 
+    @staticmethod
+    def _bucket_key(req: _Request) -> tuple:
+        """The coalescing class of a request, by workload *content*.
+
+        Two requests batch together iff their keys are equal: same
+        stencil numeric identity (dims, radius, center, coefficient
+        bytes — never ``spec == spec``, whose dataclass comparison of
+        NumPy coefficient arrays raises on equal-but-distinct objects,
+        which silently restricted coalescing to requests sharing one
+        spec *instance*), same config, grid shape, iteration count and
+        SLO knobs.  Heterogeneous traffic therefore still batches: each
+        dispatch drains exactly the head's bucket and leaves the other
+        buckets queued for their own turn.
+        """
+        s = req.spec
+        return (
+            s.dims,
+            s.radius,
+            float(s.center),
+            s.coefficients.tobytes(),
+            req.config,
+            tuple(req.grid.shape),
+            req.iterations,
+            req.sim_deadline_s,
+            req.checkpoint,
+            req.watchdog_factor,
+        )
+
+    @staticmethod
+    def _bucket_label(req: _Request) -> str:
+        """Human-readable bucket name for per-bucket metrics."""
+        shape = "x".join(str(n) for n in req.grid.shape)
+        c = req.config
+        return (
+            f"{req.spec.dims}d-r{req.spec.radius}/{shape}/"
+            f"bs{c.bsize_x}x{c.bsize_y}-pv{c.parvec}-pt{c.partime}/"
+            f"it{req.iterations}"
+        )
+
     def _collect_batch_locked(self, head: _Request) -> list[_Request]:
         """Pull queued requests batch-compatible with ``head`` (lock held).
 
-        Compatibility is exact workload identity: same spec, config,
-        grid shape, iteration count, checkpoint and deadline knobs —
-        everything the batch engine needs for one shared
+        Compatibility is the workload-content bucket of
+        :meth:`_bucket_key`: same stencil content, config, grid shape,
+        iteration count, checkpoint and deadline knobs — everything the
+        batch engine needs for one shared
         :class:`~repro.core.batch.BatchPlan` and one per-batch SLO.
         Only small grids qualify (``coalesce_max_cells``): batching
         amortizes per-launch overhead, which large grids never notice.
@@ -759,21 +840,14 @@ class StencilService:
         ):
             return []
         taken = 0
+        head_key = self._bucket_key(head)
 
         def compatible(entry) -> bool:
             nonlocal taken
             req: _Request = entry.item
             if taken >= limit:
                 return False
-            match = (
-                req.spec == head.spec
-                and req.config == head.config
-                and tuple(req.grid.shape) == tuple(head.grid.shape)
-                and req.iterations == head.iterations
-                and req.sim_deadline_s == head.sim_deadline_s
-                and req.checkpoint == head.checkpoint
-                and req.watchdog_factor == head.watchdog_factor
-            )
+            match = self._bucket_key(req) == head_key
             if match:
                 taken += 1
             return match
@@ -928,6 +1002,7 @@ class StencilService:
         """
         started = time.monotonic()
         batch_size = len(reqs)
+        self.metrics.observe_batch(self._bucket_label(reqs[0]), batch_size)
         level = self._degrade_level()
         engine = ENGINE_LADDER[level]
         checkpoint = self._checkpoint_for(reqs[0], level)

@@ -26,7 +26,8 @@ Failure domains are per shard:
   with the whole run (``ShardedStats.replayed_passes`` vs a whole-run
   retry's ``passes * shards``; gated in ``BENCH_sharding.json``).
 * **Repeated faults on one board** degrade that shard's engine down the
-  ``native-driver → native → numpy`` ladder independently (all engines
+  ``native-vector → native-driver → native → numpy`` ladder
+  independently (all engines
   are bit-identical, so degradation never changes the answer).
 * **Board lost outright** (:class:`~repro.faults.DeviceLossFault`,
   polled at pass boundaries): the lost shard's state is restored from
@@ -84,7 +85,11 @@ _MERGE_FIELDS = (
 )
 
 #: Engine one rung down the per-shard degradation ladder.
-_NEXT_ENGINE = {"native-driver": "native", "native": "numpy"}
+_NEXT_ENGINE = {
+    "native-vector": "native-driver",
+    "native-driver": "native",
+    "native": "numpy",
+}
 
 
 @dataclass

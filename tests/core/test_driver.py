@@ -121,7 +121,7 @@ def test_auto_ladder_selects_driver_and_reuses_it() -> None:
     spec = StencilSpec.star(2, 1)
     cfg = _cfg(2, 1, partime=2)
     acc = FPGAAccelerator(spec, cfg)  # engine="auto"
-    assert acc.resolved_engine == "native-driver"
+    assert acc.resolved_engine == "native-vector"
     pool = acc._driver
     grid = make_grid((12, 48), "random", seed=1)
     for iters in (1, 4, 5):

@@ -238,6 +238,43 @@ def _p306_scratch_undersized():
     return lint_plan(plan)
 
 
+def _p309_padded_x_drift():
+    # padded_x oversized by one extra vector: still aligned, but no
+    # longer the exact roundup the C re-derives its row strides from
+    plan = _plan()
+    tables = plan.to_driver_tables(4, 8)
+    object.__setattr__(tables, "padded_x", tables.padded_x + 8)
+    return lint_plan(plan)
+
+
+def _p309_scratch_misaligned():
+    # capacity off by one float: worker 1's ping/pong bases lose their
+    # vector alignment (bases sit at multiples of scratch_floats)
+    plan = _plan()
+    tables = plan.to_driver_tables(4, 8)
+    object.__setattr__(tables, "scratch_floats", tables.scratch_floats + 1)
+    return lint_plan(plan)
+
+
+def _p309_width_drift():
+    # tables built for width 8 claim width 4: every row stride the
+    # generated C derives from the field is wrong
+    plan = _plan()
+    tables = plan.to_driver_tables(4, 8)
+    object.__setattr__(tables, "vector_width", 4)
+    return lint_plan(plan)
+
+
+def _p309_window_into_padding():
+    # a stage window on the *vector* tables reaches into the padded
+    # lanes (the scalar serialization stays clean, so only the
+    # layout-only proof can catch it)
+    plan = _plan()
+    tables = plan.to_driver_tables(4, 8)
+    tables.windows[0, -1, -1, 1] = tables.padded_x
+    return lint_plan(plan)
+
+
 def _batch_plan(n_grids=4):
     config = BlockingConfig(dims=2, radius=1, bsize_x=32, partime=4)
     return BatchPlan(config, (64, 64), n_grids)
@@ -694,6 +731,11 @@ MUTANTS = [
     ("p306-record-drift", "P306", _p306_record_drift, "plan["),
     ("p306-segment-drift", "P306", _p306_segment_drift, "plan["),
     ("p306-scratch", "P306", _p306_scratch_undersized, "plan["),
+    ("p309-padded-x-drift", "P309", _p309_padded_x_drift, "plan["),
+    ("p309-scratch-misaligned", "P309", _p309_scratch_misaligned, "plan["),
+    ("p309-width-drift", "P309", _p309_width_drift, "plan["),
+    ("p309-window-into-padding", "P309", _p309_window_into_padding,
+     "plan["),
     ("p307-stride-overlap", "P307", _p307_stride_overlap, "batch["),
     ("p307-table-drift", "P307", _p307_table_drift, "batch["),
     ("p307-skewed-decode", "P307", _p307_skewed_decode, "batch["),

@@ -143,3 +143,66 @@ def test_batched_latency_lands_in_metrics_reservoir() -> None:
     )
     assert total_samples == 6
     svc.close()
+
+
+# -- mixed-shape bucketing and per-bucket metrics ---------------------------- #
+
+SHAPE_B = (8, 16)
+
+
+def test_mixed_shapes_bucket_separately() -> None:
+    """Two shapes in one queue coalesce into two batches, never one."""
+    svc = numpy_service()
+    grids_a = [make_grid(SHAPE, "mixed", seed=90 + i) for i in range(3)]
+    grids_b = [make_grid(SHAPE_B, "mixed", seed=95 + i) for i in range(2)]
+    tickets = [
+        svc.submit(**request(tenant=f"a{i}", grid=g))
+        for i, g in enumerate(grids_a)
+    ] + [
+        svc.submit(**request(tenant=f"b{i}", grid=g))
+        for i, g in enumerate(grids_b)
+    ]
+    assert svc.run_pending() == 5
+    results = [t.result(0) for t in tickets]
+    assert [r.batch_size for r in results] == [3, 3, 3, 2, 2]
+    for g, r in zip(grids_a + grids_b, results):
+        assert np.array_equal(r.result, reference_run(g, SPEC, 4))
+    buckets = svc.metrics.bucket_snapshot()
+    assert len(buckets) == 2
+    by_requests = sorted(
+        (b["requests"], b["batches"], b["max_batch_size"],
+         b["mean_batch_size"])
+        for b in buckets.values()
+    )
+    assert by_requests == [(2, 1, 2, 2.0), (3, 1, 3, 3.0)]
+    svc.close()
+
+
+def test_bucket_labels_name_the_workload_shape() -> None:
+    svc = numpy_service()
+    for t in "ab":
+        svc.submit(**request(tenant=t))
+    svc.run_pending()
+    (label,) = svc.metrics.bucket_snapshot()
+    assert "2d-r1" in label and "12x20" in label and "it4" in label
+    svc.close()
+
+
+def test_equal_but_distinct_specs_coalesce() -> None:
+    """Bucketing keys on stencil *content*: two StencilSpec objects with
+    identical numbers ride one batch (an identity-based or dataclass
+    ``==`` key would either split them or raise on the coefficient
+    array's ambiguous truth value)."""
+    svc = numpy_service()
+    clone = StencilSpec.star(2, 1)
+    assert clone is not SPEC
+    g1 = make_grid(SHAPE, "mixed", seed=31)
+    g2 = make_grid(SHAPE, "mixed", seed=32)
+    t1 = svc.submit(**{**request(tenant="a", grid=g1), "spec": SPEC})
+    t2 = svc.submit(**{**request(tenant="b", grid=g2), "spec": clone})
+    assert svc.run_pending() == 2
+    r1, r2 = t1.result(0), t2.result(0)
+    assert r1.batched and r2.batched and r1.batch_size == 2
+    assert np.array_equal(r1.result, reference_run(g1, SPEC, 4))
+    assert np.array_equal(r2.result, reference_run(g2, SPEC, 4))
+    svc.close()
